@@ -1,0 +1,68 @@
+"""Ablation: BlockSplit's split granularity is the number of map
+partitions m.
+
+BlockSplit splits oversized blocks into exactly m sub-blocks (one per
+input partition).  The number of map tasks therefore bounds how finely
+a dominant block can be parallelised — the effect behind the paper's
+remark that Figure 11's sorted-input degradation "can be diminished by
+a higher number of map tasks".  This bench sweeps m at fixed r and
+reports BlockSplit's balance and simulated time; PairRange is shown as
+the m-independent reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bdm_for_block_sizes, simulate_run
+from repro.analysis.reporting import format_table
+
+from .conftest import ds1_block_sizes, publish
+
+MAP_TASKS = [2, 5, 10, 20, 40]
+REDUCE_TASKS = 100
+NODES = 10
+
+
+def granularity_rows():
+    rows = []
+    for m in MAP_TASKS:
+        bdm = bdm_for_block_sizes(list(ds1_block_sizes()), m, seed=13)
+        blocksplit = simulate_run(
+            "blocksplit", bdm, num_nodes=NODES, num_reduce_tasks=REDUCE_TASKS
+        )
+        pairrange = simulate_run(
+            "pairrange", bdm, num_nodes=NODES, num_reduce_tasks=REDUCE_TASKS
+        )
+        rows.append(
+            [
+                m,
+                round(blocksplit.reduce_stats.imbalance, 3),
+                round(blocksplit.execution_time, 1),
+                round(pairrange.reduce_stats.imbalance, 3),
+                round(pairrange.execution_time, 1),
+            ]
+        )
+    return rows
+
+
+def test_ablation_split_granularity(benchmark):
+    rows = benchmark.pedantic(granularity_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["m", "blocksplit imbalance", "blocksplit time [s]",
+         "pairrange imbalance", "pairrange time [s]"],
+        rows,
+        title=(
+            "Ablation — split granularity: map tasks m "
+            f"(DS1, r={REDUCE_TASKS}, n={NODES})"
+        ),
+    )
+    publish("ABLATION-GRANULARITY blocksplit split granularity", text)
+
+    # BlockSplit's balance improves (or holds) as m grows...
+    imbalances = [row[1] for row in rows]
+    assert imbalances[-1] <= imbalances[0]
+    # ...while PairRange is flat in m (within numerical noise).
+    pr_imbalances = [row[3] for row in rows]
+    assert max(pr_imbalances) - min(pr_imbalances) < 0.01
+    # At m=2, a DS1-dominant block cannot be spread over 100 reduce
+    # tasks: BlockSplit's imbalance is visibly worse than at m=40.
+    assert rows[0][1] > rows[-1][1]

@@ -1,0 +1,70 @@
+"""Ablation / failure injection: heterogeneous nodes and stragglers.
+
+The paper attributes residual imbalance to "heterogeneous hardware"
+(Section VI-B).  This bench injects (a) lognormal node-speed spread and
+(b) a single 4x-slow straggler node, and measures how gracefully each
+strategy degrades.  Fine-grained balanced strategies degrade mildly
+(work re-flows around the slow node across many task waves); Basic —
+already floored by its largest reduce task — degrades by the full
+slowdown whenever that task lands on the straggler.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bdm_for_block_sizes, simulate_run
+from repro.analysis.reporting import format_table
+from repro.cluster.costmodel import lognormal_speed_factors
+
+from .conftest import ALL_STRATEGIES, ds1_block_sizes, publish
+
+NODES = 10
+REDUCE_TASKS = 100
+
+
+def straggler_rows():
+    bdm = bdm_for_block_sizes(list(ds1_block_sizes()), 20, seed=13)
+    scenarios = {
+        "homogeneous": None,
+        "lognormal sigma=0.3": lognormal_speed_factors(NODES, 0.3, seed=4),
+        "one 4x straggler": [0.25] + [1.0] * (NODES - 1),
+    }
+    rows = []
+    for name in ALL_STRATEGIES:
+        row = [name]
+        base_time = None
+        for speeds in scenarios.values():
+            run = simulate_run(
+                name,
+                bdm,
+                num_nodes=NODES,
+                num_reduce_tasks=REDUCE_TASKS,
+                node_speeds=speeds,
+            )
+            if base_time is None:
+                base_time = run.execution_time
+                row.append(round(base_time, 1))
+            else:
+                row.append(round(run.execution_time / base_time, 3))
+        rows.append(row)
+    return rows
+
+
+def test_ablation_stragglers(benchmark):
+    rows = benchmark.pedantic(straggler_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["strategy", "homogeneous time [s]",
+         "slowdown (lognormal 0.3)", "slowdown (one 4x straggler)"],
+        rows,
+        title=f"Ablation — heterogeneous nodes (DS1, n={NODES}, r={REDUCE_TASKS})",
+    )
+    publish("ABLATION-STRAGGLERS node heterogeneity", text)
+
+    by_name = {row[0]: row for row in rows}
+    # Balanced strategies degrade modestly under a 4x straggler (many
+    # small tasks re-flow to healthy nodes).
+    assert by_name["blocksplit"][3] < 2.0
+    assert by_name["pairrange"][3] < 2.0
+    # Fine granularity beats Basic under heterogeneity too: Basic's
+    # absolute time remains the worst in every scenario.
+    for column in (1,):
+        assert by_name["basic"][column] > by_name["blocksplit"][column]

@@ -1,0 +1,62 @@
+"""Figure 11: BlockSplit/PairRange on unsorted vs. key-sorted input (DS1).
+
+BlockSplit splits large blocks *by input partition*.  If the dataset is
+sorted by title (= by blocking key, since the key is the title's
+prefix) each large block concentrates in few map partitions, the split
+degenerates, and BlockSplit's execution time deteriorates — the paper
+measures ≈ +80 %.  PairRange's enumeration is independent of the
+partitioning and is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import sweep_input_order
+from repro.analysis.reporting import format_series
+
+from .conftest import BALANCED_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
+
+REDUCE_TASKS = [20, 40, 60, 80, 100, 120, 140, 160]
+
+
+def figure11_series():
+    results = sweep_input_order(
+        BALANCED_STRATEGIES,
+        ["shuffled", "sorted"],
+        list(ds1_block_sizes()),
+        num_map_tasks=20,
+        num_nodes=10,
+        reduce_task_counts=REDUCE_TASKS,
+        comparison_noise_sigma=NOISE_SIGMA,
+    )
+    series = {}
+    for order in ("shuffled", "sorted"):
+        for name in BALANCED_STRATEGIES:
+            label = f"{name} ({'unsorted' if order == 'shuffled' else 'sorted'})"
+            series[label] = [
+                round(results[order][r][name].execution_time, 1)
+                for r in REDUCE_TASKS
+            ]
+    return results, series
+
+
+def test_fig11_sorted_input(benchmark):
+    results, series = benchmark.pedantic(figure11_series, rounds=1, iterations=1)
+    text = format_series(
+        "r",
+        REDUCE_TASKS,
+        series,
+        title="Figure 11 — execution time [s], unsorted vs. sorted DS1 (n=10, m=20)",
+    )
+    publish("FIG11 sorted input", text)
+
+    for i, r in enumerate(REDUCE_TASKS):
+        bs_unsorted = series["blocksplit (unsorted)"][i]
+        bs_sorted = series["blocksplit (sorted)"][i]
+        pr_unsorted = series["pairrange (unsorted)"][i]
+        pr_sorted = series["pairrange (sorted)"][i]
+        # Sorting deteriorates BlockSplit substantially (paper: ~+80 %).
+        assert bs_sorted > 1.3 * bs_unsorted
+        # PairRange is insensitive to the input order (within noise).
+        assert abs(pr_sorted - pr_unsorted) / pr_unsorted < 0.10
+        # On sorted input PairRange clearly beats BlockSplit.
+        assert pr_sorted < bs_sorted

@@ -1,0 +1,72 @@
+"""Figure 12: key-value pairs emitted by map vs. number of reduce tasks.
+
+Paper findings this bench reproduces (all *exact* counts, no
+simulation involved):
+
+* Basic never replicates: map output = input size, constant in r;
+* BlockSplit is a step function of r — r only decides *which* blocks
+  split; the split method itself depends on the m input partitions, so
+  output plateaus between split-set changes and saturates once all
+  large blocks are split;
+* PairRange's output grows almost linearly with r and overtakes
+  BlockSplit for large r.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bdm_for_block_sizes
+from repro.analysis.reporting import format_series
+from repro.core.match_tasks import generate_match_tasks
+from repro.core.planning import plan_basic, plan_blocksplit, plan_pairrange
+
+from .conftest import ds1_block_sizes, publish
+
+REDUCE_TASKS = [20, 40, 60, 80, 100, 120, 140, 160]
+PLANNERS = {
+    "basic": plan_basic,
+    "blocksplit": plan_blocksplit,
+    "pairrange": plan_pairrange,
+}
+
+
+def figure12_series():
+    bdm = bdm_for_block_sizes(list(ds1_block_sizes()), 20, seed=13)
+    series = {
+        name: [planner(bdm, r).total_map_output_kv for r in REDUCE_TASKS]
+        for name, planner in PLANNERS.items()
+    }
+    return bdm, series
+
+
+def test_fig12_map_output(benchmark):
+    bdm, series = benchmark.pedantic(figure12_series, rounds=1, iterations=1)
+    text = format_series(
+        "r",
+        REDUCE_TASKS,
+        series,
+        title="Figure 12 — map output KV pairs vs. reduce tasks (DS1, m=20)",
+    )
+    publish("FIG12 map output", text)
+
+    basic = series["basic"]
+    blocksplit = series["blocksplit"]
+    pairrange = series["pairrange"]
+    # Basic: constant and equal to the number of input entities.
+    assert len(set(basic)) == 1
+    assert basic[0] == bdm.total_entities()
+    # BlockSplit: non-decreasing step function driven by the split set.
+    assert blocksplit == sorted(blocksplit)
+    split_sets = [
+        generate_match_tasks(bdm, r)[1] for r in REDUCE_TASKS
+    ]
+    for i in range(1, len(REDUCE_TASKS)):
+        if split_sets[i] == split_sets[i - 1]:
+            assert blocksplit[i] == blocksplit[i - 1]
+    # PairRange: strictly grows over the sweep and ends above BlockSplit.
+    assert pairrange == sorted(pairrange)
+    assert pairrange[-1] > pairrange[0]
+    assert pairrange[-1] > blocksplit[-1]
+    # BlockSplit emits the most KV pairs at the *small* end of the sweep
+    # relative to PairRange (the paper's "largest map output for a small
+    # number of reduce tasks").
+    assert blocksplit[0] > pairrange[0]

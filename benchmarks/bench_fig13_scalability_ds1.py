@@ -1,0 +1,71 @@
+"""Figure 13: execution times and speedup vs. cluster size (DS1).
+
+Paper setup: n from 1 to 100 nodes with m = 2n map and r = 10n reduce
+tasks.
+
+Paper findings this bench reproduces:
+
+* Basic does not scale beyond ~2 nodes — its time is floored by the
+  single reduce task holding the largest block (~70 % of all pairs);
+* BlockSplit and PairRange scale almost linearly up to ~10 nodes for
+  this (smaller) dataset, then flatten as per-task overheads dominate;
+* at n=100 BlockSplit edges out PairRange on DS1 because PairRange's
+  larger map output is no longer amortised by matching work.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import sweep_nodes
+from repro.analysis.metrics import speedup
+from repro.analysis.reporting import format_series
+
+from .conftest import ALL_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
+
+NODES = [1, 2, 5, 10, 20, 40, 100]
+
+
+def figure13_series():
+    results = sweep_nodes(
+        ALL_STRATEGIES,
+        NODES,
+        list(ds1_block_sizes()),
+        comparison_noise_sigma=NOISE_SIGMA,
+    )
+    times = {
+        name: [round(results[n][name].execution_time, 1) for n in NODES]
+        for name in ALL_STRATEGIES
+    }
+    speedups = {
+        name: [round(s, 2) for s in speedup(times[name])]
+        for name in ALL_STRATEGIES
+    }
+    return times, speedups
+
+
+def test_fig13_scalability_ds1(benchmark):
+    times, speedups = benchmark.pedantic(figure13_series, rounds=1, iterations=1)
+    text = (
+        format_series(
+            "nodes", NODES, times,
+            title="Figure 13a — execution time [s] vs. nodes (DS1, m=2n, r=10n)",
+        )
+        + "\n\n"
+        + format_series(
+            "nodes", NODES, speedups,
+            title="Figure 13b — speedup vs. nodes (DS1)",
+        )
+    )
+    publish("FIG13 scalability DS1", text)
+
+    # Basic saturates almost immediately.
+    assert speedups["basic"][-1] < 3.0
+    # Balanced strategies scale nearly linearly to 10 nodes ...
+    ten = NODES.index(10)
+    assert speedups["blocksplit"][ten] > 6.0
+    assert speedups["pairrange"][ten] > 6.0
+    # ... and keep improving beyond, but sub-linearly on this small set.
+    assert speedups["blocksplit"][-1] > speedups["blocksplit"][ten]
+    assert speedups["blocksplit"][-1] < 100
+    # At n=100 BlockSplit is at least on par with PairRange on DS1
+    # (PairRange's extra map output is no longer amortised).
+    assert times["blocksplit"][-1] <= times["pairrange"][-1] * 1.05

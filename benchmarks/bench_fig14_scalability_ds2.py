@@ -1,0 +1,72 @@
+"""Figure 14: execution times and speedup vs. cluster size (DS2).
+
+Same sweep as Figure 13 on the 1.4 M-record dataset (the paper plots
+only BlockSplit and PairRange here — Basic is hopeless at this scale;
+we include its floor at small n for reference in the text output).
+
+Paper findings this bench reproduces:
+
+* both strategies scale almost linearly up to ~40 nodes (vs. ~10 for
+  DS1) thanks to the much larger per-task workloads;
+* PairRange's perfectly uniform ranges pay off: it stays at least on
+  par with BlockSplit across the sweep (the paper's "slightly more
+  scalable for large match tasks").
+
+This is the DS2-scale demonstration of the analytic planner path:
+~10¹¹ pairs are planned and simulated in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import sweep_nodes
+from repro.analysis.metrics import speedup
+from repro.analysis.reporting import format_series
+
+from .conftest import BALANCED_STRATEGIES, NOISE_SIGMA, ds2_block_sizes, publish
+
+NODES = [1, 2, 5, 10, 20, 40, 100]
+
+
+def figure14_series():
+    results = sweep_nodes(
+        BALANCED_STRATEGIES,
+        NODES,
+        list(ds2_block_sizes()),
+        comparison_noise_sigma=NOISE_SIGMA,
+    )
+    times = {
+        name: [round(results[n][name].execution_time, 1) for n in NODES]
+        for name in BALANCED_STRATEGIES
+    }
+    speedups = {
+        name: [round(s, 2) for s in speedup(times[name])]
+        for name in BALANCED_STRATEGIES
+    }
+    return times, speedups
+
+
+def test_fig14_scalability_ds2(benchmark):
+    times, speedups = benchmark.pedantic(figure14_series, rounds=1, iterations=1)
+    text = (
+        format_series(
+            "nodes", NODES, times,
+            title="Figure 14a — execution time [s] vs. nodes (DS2, m=2n, r=10n)",
+        )
+        + "\n\n"
+        + format_series(
+            "nodes", NODES, speedups,
+            title="Figure 14b — speedup vs. nodes (DS2)",
+        )
+    )
+    publish("FIG14 scalability DS2", text)
+
+    forty = NODES.index(40)
+    hundred = NODES.index(100)
+    for name in BALANCED_STRATEGIES:
+        # Near-linear scaling to 40 nodes (>= 70 % efficiency).
+        assert speedups[name][forty] > 0.7 * 40
+        # Still strong at 100 nodes — much better than DS1's speedup
+        # at the same size (the paper's central DS2 observation).
+        assert speedups[name][hundred] > 40
+    # PairRange at least matches BlockSplit on the big dataset.
+    assert times["pairrange"][hundred] <= times["blocksplit"][hundred] * 1.05

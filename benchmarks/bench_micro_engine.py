@@ -1,0 +1,65 @@
+"""Micro-benchmarks: the MapReduce engine itself.
+
+Throughput of the substrate the strategies run on — useful to spot
+regressions in the shuffle/grouping hot path.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow import ERWorkflow
+from repro.datasets.generators import generate_products
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import RecordingMatcher
+from repro.mapreduce.job import LambdaJob
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.types import make_partitions
+
+
+def test_engine_wordcount_throughput(benchmark):
+    lines = [f"alpha beta gamma delta token{i % 97}" for i in range(2_000)]
+    partitions = make_partitions(lines, 8)
+
+    def map_fn(key, value, emit, ctx):
+        for word in value.split():
+            emit(word, 1)
+
+    def reduce_fn(key, values, emit, ctx):
+        emit(key, sum(values))
+
+    job = LambdaJob(map_fn, reduce_fn, name="wordcount")
+
+    def run():
+        return LocalRuntime().run(job, partitions, 8)
+
+    result = benchmark(run)
+    assert result.counters.get("map.output.records") == 10_000
+
+
+def test_engine_blocksplit_workflow_end_to_end(benchmark):
+    entities = generate_products(1_500, seed=31)
+    blocking = PrefixBlocking("title")
+
+    def run():
+        workflow = ERWorkflow(
+            "blocksplit", blocking, RecordingMatcher(),
+            num_map_tasks=4, num_reduce_tasks=8,
+        )
+        return workflow.run(entities)
+
+    result = benchmark(run)
+    assert result.total_comparisons() > 0
+
+
+def test_engine_pairrange_workflow_end_to_end(benchmark):
+    entities = generate_products(1_500, seed=31)
+    blocking = PrefixBlocking("title")
+
+    def run():
+        workflow = ERWorkflow(
+            "pairrange", blocking, RecordingMatcher(),
+            num_map_tasks=4, num_reduce_tasks=8,
+        )
+        return workflow.run(entities)
+
+    result = benchmark(run)
+    assert result.total_comparisons() > 0

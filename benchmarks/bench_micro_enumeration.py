@@ -1,0 +1,66 @@
+"""Micro-benchmarks: enumeration arithmetic and the analytic planners.
+
+The planners make DS2-scale experiments feasible; these benches pin
+their cost at full DS1 scale (m=20, r=100).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bdm_for_block_sizes
+from repro.core.enumeration import PairEnumeration, PairRangeSpec
+from repro.core.match_tasks import plan_block_split
+from repro.core.planning import plan_basic, plan_blocksplit, plan_pairrange
+
+from .conftest import ds1_block_sizes
+
+
+def _ds1_bdm():
+    return bdm_for_block_sizes(list(ds1_block_sizes()), 20, seed=13)
+
+
+def test_pair_index_throughput(benchmark):
+    enum = PairEnumeration(list(ds1_block_sizes()))
+    spec = PairRangeSpec(enum.total_pairs, 100)
+
+    def run():
+        total = 0
+        for x in range(0, 400):
+            total += enum.pair_index(0, x, x + 1)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_relevant_ranges_large_block(benchmark):
+    enum = PairEnumeration(list(ds1_block_sizes()))
+    spec = PairRangeSpec(enum.total_pairs, 100)
+
+    def run():
+        return enum.relevant_ranges(0, 5_000, spec)
+
+    ranges = benchmark(run)
+    assert len(ranges) >= 1
+
+
+def test_plan_basic_ds1(benchmark):
+    bdm = _ds1_bdm()
+    plan = benchmark(lambda: plan_basic(bdm, 100))
+    assert plan.total_pairs == bdm.pairs()
+
+
+def test_plan_blocksplit_ds1(benchmark):
+    bdm = _ds1_bdm()
+    plan = benchmark(lambda: plan_blocksplit(bdm, 100))
+    assert plan.total_pairs == bdm.pairs()
+
+
+def test_plan_pairrange_ds1(benchmark):
+    bdm = _ds1_bdm()
+    plan = benchmark(lambda: plan_pairrange(bdm, 100))
+    assert plan.total_pairs == bdm.pairs()
+
+
+def test_blocksplit_greedy_assignment_ds1(benchmark):
+    bdm = _ds1_bdm()
+    assignment = benchmark(lambda: plan_block_split(bdm, 100))
+    assert sum(assignment.reduce_comparisons) == bdm.pairs()

@@ -1,0 +1,67 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every ``bench_figXX_*.py`` regenerates one table/figure of the paper's
+evaluation: it computes the same rows/series the paper plots, prints
+them, and writes them to ``benchmarks/results/`` so EXPERIMENTS.md can
+quote them.  pytest-benchmark times the computation itself (the
+planner + simulator pipeline), which demonstrates that full-scale
+DS1/DS2 experiments run in seconds.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.generators import DS1_PROFILE, DS2_PROFILE
+from repro.datasets.skew import zipf_block_sizes
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Strategy display order used throughout the figures.
+ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]
+BALANCED_STRATEGIES = ["blocksplit", "pairrange"]
+
+#: Computational-skew level used by the execution-time figures (the
+#: paper's §VI-B effect; see CostModel / reduce_task_specs).
+NOISE_SIGMA = 0.25
+
+
+@functools.lru_cache(maxsize=None)
+def ds1_block_sizes() -> tuple[int, ...]:
+    """DS1 stand-in: 114 k products, 2,800 prefix blocks, Zipf 1.2."""
+    return tuple(
+        zipf_block_sizes(
+            DS1_PROFILE.num_entities,
+            DS1_PROFILE.num_blocks,
+            DS1_PROFILE.zipf_exponent,
+        )
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def ds2_block_sizes() -> tuple[int, ...]:
+    """DS2 stand-in: 1.4 M publications, 8,000 prefix blocks, Zipf 1.6."""
+    return tuple(
+        zipf_block_sizes(
+            DS2_PROFILE.num_entities,
+            DS2_PROFILE.num_blocks,
+            DS2_PROFILE.zipf_exponent,
+        )
+    )
+
+
+def publish(figure_id: str, text: str) -> None:
+    """Print a figure's data and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{figure_id}\n{'=' * 72}\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id.split()[0].lower()}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,94 @@
+"""Two-source record linkage (Appendix I): match catalogue R against S.
+
+Links two publication sources with overlapping content — think DBLP
+vs. a web-crawled bibliography.  Only cross-source pairs within shared
+blocks are compared; both dual-source strategies return the identical
+linkage.
+
+Run:  python examples/bibliographic_linkage.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ERWorkflow, PrefixBlocking, ThresholdMatcher
+from repro.analysis import WorkloadStats, format_table
+from repro.datasets import generate_publications
+from repro.er import Entity
+
+
+def corrupt(title: str, rng: random.Random) -> str:
+    """Simulate a noisy re-extraction of the same publication."""
+    chars = list(title)
+    for _ in range(rng.randint(1, 2)):
+        pos = rng.randrange(3, max(4, len(chars)))
+        if pos < len(chars):
+            chars[pos] = rng.choice("abcdefghij ")
+    return "".join(chars)
+
+
+def build_sources() -> tuple[list[Entity], list[Entity]]:
+    rng = random.Random(17)
+    clean = generate_publications(1_200, seed=17)
+    r_source = clean[:800]
+    # S: 400 fresh records + 300 corrupted copies of R records.
+    s_fresh = clean[800:]
+    s_copies = [
+        Entity(
+            f"copy-{e.entity_id}",
+            {**dict(e.attributes), "title": corrupt(e["title"], rng)},
+        )
+        for e in rng.sample(r_source, 300)
+    ]
+    return r_source, s_fresh + s_copies
+
+
+def main() -> None:
+    r_source, s_source = build_sources()
+    print(f"R: {len(r_source)} records, S: {len(s_source)} records")
+    blocking = PrefixBlocking("title", 3)
+
+    results = {}
+    for name in ("blocksplit", "pairrange"):
+        workflow = ERWorkflow(
+            name,
+            blocking,
+            ThresholdMatcher("title", 0.8),
+            num_reduce_tasks=6,
+        )
+        result = workflow.run_two_source(
+            r_source, s_source, num_r_partitions=2, num_s_partitions=3
+        )
+        results[name] = result
+        stats = WorkloadStats.from_workloads(result.reduce_comparisons())
+        print(
+            f"{name:12s}: {result.total_comparisons():,} cross-source "
+            f"comparisons, imbalance {stats.imbalance:.2f}, "
+            f"{len(result.matches)} links"
+        )
+
+    assert results["blocksplit"].matches == results["pairrange"].matches
+    print()
+
+    bdm = results["blocksplit"].bdm
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["blocks", bdm.num_blocks],
+                ["cross-source pairs", bdm.pairs()],
+                ["R entities (keyed)", sum(bdm.size_r(k) for k in range(bdm.num_blocks))],
+                ["S entities (keyed)", sum(bdm.size_s(k) for k in range(bdm.num_blocks))],
+            ],
+            title="Dual-source BDM",
+        )
+    )
+    print()
+    print("sample links (R id <-> S id):")
+    for pair in list(results["blocksplit"].matches)[:8]:
+        print(f"  {pair.id1} <-> {pair.id2}  (similarity {pair.similarity:.3f})")
+
+
+if __name__ == "__main__":
+    main()

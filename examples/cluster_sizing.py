@@ -1,0 +1,64 @@
+"""Cluster sizing: how many nodes does your ER job actually need?
+
+The paper's Section VI-C points out that cloud nodes cost money even
+when idle, so over-provisioning a skew-limited job wastes budget.
+This example sweeps cluster sizes for a DS1-scale workload, prints
+execution time, speedup and parallel efficiency per strategy, and
+derives the sweet spot where efficiency drops below 50 %.
+
+Run:  python examples/cluster_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro import zipf_block_sizes
+from repro.analysis import (
+    efficiency,
+    format_series,
+    speedup,
+    sweep_nodes,
+)
+
+NODES = [1, 2, 5, 10, 20, 40, 100]
+STRATEGIES = ["basic", "blocksplit", "pairrange"]
+
+
+def main() -> None:
+    block_sizes = zipf_block_sizes(114_000, 2_800, 1.2)
+    results = sweep_nodes(STRATEGIES, NODES, block_sizes)
+
+    times = {
+        name: [round(results[n][name].execution_time, 1) for n in NODES]
+        for name in STRATEGIES
+    }
+    print(
+        format_series(
+            "nodes", NODES, times,
+            title="execution time [s] (DS1 scale, m=2n, r=10n)",
+        )
+    )
+    print()
+
+    speedups = {name: [round(s, 2) for s in speedup(times[name])] for name in STRATEGIES}
+    print(format_series("nodes", NODES, speedups, title="speedup"))
+    print()
+
+    efficiencies = {
+        name: [round(e, 2) for e in efficiency(speedups[name], NODES)]
+        for name in STRATEGIES
+    }
+    print(format_series("nodes", NODES, efficiencies, title="parallel efficiency"))
+    print()
+
+    for name in ("blocksplit", "pairrange"):
+        knee = next(
+            (n for n, e in zip(NODES, efficiencies[name]) if e < 0.5), NODES[-1]
+        )
+        print(f"{name}: efficiency drops below 50% at ~{knee} nodes "
+              "— provision fewer nodes than that for this dataset.")
+    print("basic: never scales past ~2 nodes on skewed data; "
+          "fix the strategy, not the cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Match-quality evaluation against injected ground truth.
+
+Corrupts a clean product catalogue with known duplicates, runs the
+load-balanced workflow at several match thresholds, and reports
+precision / recall / F1 plus the blocking-level diagnostics
+(pairs completeness, reduction ratio) that tell you whether quality is
+limited by the matcher or by the blocking key.
+
+Run:  python examples/quality_evaluation.py
+"""
+
+from __future__ import annotations
+
+from repro import ERWorkflow, PrefixBlocking, ThresholdMatcher
+from repro.analysis import format_table
+from repro.analysis.evaluation import (
+    evaluate_matches,
+    pairs_completeness,
+    reduction_ratio,
+)
+from repro.datasets import CorruptionConfig, corrupt_dataset, generate_products
+from repro.er import RecordingMatcher
+
+THRESHOLDS = [0.70, 0.75, 0.80, 0.85, 0.90]
+
+
+def main() -> None:
+    clean = generate_products(2_000, seed=19)
+    corrupted = corrupt_dataset(
+        clean, CorruptionConfig(duplicate_fraction=0.15, max_edits=2, seed=20)
+    )
+    entities = list(corrupted.entities)
+    gold = corrupted.gold_pairs
+    blocking = PrefixBlocking("title", 3)
+    print(f"{len(entities)} records, {len(gold)} gold duplicate pairs")
+
+    # Blocking diagnostics: which gold pairs survive blocking at all?
+    recorder = RecordingMatcher()
+    ERWorkflow(
+        "pairrange", blocking, recorder, num_map_tasks=4, num_reduce_tasks=8
+    ).run(entities)
+    candidates = set(recorder.compared)
+    completeness = pairs_completeness(candidates, gold)
+    reduction = reduction_ratio(len(candidates), len(entities))
+    print(f"blocking: {len(candidates):,} candidates "
+          f"(reduction ratio {reduction:.4f}), "
+          f"pairs completeness {completeness:.3f} — the recall ceiling")
+    print()
+
+    rows = []
+    for threshold in THRESHOLDS:
+        workflow = ERWorkflow(
+            "pairrange",
+            blocking,
+            ThresholdMatcher("title", threshold),
+            num_map_tasks=4,
+            num_reduce_tasks=8,
+        )
+        result = workflow.run(entities)
+        quality = evaluate_matches(result.matches.pair_ids, gold)
+        rows.append(
+            [
+                threshold,
+                len(result.matches),
+                round(quality.precision, 3),
+                round(quality.recall, 3),
+                round(quality.f1, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["threshold", "matches", "precision", "recall", "F1"],
+            rows,
+            title="Match quality vs. similarity threshold (PairRange)",
+        )
+    )
+    best = max(rows, key=lambda row: row[4])
+    print(f"\nbest F1 {best[4]} at threshold {best[0]}")
+    print("note: 'false positives' include the generator's own planted "
+          "near-duplicates — precision against injected gold only.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Compare Basic, BlockSplit and PairRange on skewed product data.
+
+Reproduces the paper's core argument at laptop scale: all three
+strategies compute the identical match result, but on skewed block
+distributions Basic piles most comparisons onto a few reduce tasks
+while BlockSplit/PairRange spread them evenly.  A simulated 10-node
+cluster translates the workloads into the execution times a Hadoop
+deployment would see.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterSpec,
+    ERWorkflow,
+    PrefixBlocking,
+    ThresholdMatcher,
+    analytic_bdm,
+    generate_products,
+    simulate_strategy,
+)
+from repro.analysis import WorkloadStats, format_table
+from repro.mapreduce import make_partitions
+
+NUM_ENTITIES = 3_000
+MAP_TASKS = 4
+REDUCE_TASKS = 12
+
+
+def main() -> None:
+    entities = generate_products(NUM_ENTITIES, seed=11)
+    blocking = PrefixBlocking("title", 3)
+
+    # -- execute all three strategies on the same input ------------------
+    rows = []
+    reference = None
+    for name in ("basic", "blocksplit", "pairrange"):
+        workflow = ERWorkflow(
+            name,
+            blocking,
+            ThresholdMatcher("title", 0.8),
+            num_map_tasks=MAP_TASKS,
+            num_reduce_tasks=REDUCE_TASKS,
+        )
+        result = workflow.run(entities)
+        if reference is None:
+            reference = result.matches
+        assert result.matches == reference, "strategies must agree on matches"
+        stats = WorkloadStats.from_workloads(result.reduce_comparisons())
+        rows.append(
+            [
+                name,
+                result.total_comparisons(),
+                stats.maximum,
+                round(stats.imbalance, 2),
+                result.map_output_kv(),
+                len(result.matches),
+            ]
+        )
+
+    print(
+        format_table(
+            ["strategy", "comparisons", "max/task", "imbalance",
+             "map output KV", "matches"],
+            rows,
+            title=f"Executed workloads ({NUM_ENTITIES} entities, r={REDUCE_TASKS})",
+        )
+    )
+    print()
+
+    # -- simulate a 10-node cluster: small input vs. DS1 scale -------------
+    # At 3k entities the fixed BDM-job overhead dominates and Basic's
+    # single job wins; at the paper's 114k-entity scale the skewed
+    # comparison work dwarfs that overhead and the picture flips.
+    from repro.analysis import bdm_for_block_sizes
+    from repro.datasets import zipf_block_sizes
+
+    small_bdm = analytic_bdm(make_partitions(entities, MAP_TASKS), blocking)
+    ds1_bdm = bdm_for_block_sizes(zipf_block_sizes(114_000, 2_800, 1.2), 20)
+    sim_rows = []
+    for name in ("basic", "blocksplit", "pairrange"):
+        small_time, _ = simulate_strategy(
+            name, small_bdm, ClusterSpec(num_nodes=10), num_reduce_tasks=100
+        )
+        ds1_time, _ = simulate_strategy(
+            name, ds1_bdm, ClusterSpec(num_nodes=10), num_reduce_tasks=100
+        )
+        sim_rows.append(
+            [
+                name,
+                round(small_time.execution_time, 1),
+                round(ds1_time.execution_time, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", f"{NUM_ENTITIES} entities [s]", "DS1 scale (114k) [s]"],
+            sim_rows,
+            title="Simulated 10-node cluster (r=100): overhead vs. skew",
+        )
+    )
+    print("\nSmall inputs: Basic's single job wins (no BDM overhead).")
+    print("Paper scale: the largest block floors Basic; "
+          "BlockSplit/PairRange win by an order of magnitude.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+pip/setuptools lack PEP 660 editable-wheel support (no `wheel` package,
+offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,159 @@
+"""repro — Load Balancing for MapReduce-based Entity Resolution.
+
+A complete, from-scratch reproduction of Kolb, Thor & Rahm (ICDE 2012):
+the BlockSplit and PairRange load-balancing strategies, the block
+distribution matrix workflow, the Basic baseline, two-source matching,
+an in-process MapReduce runtime, a calibrated cluster simulator, and
+synthetic stand-ins for the paper's datasets.
+
+Quick start::
+
+    from repro import ERWorkflow, PrefixBlocking, generate_products
+
+    entities = generate_products(2_000)
+    workflow = ERWorkflow(
+        "blocksplit", PrefixBlocking("title"),
+        num_map_tasks=4, num_reduce_tasks=8,
+    )
+    result = workflow.run(entities)
+    print(len(result.matches), "duplicate pairs")
+"""
+
+from .analysis import (
+    SimulatedRun,
+    WorkloadStats,
+    bdm_for_block_sizes,
+    dataset_statistics,
+    format_series,
+    format_table,
+    imbalance,
+    simulate_run,
+    speedup,
+    sweep_nodes,
+    sweep_reduce_tasks,
+    sweep_skew,
+)
+from .cluster import ClusterSimulator, ClusterSpec, CostModel, TaskSpec
+from .core import (
+    BasicStrategy,
+    BlockDistributionMatrix,
+    BlockSplitStrategy,
+    DualSourceBDM,
+    ERWorkflow,
+    ERWorkflowResult,
+    LoadBalancingStrategy,
+    PairEnumeration,
+    PairRangeSpec,
+    PairRangeStrategy,
+    STRATEGIES,
+    StrategyPlan,
+    analytic_bdm,
+    compute_bdm,
+    get_strategy,
+    MultiPassERWorkflow,
+    MultiPassResult,
+    link_with_missing_keys,
+    plan_basic,
+    plan_blocksplit,
+    plan_pairrange,
+    resolve_with_missing_keys,
+    simulate_planned_workflow,
+    simulate_strategy,
+)
+from .datasets import (
+    DS1_PROFILE,
+    DS2_PROFILE,
+    DatasetProfile,
+    ProductGenerator,
+    PublicationGenerator,
+    exponential_block_sizes,
+    generate_products,
+    generate_publications,
+    load_entities_csv,
+    save_entities_csv,
+    zipf_block_sizes,
+)
+from .er import (
+    AttributeBlocking,
+    BlockingFunction,
+    ConstantBlocking,
+    Entity,
+    Matcher,
+    MatchPair,
+    MatchResult,
+    PrefixBlocking,
+    ThresholdMatcher,
+    levenshtein_similarity,
+)
+from .mapreduce import LocalRuntime, MapReduceJob, Partition, make_partitions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulatedRun",
+    "WorkloadStats",
+    "bdm_for_block_sizes",
+    "dataset_statistics",
+    "format_series",
+    "format_table",
+    "imbalance",
+    "simulate_run",
+    "speedup",
+    "sweep_nodes",
+    "sweep_reduce_tasks",
+    "sweep_skew",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "CostModel",
+    "TaskSpec",
+    "BasicStrategy",
+    "BlockDistributionMatrix",
+    "BlockSplitStrategy",
+    "DualSourceBDM",
+    "ERWorkflow",
+    "ERWorkflowResult",
+    "LoadBalancingStrategy",
+    "PairEnumeration",
+    "PairRangeSpec",
+    "PairRangeStrategy",
+    "STRATEGIES",
+    "StrategyPlan",
+    "analytic_bdm",
+    "compute_bdm",
+    "get_strategy",
+    "MultiPassERWorkflow",
+    "MultiPassResult",
+    "link_with_missing_keys",
+    "plan_basic",
+    "plan_blocksplit",
+    "plan_pairrange",
+    "resolve_with_missing_keys",
+    "simulate_planned_workflow",
+    "simulate_strategy",
+    "DS1_PROFILE",
+    "DS2_PROFILE",
+    "DatasetProfile",
+    "ProductGenerator",
+    "PublicationGenerator",
+    "exponential_block_sizes",
+    "generate_products",
+    "generate_publications",
+    "load_entities_csv",
+    "save_entities_csv",
+    "zipf_block_sizes",
+    "AttributeBlocking",
+    "BlockingFunction",
+    "ConstantBlocking",
+    "Entity",
+    "Matcher",
+    "MatchPair",
+    "MatchResult",
+    "PrefixBlocking",
+    "ThresholdMatcher",
+    "levenshtein_similarity",
+    "LocalRuntime",
+    "MapReduceJob",
+    "Partition",
+    "make_partitions",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Analysis layer: metrics, experiment sweeps, and report formatting."""
+
+from .experiments import (
+    SimulatedRun,
+    bdm_for_block_sizes,
+    dataset_statistics,
+    simulate_run,
+    sweep_input_order,
+    sweep_nodes,
+    sweep_reduce_tasks,
+    sweep_skew,
+)
+from .evaluation import (
+    MatchQuality,
+    evaluate_matches,
+    pairs_completeness,
+    reduction_ratio,
+)
+from .metrics import (
+    WorkloadStats,
+    efficiency,
+    imbalance,
+    replication_factor,
+    speedup,
+    time_per_pairs,
+)
+from .reporting import format_seconds, format_series, format_table
+from .visualization import bar_chart, gantt, sparkline, workload_chart
+
+__all__ = [
+    "SimulatedRun",
+    "bdm_for_block_sizes",
+    "dataset_statistics",
+    "simulate_run",
+    "sweep_input_order",
+    "sweep_nodes",
+    "sweep_reduce_tasks",
+    "sweep_skew",
+    "MatchQuality",
+    "evaluate_matches",
+    "pairs_completeness",
+    "reduction_ratio",
+    "WorkloadStats",
+    "efficiency",
+    "imbalance",
+    "replication_factor",
+    "speedup",
+    "time_per_pairs",
+    "format_seconds",
+    "format_series",
+    "format_table",
+    "bar_chart",
+    "gantt",
+    "sparkline",
+    "workload_chart",
+]

@@ -1,0 +1,102 @@
+"""Match-quality evaluation against a gold standard.
+
+Standard ER quality metrics — precision, recall, F-measure — plus
+pair-set breakdowns, computed from canonical id-pair sets as produced
+by :class:`~repro.er.matching.MatchResult` and
+:func:`~repro.datasets.corruption.corrupt_dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+PairSet = frozenset
+
+
+def _canonical(pairs: Iterable[tuple[str, str]]) -> frozenset[tuple[str, str]]:
+    return frozenset(tuple(sorted(p)) for p in pairs)
+
+
+@dataclass(frozen=True, slots=True)
+class MatchQuality:
+    """Precision / recall / F1 of a match result against gold pairs."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    def f_beta(self, beta: float) -> float:
+        """Weighted F-measure; beta > 1 favours recall."""
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        p, r = self.precision, self.recall
+        if p == 0 and r == 0:
+            return 0.0
+        b2 = beta * beta
+        return (1 + b2) * p * r / (b2 * p + r)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": float(self.true_positives),
+            "false_positives": float(self.false_positives),
+            "false_negatives": float(self.false_negatives),
+        }
+
+
+def evaluate_matches(
+    found: Iterable[tuple[str, str]],
+    gold: Iterable[tuple[str, str]],
+) -> MatchQuality:
+    """Compare a found pair set against the gold standard."""
+    found_set = _canonical(found)
+    gold_set = _canonical(gold)
+    tp = len(found_set & gold_set)
+    return MatchQuality(
+        true_positives=tp,
+        false_positives=len(found_set) - tp,
+        false_negatives=len(gold_set) - tp,
+    )
+
+
+def pairs_completeness(
+    candidates: Iterable[tuple[str, str]], gold: Iterable[tuple[str, str]]
+) -> float:
+    """Blocking quality: fraction of gold pairs the blocking retains.
+
+    The ceiling on recall any matcher can reach after blocking — low
+    values mean the blocking key, not the matcher, loses matches.
+    """
+    gold_set = _canonical(gold)
+    if not gold_set:
+        return 1.0
+    candidate_set = _canonical(candidates)
+    return len(gold_set & candidate_set) / len(gold_set)
+
+
+def reduction_ratio(num_candidates: int, num_entities: int) -> float:
+    """Blocking efficiency: 1 − candidates / all-pairs."""
+    if num_entities < 0 or num_candidates < 0:
+        raise ValueError("counts must be non-negative")
+    total = num_entities * (num_entities - 1) // 2
+    if total == 0:
+        return 1.0
+    return 1.0 - num_candidates / total

@@ -1,0 +1,93 @@
+"""Load-balance and scalability metrics.
+
+Quantifies what the paper's figures show: how evenly comparison work is
+spread over reduce tasks, how much data each strategy replicates, and
+how execution time scales with nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Distribution statistics of per-reduce-task workloads."""
+
+    total: int
+    mean: float
+    maximum: int
+    minimum: int
+    stdev: float
+    imbalance: float
+    coefficient_of_variation: float
+
+    @classmethod
+    def from_workloads(cls, workloads: Sequence[int]) -> "WorkloadStats":
+        if not workloads:
+            raise ValueError("workloads must be non-empty")
+        if any(w < 0 for w in workloads):
+            raise ValueError("workloads must be non-negative")
+        total = sum(workloads)
+        n = len(workloads)
+        mean = total / n
+        maximum = max(workloads)
+        minimum = min(workloads)
+        variance = sum((w - mean) ** 2 for w in workloads) / n
+        stdev = math.sqrt(variance)
+        imbalance = maximum / mean if mean > 0 else (0.0 if maximum == 0 else math.inf)
+        cv = stdev / mean if mean > 0 else 0.0
+        return cls(
+            total=total,
+            mean=mean,
+            maximum=maximum,
+            minimum=minimum,
+            stdev=stdev,
+            imbalance=imbalance,
+            coefficient_of_variation=cv,
+        )
+
+
+def imbalance(workloads: Sequence[int]) -> float:
+    """max / mean — 1.0 is a perfect balance; Basic on skewed data is ≫ 1."""
+    return WorkloadStats.from_workloads(workloads).imbalance
+
+
+def replication_factor(map_output_kv: int, input_entities: int) -> float:
+    """Emitted KV pairs per input entity (Figure 12's y-axis, normalised)."""
+    if input_entities <= 0:
+        raise ValueError("input_entities must be positive")
+    return map_output_kv / input_entities
+
+
+def speedup(times: Sequence[float], baseline: float | None = None) -> list[float]:
+    """Speedup series relative to ``baseline`` (default: first entry)."""
+    if not times:
+        return []
+    if any(t <= 0 for t in times):
+        raise ValueError("execution times must be positive")
+    reference = baseline if baseline is not None else times[0]
+    if reference <= 0:
+        raise ValueError("baseline must be positive")
+    return [reference / t for t in times]
+
+
+def efficiency(speedups: Sequence[float], nodes: Sequence[int]) -> list[float]:
+    """Parallel efficiency: speedup / node-ratio (1.0 = linear scaling)."""
+    if len(speedups) != len(nodes):
+        raise ValueError("speedups and nodes must have equal length")
+    if not nodes:
+        return []
+    base_nodes = nodes[0]
+    return [s / (n / base_nodes) for s, n in zip(speedups, nodes)]
+
+
+def time_per_pairs(execution_time: float, total_pairs: int, unit: int = 10_000) -> float:
+    """Execution time per ``unit`` pairs — Figure 9's y-axis
+    (milliseconds per 10⁴ pairs when ``execution_time`` is in seconds
+    and the caller multiplies by 1000)."""
+    if total_pairs <= 0:
+        raise ValueError("total_pairs must be positive")
+    return execution_time * unit / total_pairs

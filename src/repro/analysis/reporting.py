@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table (right-aligned numbers, left-aligned text)."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for original, row in zip(rows, rendered_rows):
+        cells = []
+        for i, cell in enumerate(row):
+            if isinstance(original[i], (int, float)) and not isinstance(original[i], bool):
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render several y-series against one x-axis — one figure's data."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[Any] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration: ``95 s`` / ``12 min 5 s`` / ``1.2 h``."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds < 120:
+        return f"{seconds:.0f} s"
+    if seconds < 3600:
+        minutes, rest = divmod(seconds, 60)
+        return f"{int(minutes)} min {rest:.0f} s"
+    return f"{seconds / 3600:.2f} h"

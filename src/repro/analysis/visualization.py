@@ -1,0 +1,111 @@
+"""Plain-text visualisation of workloads and timelines.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging balance issues: horizontal bar charts for per-task workloads
+and a Gantt-style view of simulated cluster timelines.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..cluster.timeline import PhaseTimeline
+
+
+def bar_chart(
+    values: Sequence[float],
+    *,
+    labels: Sequence[str] | None = None,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart scaled to the maximum value."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    if any(v < 0 for v in values):
+        raise ValueError("values must be non-negative")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if labels is not None and len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    labels = list(labels) if labels is not None else [str(i) for i in range(len(values))]
+    label_width = max(len(label) for label in labels)
+    peak = max(values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else round(value / peak * width)
+        bar = "█" * filled
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| {value:g}")
+    return "\n".join(lines)
+
+
+def workload_chart(
+    workloads_by_strategy: Mapping[str, Sequence[int]], *, width: int = 40
+) -> str:
+    """Side-by-side reduce-workload charts for several strategies."""
+    sections = []
+    for name, workloads in workloads_by_strategy.items():
+        sections.append(
+            bar_chart(
+                list(workloads),
+                labels=[f"r{i}" for i in range(len(workloads))],
+                width=width,
+                title=f"{name} — comparisons per reduce task",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def gantt(
+    phase: PhaseTimeline,
+    *,
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """Gantt-style rendering of one simulated phase.
+
+    One row per (node, slot); each task is drawn as a run of its
+    index-derived glyph.  Rows beyond ``max_rows`` are elided.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not phase.executions:
+        return f"{phase.phase}: (no tasks)"
+    start = phase.start
+    span = max(phase.end - start, 1e-12)
+    rows: dict[tuple[int, int], list[str]] = {}
+    glyphs = "0123456789abcdefghijklmnopqrstuvwxyz"
+    for index, task in enumerate(sorted(phase.executions, key=lambda t: t.start)):
+        key = (task.node, task.slot)
+        row = rows.setdefault(key, [" "] * width)
+        lo = int((task.start - start) / span * width)
+        hi = max(lo + 1, int((task.end - start) / span * width))
+        glyph = glyphs[index % len(glyphs)]
+        for i in range(lo, min(hi, width)):
+            row[i] = glyph
+    lines = [
+        f"{phase.phase} phase — makespan {phase.makespan:.1f}s, "
+        f"utilisation {phase.utilisation:.0%}"
+    ]
+    for key in sorted(rows)[:max_rows]:
+        node, slot = key
+        lines.append(f"n{node:02d}.s{slot} |{''.join(rows[key])}|")
+    hidden = len(rows) - max_rows
+    if hidden > 0:
+        lines.append(f"... {hidden} more slots")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Compact one-line trend, e.g. for time-vs-r series."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    return "".join(
+        blocks[int((v - lo) / (hi - lo) * (len(blocks) - 1))] for v in values
+    )

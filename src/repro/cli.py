@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Five subcommands cover the library's main entry points::
+
+    repro-er generate  --kind products --num 5000 --output products.csv
+    repro-er dedup     --input products.csv --output matches.csv
+    repro-er link      --input-r a.csv --input-s b.csv --output links.csv
+    repro-er simulate  --dataset ds1 --nodes 10 --reduce-tasks 100
+    repro-er recommend --input products.csv
+
+``dedup``/``link`` run the real two-job workflow; ``simulate`` uses the
+analytic planners + cluster simulator and therefore handles DS2 scale
+in seconds; ``recommend`` profiles a file's blocking skew and picks a
+strategy using the paper's findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis.experiments import bdm_for_block_sizes, simulate_run
+from .analysis.metrics import WorkloadStats
+from .analysis.reporting import format_table
+from .core.missing_keys import resolve_with_missing_keys
+from .core.statistics import bdm_statistics, recommend_strategy
+from .core.workflow import ERWorkflow
+from .datasets.generators import (
+    DS1_PROFILE,
+    DS2_PROFILE,
+    generate_products,
+    generate_publications,
+)
+from .datasets.loaders import load_entities_csv, save_entities_csv
+from .datasets.skew import zipf_block_sizes
+from .er.blocking import PrefixBlocking
+from .er.matching import MatchResult, ThresholdMatcher
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-er",
+        description="Load-balanced MapReduce-style entity resolution "
+        "(Kolb/Thor/Rahm, ICDE 2012 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset CSV")
+    generate.add_argument("--kind", choices=["products", "publications"], default="products")
+    generate.add_argument("--num", type=int, default=1_000)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True)
+
+    for name, helptext in (
+        ("dedup", "deduplicate one CSV source"),
+        ("link", "link two CSV sources (R x S)"),
+    ):
+        sub = subparsers.add_parser(name, help=helptext)
+        if name == "dedup":
+            sub.add_argument("--input", required=True)
+            sub.add_argument("--allow-missing-keys", action="store_true",
+                             help="apply the Section III Cartesian fallback "
+                                  "for entities without a blocking key")
+        else:
+            sub.add_argument("--input-r", required=True)
+            sub.add_argument("--input-s", required=True)
+        sub.add_argument("--output", required=True)
+        sub.add_argument("--strategy", choices=["basic", "blocksplit", "pairrange"],
+                         default="blocksplit")
+        sub.add_argument("--attribute", default="title")
+        sub.add_argument("--prefix-length", type=int, default=3)
+        sub.add_argument("--threshold", type=float, default=0.8)
+        sub.add_argument("-m", "--map-tasks", type=int, default=4)
+        sub.add_argument("-r", "--reduce-tasks", type=int, default=8)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate strategies on a cluster (analytic planners)"
+    )
+    simulate.add_argument("--dataset", choices=["ds1", "ds2"], default="ds1")
+    simulate.add_argument("--nodes", type=int, default=10)
+    simulate.add_argument("--map-tasks", type=int, default=None,
+                          help="default: 2 x nodes")
+    simulate.add_argument("--reduce-tasks", type=int, default=None,
+                          help="default: 10 x nodes")
+    simulate.add_argument(
+        "--strategies", nargs="+",
+        choices=["basic", "blocksplit", "pairrange"],
+        default=["basic", "blocksplit", "pairrange"],
+    )
+
+    recommend = subparsers.add_parser(
+        "recommend",
+        help="analyse a CSV's blocking skew and recommend a strategy",
+    )
+    recommend.add_argument("--input", required=True)
+    recommend.add_argument("--attribute", default="title")
+    recommend.add_argument("--prefix-length", type=int, default=3)
+    recommend.add_argument("-m", "--map-tasks", type=int, default=4)
+    recommend.add_argument("-r", "--reduce-tasks", type=int, default=8)
+    recommend.add_argument("--sorted-input", action="store_true",
+                           help="the file is sorted by the blocking key")
+    return parser
+
+
+def _write_matches(matches: MatchResult, path: str) -> None:
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id1", "id2", "similarity"])
+        for pair in matches:
+            writer.writerow([pair.id1, pair.id2, f"{pair.similarity:.6f}"])
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "products":
+        entities = generate_products(args.num, seed=args.seed)
+    else:
+        entities = generate_publications(args.num, seed=args.seed)
+    save_entities_csv(entities, args.output)
+    print(f"wrote {len(entities)} {args.kind} to {args.output}")
+    return 0
+
+
+def cmd_dedup(args: argparse.Namespace) -> int:
+    entities = load_entities_csv(args.input)
+    blocking = PrefixBlocking(args.attribute, args.prefix_length)
+    if args.allow_missing_keys:
+        matches = resolve_with_missing_keys(
+            entities,
+            blocking,
+            strategy=args.strategy,
+            matcher_factory=lambda: ThresholdMatcher(args.attribute, args.threshold),
+            num_map_tasks=args.map_tasks,
+            num_reduce_tasks=args.reduce_tasks,
+        )
+        print(f"{len(entities)} entities, {len(matches)} duplicate pairs")
+    else:
+        workflow = ERWorkflow(
+            args.strategy,
+            blocking,
+            ThresholdMatcher(args.attribute, args.threshold),
+            num_map_tasks=args.map_tasks,
+            num_reduce_tasks=args.reduce_tasks,
+        )
+        result = workflow.run(entities)
+        matches = result.matches
+        stats = WorkloadStats.from_workloads(result.reduce_comparisons())
+        print(
+            f"{len(entities)} entities, {result.total_comparisons():,} comparisons "
+            f"(imbalance {stats.imbalance:.2f}), {len(matches)} duplicate pairs"
+        )
+    _write_matches(matches, args.output)
+    print(f"wrote matches to {args.output}")
+    return 0
+
+
+def cmd_link(args: argparse.Namespace) -> int:
+    r_entities = load_entities_csv(args.input_r, source="R")
+    s_entities = load_entities_csv(args.input_s, source="S")
+    if args.strategy == "basic":
+        print("error: two-source matching requires blocksplit or pairrange",
+              file=sys.stderr)
+        return 2
+    workflow = ERWorkflow(
+        args.strategy,
+        PrefixBlocking(args.attribute, args.prefix_length),
+        ThresholdMatcher(args.attribute, args.threshold),
+        num_reduce_tasks=args.reduce_tasks,
+    )
+    result = workflow.run_two_source(
+        r_entities,
+        s_entities,
+        num_r_partitions=max(1, args.map_tasks // 2),
+        num_s_partitions=max(1, args.map_tasks // 2),
+    )
+    print(
+        f"|R|={len(r_entities)}, |S|={len(s_entities)}, "
+        f"{result.total_comparisons():,} cross-source comparisons, "
+        f"{len(result.matches)} links"
+    )
+    _write_matches(result.matches, args.output)
+    print(f"wrote links to {args.output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    profile = DS1_PROFILE if args.dataset == "ds1" else DS2_PROFILE
+    sizes = zipf_block_sizes(
+        profile.num_entities, profile.num_blocks, profile.zipf_exponent
+    )
+    m = args.map_tasks if args.map_tasks is not None else 2 * args.nodes
+    r = args.reduce_tasks if args.reduce_tasks is not None else 10 * args.nodes
+    bdm = bdm_for_block_sizes(sizes, m)
+    rows = []
+    for name in args.strategies:
+        run = simulate_run(name, bdm, num_nodes=args.nodes, num_reduce_tasks=r)
+        rows.append(
+            [
+                name,
+                round(run.execution_time, 1),
+                round(run.reduce_stats.imbalance, 2),
+                run.map_output_kv,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "simulated time [s]", "imbalance", "map output KV"],
+            rows,
+            title=(
+                f"{profile.name}: n={args.nodes}, m={m}, r={r}, "
+                f"{bdm.pairs():,} pairs"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    from .core.workflow import analytic_bdm
+    from .mapreduce.types import make_partitions
+
+    entities = load_entities_csv(args.input)
+    blocking = PrefixBlocking(args.attribute, args.prefix_length)
+    bdm = analytic_bdm(make_partitions(entities, args.map_tasks), blocking)
+    stats = bdm_statistics(bdm)
+    rows = [[name, round(value, 4)] for name, value in stats.as_dict().items()]
+    print(format_table(["statistic", "value"], rows,
+                       title=f"Blocking skew profile ({args.input})"))
+    recommendation = recommend_strategy(
+        bdm, args.reduce_tasks, input_sorted_by_key=args.sorted_input
+    )
+    print(f"\nrecommended strategy: {recommendation.strategy}")
+    for reason in recommendation.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "dedup": cmd_dedup,
+    "link": cmd_link,
+    "simulate": cmd_simulate,
+    "recommend": cmd_recommend,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Event-driven cluster simulator with a calibrated Hadoop-ish cost model.
+
+Substitutes for the paper's 100-node EC2/Hadoop testbed: the strategies
+compute real per-task workloads (records shuffled, pairs compared) and
+this package converts them into simulated execution times, reproducing
+the *shape* of the paper's time/speedup figures.
+"""
+
+from .costmodel import CostModel, lognormal_speed_factors
+from .simulation import (
+    ClusterSimulator,
+    ClusterSpec,
+    TaskSpec,
+    map_task_specs,
+    reduce_task_specs,
+)
+from .timeline import (
+    JobTimeline,
+    PhaseTimeline,
+    TaskExecution,
+    WorkflowTimeline,
+    makespan_lower_bound,
+    speedup_series,
+)
+
+__all__ = [
+    "CostModel",
+    "lognormal_speed_factors",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "TaskSpec",
+    "map_task_specs",
+    "reduce_task_specs",
+    "JobTimeline",
+    "PhaseTimeline",
+    "TaskExecution",
+    "WorkflowTimeline",
+    "makespan_lower_bound",
+    "speedup_series",
+]

@@ -1,0 +1,176 @@
+"""Calibrated cost model translating task workloads into task durations.
+
+The paper measures wall-clock times on EC2 High-CPU Medium instances
+running Hadoop 0.20.2.  We cannot re-run that testbed, so execution-time
+figures are reproduced on a simulated cluster whose per-task costs come
+from this model.  Constants are calibrated against two anchors the paper
+reports explicitly:
+
+* the BDM job on DS1 (m=20, n=10) takes ≈ 35 s (Section VI-B), which
+  pins the fixed job/task overheads, and
+* Figure 9's ≈ 18 ms per 10⁴ pairs for the balanced strategies at r=100
+  on 10 nodes (≈ 20 reduce slots), which pins the per-comparison cost
+  at roughly 30 µs — a plausible figure for edit distance over ~25-40
+  character titles on 2010-era virtual cores.
+
+Only *relative* behaviour (orderings, ratios, crossover points) is
+claimed to carry over; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Per-task cost constants, all in (simulated) seconds.
+
+    Attributes
+    ----------
+    job_setup_time:
+        Fixed per-job overhead (job submission, task scheduling ramp-up).
+    map_task_startup / reduce_task_startup:
+        Fixed per-task overhead (JVM spawn, split open, commit).
+    map_cost_per_record:
+        Cost to read one input record and run the map function on it.
+    map_cost_per_output_kv:
+        Cost to serialize/spill one map output record.
+    shuffle_cost_per_kv:
+        Cost per shuffled record attributed to the receiving reduce
+        task (copy + merge-sort share).
+    reduce_cost_per_input_kv:
+        Cost to deserialize/group one reduce input record.
+    comparison_cost:
+        Cost of one pair comparison at the *reference* title length
+        (edit distance is quadratic in string length; see
+        ``comparison_cost_for_length``).
+    reference_comparison_length:
+        Title length at which ``comparison_cost`` was calibrated.
+    """
+
+    job_setup_time: float = 18.0
+    map_task_startup: float = 2.5
+    reduce_task_startup: float = 2.5
+    map_cost_per_record: float = 40e-6
+    map_cost_per_output_kv: float = 12e-6
+    shuffle_cost_per_kv: float = 15e-6
+    reduce_cost_per_input_kv: float = 10e-6
+    comparison_cost: float = 30e-6
+    reference_comparison_length: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "job_setup_time",
+            "map_task_startup",
+            "reduce_task_startup",
+            "map_cost_per_record",
+            "map_cost_per_output_kv",
+            "shuffle_cost_per_kv",
+            "reduce_cost_per_input_kv",
+            "comparison_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.reference_comparison_length <= 0:
+            raise ValueError("reference_comparison_length must be positive")
+
+    # -- task costs ----------------------------------------------------------
+
+    def map_task_cost(self, input_records: int, output_kv: int) -> float:
+        """Duration of one map task given its record counts."""
+        return (
+            self.map_task_startup
+            + input_records * self.map_cost_per_record
+            + output_kv * self.map_cost_per_output_kv
+        )
+
+    def reduce_task_cost(
+        self,
+        input_kv: int,
+        comparisons: int,
+        *,
+        avg_comparison_length: float | None = None,
+    ) -> float:
+        """Duration of one reduce task.
+
+        ``avg_comparison_length`` models the paper's *computational
+        skew*: reduce tasks comparing longer strings are slower even for
+        the same pair count (Section VI-B).
+        """
+        per_comparison = self.comparison_cost_for_length(avg_comparison_length)
+        return (
+            self.reduce_task_startup
+            + input_kv * (self.shuffle_cost_per_kv + self.reduce_cost_per_input_kv)
+            + comparisons * per_comparison
+        )
+
+    def comparison_cost_for_length(self, avg_length: float | None) -> float:
+        """Per-pair cost scaled quadratically with string length.
+
+        Edit distance on two strings of length L costs O(L²); we scale
+        the calibrated reference cost accordingly.  ``None`` means "use
+        the reference length".
+        """
+        if avg_length is None:
+            return self.comparison_cost
+        if avg_length <= 0:
+            raise ValueError(f"avg_length must be positive, got {avg_length}")
+        ratio = avg_length / self.reference_comparison_length
+        return self.comparison_cost * ratio * ratio
+
+    # -- convenience -----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every variable cost multiplied by ``factor``.
+
+        Fixed overheads are preserved; useful for what-if analyses
+        (faster cores, slower comparisons).
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            map_cost_per_record=self.map_cost_per_record * factor,
+            map_cost_per_output_kv=self.map_cost_per_output_kv * factor,
+            shuffle_cost_per_kv=self.shuffle_cost_per_kv * factor,
+            reduce_cost_per_input_kv=self.reduce_cost_per_input_kv * factor,
+            comparison_cost=self.comparison_cost * factor,
+        )
+
+
+def lognormal_speed_factors(
+    num_nodes: int, sigma: float, seed: int = 7
+) -> list[float]:
+    """Per-node speed multipliers modelling heterogeneous hardware.
+
+    The paper attributes part of the residual imbalance to
+    "heterogeneous hardware" on EC2 (Section VI-B).  A lognormal with
+    median 1.0 is the standard model for multiplicative speed noise.
+    ``sigma=0`` yields a perfectly homogeneous cluster.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        return [1.0] * num_nodes
+    # Deterministic xorshift-based normals; avoids importing numpy here
+    # and keeps the simulator dependency-free.
+    factors = []
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next_uniform() -> float:
+        nonlocal state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        return ((state & 0xFFFFFF) + 0.5) / float(1 << 24)
+
+    for _ in range(num_nodes):
+        # Box-Muller transform.
+        u1, u2 = next_uniform(), next_uniform()
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        factors.append(math.exp(sigma * z))
+    return factors

@@ -1,0 +1,136 @@
+"""Execution timelines produced by the cluster simulator.
+
+A timeline records, for every task, when and where it ran.  The
+analysis layer derives the quantities the paper plots from these:
+makespan (execution time), speedup over the 1-node configuration and
+slot utilisation (the "idle but instantiated nodes produce unnecessary
+costs" argument of the introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class TaskExecution:
+    """One task's placement on the simulated cluster."""
+
+    name: str
+    node: int
+    slot: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"task {self.name!r}: end {self.end} before start {self.start}")
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseTimeline:
+    """All task executions of one phase (map or reduce)."""
+
+    phase: str
+    start: float
+    executions: tuple[TaskExecution, ...]
+    num_slots: int
+
+    @property
+    def end(self) -> float:
+        if not self.executions:
+            return self.start
+        return max(task.end for task in self.executions)
+
+    @property
+    def makespan(self) -> float:
+        return self.end - self.start
+
+    @property
+    def total_work(self) -> float:
+        return sum(task.duration for task in self.executions)
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of slot-time spent running tasks (1.0 = perfectly packed)."""
+        capacity = self.makespan * self.num_slots
+        if capacity == 0:
+            return 1.0
+        return self.total_work / capacity
+
+    def per_slot_busy_time(self) -> dict[tuple[int, int], float]:
+        busy: dict[tuple[int, int], float] = {}
+        for task in self.executions:
+            key = (task.node, task.slot)
+            busy[key] = busy.get(key, 0.0) + task.duration
+        return busy
+
+    def critical_task(self) -> TaskExecution | None:
+        """The task that finishes last (the straggler)."""
+        if not self.executions:
+            return None
+        return max(self.executions, key=lambda t: t.end)
+
+
+@dataclass(frozen=True, slots=True)
+class JobTimeline:
+    """A full job: setup, map phase, reduce phase."""
+
+    job_name: str
+    setup_time: float
+    map_phase: PhaseTimeline
+    reduce_phase: PhaseTimeline
+
+    @property
+    def execution_time(self) -> float:
+        return self.setup_time + self.map_phase.makespan + self.reduce_phase.makespan
+
+    @property
+    def reduce_straggler(self) -> TaskExecution | None:
+        return self.reduce_phase.critical_task()
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowTimeline:
+    """A chain of jobs executed back to back (the paper's 2-job workflow)."""
+
+    jobs: tuple[JobTimeline, ...]
+
+    @property
+    def execution_time(self) -> float:
+        return sum(job.execution_time for job in self.jobs)
+
+    def job(self, name: str) -> JobTimeline:
+        for job in self.jobs:
+            if job.job_name == name:
+                return job
+        raise KeyError(f"no job named {name!r} in workflow timeline")
+
+
+def speedup_series(times: Sequence[float]) -> list[float]:
+    """Speedup of each configuration relative to the first one.
+
+    The paper's Figures 13/14 plot speedup against the 1-node run of the
+    same strategy.
+    """
+    if not times:
+        return []
+    baseline = times[0]
+    if baseline <= 0:
+        raise ValueError("baseline execution time must be positive")
+    return [baseline / t for t in times]
+
+
+def makespan_lower_bound(costs: Iterable[float], num_slots: int) -> float:
+    """Classic scheduling lower bound: max(longest task, total work / slots)."""
+    costs = list(costs)
+    if not costs:
+        return 0.0
+    if num_slots <= 0:
+        raise ValueError(f"num_slots must be positive, got {num_slots}")
+    return max(max(costs), sum(costs) / num_slots)

@@ -1,0 +1,246 @@
+"""The block distribution matrix (BDM) and the MR job that computes it.
+
+The BDM is a ``b × m`` matrix holding the number of entities of each of
+``b`` blocks in each of ``m`` input partitions (Section III-B).  Both
+load-balancing strategies read it during map-task initialisation: it is
+what lets a map task compute *global* entity indexes and comparison
+counts from purely local information.
+
+Job 1 (Algorithm 3) computes the BDM and, as a side output, writes each
+entity annotated with its blocking key to the DFS, one file per map
+task, so that Job 2 can consume the identical partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..er.blocking import BlockingFunction, BlockKey
+from ..er.entity import Entity
+from ..mapreduce.job import MapReduceJob, TaskContext, stable_hash
+from ..mapreduce.runtime import JobResult, LocalRuntime
+from ..mapreduce.types import Partition
+from .keys import BdmKey
+
+#: DFS directory for Job 1's annotated-entity side output.
+ANNOTATED_DIR = "job1/annotated"
+
+#: Counter name for entities skipped because they had no blocking key.
+MISSING_KEY_COUNTER = "bdm.entities.without.blocking.key"
+
+
+class BlockDistributionMatrix:
+    """Entities per (block, input partition).
+
+    Block indices are assigned by sorting the blocking keys — the paper
+    uses "the (arbitrary) order of the blocks from the reduce output";
+    sorting makes runs deterministic without changing any property the
+    algorithms rely on.
+    """
+
+    def __init__(self, block_keys: Sequence[BlockKey], sizes: Sequence[Sequence[int]]):
+        if len(block_keys) != len(sizes):
+            raise ValueError(
+                f"{len(block_keys)} block keys but {len(sizes)} size rows"
+            )
+        if len(set(block_keys)) != len(block_keys):
+            raise ValueError("block keys must be unique")
+        widths = {len(row) for row in sizes}
+        if len(widths) > 1:
+            raise ValueError(f"ragged size rows: widths {sorted(widths)}")
+        self._block_keys = list(block_keys)
+        self._sizes = [list(row) for row in sizes]
+        for key, row in zip(self._block_keys, self._sizes):
+            if any(s < 0 for s in row):
+                raise ValueError(f"negative size in block {key!r}")
+            if sum(row) == 0:
+                raise ValueError(f"block {key!r} is empty")
+        self._index: dict[BlockKey, int] = {
+            key: k for k, key in enumerate(self._block_keys)
+        }
+        self._row_sums = [sum(row) for row in self._sizes]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: dict[tuple[BlockKey, int], int],
+        num_partitions: int,
+    ) -> "BlockDistributionMatrix":
+        """Build from ``(block key, partition index) → count`` triples."""
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        keys = sorted({key for key, _ in counts}, key=repr)
+        sizes = [[0] * num_partitions for _ in keys]
+        index = {key: k for k, key in enumerate(keys)}
+        for (key, partition), count in counts.items():
+            if not 0 <= partition < num_partitions:
+                raise ValueError(
+                    f"partition index {partition} outside [0, {num_partitions})"
+                )
+            sizes[index[key]][partition] += count
+        return cls(keys, sizes)
+
+    @classmethod
+    def from_blocks(
+        cls,
+        partitioned_blocks: Iterable[tuple[BlockKey, int, int]],
+        num_partitions: int,
+    ) -> "BlockDistributionMatrix":
+        """Build from ``(block key, partition index, count)`` triples —
+        the exact shape of Job 1's reduce output."""
+        counts: dict[tuple[BlockKey, int], int] = {}
+        for key, partition, count in partitioned_blocks:
+            counts[(key, partition)] = counts.get((key, partition), 0) + count
+        return cls.from_counts(counts, num_partitions)
+
+    # -- paper API (Appendix II function list) -----------------------------
+
+    def block_index(self, block_key: BlockKey) -> int:
+        """``BDM.blockIndex(blockKey)``."""
+        try:
+            return self._index[block_key]
+        except KeyError:
+            raise KeyError(f"unknown block key {block_key!r}") from None
+
+    def size(self, block: int, partition: int | None = None) -> int:
+        """``BDM.size(blockIndex[, partitionIndex])``."""
+        if partition is None:
+            return self._row_sums[block]
+        return self._sizes[block][partition]
+
+    def pairs(self) -> int:
+        """``BDM.pairs()`` — total comparisons P over all blocks."""
+        return sum(n * (n - 1) // 2 for n in self._row_sums)
+
+    # -- additional accessors ------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_keys)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._sizes[0]) if self._sizes else 0
+
+    @property
+    def block_keys(self) -> list[BlockKey]:
+        return list(self._block_keys)
+
+    def key_of(self, block: int) -> BlockKey:
+        return self._block_keys[block]
+
+    def block_sizes(self) -> list[int]:
+        return list(self._row_sums)
+
+    def block_pairs(self, block: int) -> int:
+        n = self._row_sums[block]
+        return n * (n - 1) // 2
+
+    def partition_sizes(self) -> list[int]:
+        """Column sums — the number of keyed entities per input partition."""
+        return [
+            sum(self._sizes[k][i] for k in range(self.num_blocks))
+            for i in range(self.num_partitions)
+        ]
+
+    def total_entities(self) -> int:
+        return sum(self._row_sums)
+
+    def entity_index_offset(self, block: int, partition: int) -> int:
+        """Number of entities of ``block`` in partitions before ``partition``.
+
+        This is the offset a map task adds to its local per-block counter
+        to obtain global entity indexes (Section V / Algorithm 2 lines 4-8).
+        """
+        return sum(self._sizes[block][:partition])
+
+    def occupied_partitions(self, block: int) -> list[int]:
+        """Partitions that contain at least one entity of ``block``."""
+        return [i for i, s in enumerate(self._sizes[block]) if s > 0]
+
+    def largest_block(self) -> tuple[int, int]:
+        """``(block index, size)`` of the largest block."""
+        block = max(range(self.num_blocks), key=lambda k: self._row_sums[k])
+        return block, self._row_sums[block]
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockDistributionMatrix(blocks={self.num_blocks}, "
+            f"partitions={self.num_partitions}, entities={self.total_entities()}, "
+            f"pairs={self.pairs()})"
+        )
+
+
+class BdmJob(MapReduceJob):
+    """MR Job 1 (Algorithm 3): count entities per (block, partition).
+
+    map
+        emits ``(BdmKey(blockKey, partitionIndex), 1)`` per entity and
+        side-writes ``(blockKey, entity)`` to :data:`ANNOTATED_DIR`.
+    combine
+        sums the 1s per map task (the paper's footnote 2 optimisation);
+        disabled via ``use_combiner=False`` for the ablation benchmark.
+    partition
+        on the blocking key only, so a block's counts meet in one task.
+    reduce
+        sums counts and emits ``(blockKey, partitionIndex, count)``.
+    """
+
+    name = "job1-bdm"
+
+    def __init__(self, blocking: BlockingFunction, *, use_combiner: bool = True):
+        self.blocking = blocking
+        self.use_combiner = use_combiner
+
+    def map(self, key: Any, value: Entity, emit, context: TaskContext) -> None:
+        block_key = self.blocking.key_for(value)
+        if block_key is None:
+            context.counters.increment(MISSING_KEY_COUNTER)
+            return
+        context.side_output(ANNOTATED_DIR, block_key, value)
+        emit(BdmKey(block_key, context.partition_index), 1)
+
+    def combine(self, key: BdmKey, values: Sequence[int]):
+        if not self.use_combiner:
+            return None
+        return [(key, sum(values))]
+
+    def partition(self, key: BdmKey, num_reduce_tasks: int) -> int:
+        return stable_hash(key.block_key) % num_reduce_tasks
+
+    def sort_key(self, key: BdmKey) -> tuple:
+        return (repr(key.block_key), key.partition_index)
+
+    def reduce(self, key: BdmKey, values: Sequence[int], emit, context: TaskContext) -> None:
+        emit(None, (key.block_key, key.partition_index, sum(values)))
+
+
+def compute_bdm(
+    runtime: LocalRuntime,
+    partitions: Sequence[Partition],
+    blocking: BlockingFunction,
+    *,
+    num_reduce_tasks: int,
+    use_combiner: bool = True,
+) -> tuple[BlockDistributionMatrix, JobResult, list[Partition]]:
+    """Run Job 1 and return the BDM, the job result, and the annotated
+    partitions Job 2 must consume.
+
+    ``partitions`` hold raw entities as values.  The returned annotated
+    partitions hold ``(blocking key, entity)`` records, partitioned
+    identically to the input.
+    """
+    job = BdmJob(blocking, use_combiner=use_combiner)
+    result = runtime.run(job, partitions, num_reduce_tasks)
+    triples = [record.value for record in result.output]
+    bdm = BlockDistributionMatrix.from_blocks(triples, num_partitions=len(partitions))
+    # A partition whose entities all lack blocking keys writes no side
+    # file; materialise an empty one so Job 2 sees contiguous indices.
+    for partition in partitions:
+        path = runtime.dfs.task_path(ANNOTATED_DIR, partition.index)
+        if not runtime.dfs.exists(path):
+            runtime.dfs.write_records(path, [])
+    annotated = runtime.dfs.read_as_partitions(ANNOTATED_DIR)
+    return bdm, result, annotated

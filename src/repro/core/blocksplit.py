@@ -1,0 +1,125 @@
+"""The BlockSplit strategy (Section IV, Algorithm 1).
+
+Map-task initialisation reads the BDM, creates match tasks and assigns
+them greedily to reduce tasks (shared logic in
+:mod:`repro.core.match_tasks`).  The map function then routes every
+entity to the match task(s) it participates in via composite
+``reduce index . block . split`` keys; entities of split blocks are
+replicated once per occupied input partition of their block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..er.blocking import BlockKey
+from ..er.entity import Entity
+from ..er.matching import Matcher
+from ..mapreduce.counters import StandardCounter
+from ..mapreduce.job import MapReduceJob, TaskContext
+from .bdm import BlockDistributionMatrix
+from .keys import BlockSplitKey
+from .match_tasks import MatchTaskAssignment, plan_block_split
+
+
+class BlockSplitJob(MapReduceJob):
+    """MR Job 2 for BlockSplit.
+
+    Input: Job-1-annotated records ``(blocking key, entity)`` in the
+    same partitioning as Job 1 (enforced by the DFS side-output chain).
+
+    Routing:
+
+    * partition — on ``reduce_index`` only;
+    * sort / group — on the full key, whose ``(block, i, j)`` component
+      identifies the match task (Algorithm 1's comments).
+    """
+
+    name = "job2-blocksplit"
+
+    def __init__(
+        self,
+        bdm: BlockDistributionMatrix,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ):
+        self.bdm = bdm
+        self.matcher = matcher
+        self.num_reduce_tasks = num_reduce_tasks
+        # The paper computes this in every map task's configure(); the
+        # computation is deterministic, so hoisting it is equivalent.
+        self.assignment: MatchTaskAssignment = plan_block_split(bdm, num_reduce_tasks)
+
+    # -- map phase ---------------------------------------------------------
+
+    def map(self, key: BlockKey, value: Entity, emit, context: TaskContext) -> None:
+        bdm = self.bdm
+        k = bdm.block_index(key)
+        p = context.partition_index
+        if not self.assignment.is_split(k):
+            if bdm.block_pairs(k) == 0:
+                return  # singleton block: nothing to compare (line 33)
+            reduce_index = self.assignment.task_reduce_index(k, 0, 0)
+            emit(BlockSplitKey(reduce_index, k, 0, 0), (value, p))
+            return
+        for i in range(bdm.num_partitions):
+            hi, lo = max(p, i), min(p, i)
+            reduce_index = self.assignment.task_reduce_index(k, hi, lo)
+            if reduce_index is None:
+                continue  # other sub-block is empty — no such match task
+            emit(BlockSplitKey(reduce_index, k, hi, lo), (value, p))
+
+    def partition(self, key: BlockSplitKey, num_reduce_tasks: int) -> int:
+        return key.reduce_index
+
+    # Full-key sort and grouping (reduce_index is constant per task and
+    # (block, i, j) determines it, so full key ≡ the paper's k.i.j).
+
+    # -- reduce phase ----------------------------------------------------------
+
+    def reduce(
+        self,
+        key: BlockSplitKey,
+        values: Sequence[tuple[Entity, int]],
+        emit,
+        context: TaskContext,
+    ) -> None:
+        if key.i == key.j:
+            self._match_self(values, emit, context)
+        else:
+            self._match_cross(values, emit, context)
+
+    def _match_self(self, values, emit, context: TaskContext) -> None:
+        """Self-join: a whole block (``k.*``) or one sub-block (``k.i``)."""
+        buffer: list[Entity] = []
+        for e2, _partition in values:
+            for e1 in buffer:
+                self._match(e1, e2, emit, context)
+            buffer.append(e2)
+
+    def _match_cross(self, values, emit, context: TaskContext) -> None:
+        """Cartesian product of two sub-blocks (``k.i×j``).
+
+        Values arrive partition-contiguously (stable shuffle), so the
+        first partition index delimits the buffered sub-block —
+        Algorithm 1 lines 56-65.
+        """
+        iterator = iter(values)
+        try:
+            first_entity, first_partition = next(iterator)
+        except StopIteration:
+            return
+        buffer = [first_entity]
+        for e2, partition in iterator:
+            if partition == first_partition:
+                buffer.append(e2)
+            else:
+                for e1 in buffer:
+                    self._match(e1, e2, emit, context)
+
+    def _match(self, e1: Entity, e2: Entity, emit, context: TaskContext) -> None:
+        context.counters.increment(StandardCounter.PAIR_COMPARISONS)
+        pair = self.matcher.match(e1, e2)
+        if pair is not None:
+            context.counters.increment(StandardCounter.PAIRS_MATCHED)
+            emit(None, pair)

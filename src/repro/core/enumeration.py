@@ -1,0 +1,405 @@
+"""Pair enumeration (Section V) and interval algebra for analytic planning.
+
+One-source scheme
+-----------------
+Within a block of ``N`` entities (indexes ``0..N-1``) every unordered
+pair ``(x, y)`` with ``x < y`` receives the *cell index*
+
+    ``c(x, y, N) = x·(2N − x − 3)/2 + y − 1``
+
+which enumerates the strict upper triangle **column by column**: column
+``x`` holds the contiguous cell indexes of pairs ``(x, x+1) … (x, N−1)``.
+Adding the block offset ``o(i) = Σ_{k<i} |Φk|(|Φk|−1)/2`` yields the
+global pair index.  Reduce task ``k`` owns the contiguous *pair range*
+``[k·⌈P/r⌉, (k+1)·⌈P/r⌉)`` (Algorithm 2; the paper's closed formula (2)
+disagrees with its own running example, see DESIGN.md).
+
+Two-source scheme (Appendix I-B)
+--------------------------------
+For a block with ``NR`` R-entities and ``NS`` S-entities every cell of
+the ``NR × NS`` matrix is enumerated: ``c(x, y, NS) = x·NS + y`` — the
+pairs of R-entity ``x`` are contiguous, those of S-entity ``y`` form a
+stride-``NS`` progression.  The paper's printed offset contains a
+spurious "−1" (see DESIGN.md erratum list); we use the consistent
+``o(i) = Σ_{k<i} |Φk,R|·|Φk,S|``.
+
+This module also provides *interval algebra* helpers that answer "which
+entities participate in pairs ``[lo, hi]`` of this block?" in O(1) —
+the key to planning DS2-scale workloads without materialising ~10⁹
+pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+# ---------------------------------------------------------------------------
+# Cell-index arithmetic (one source)
+# ---------------------------------------------------------------------------
+
+
+def cell_index(x: int, y: int, n: int) -> int:
+    """``c(x, y, N)`` — position of pair (x, y), x < y, in the column-wise
+    enumeration of an N×N upper triangle."""
+    _validate_pair(x, y, n)
+    # x·(2N−x−3) is always even: x and (2N−x−3) have opposite parity.
+    return (x * (2 * n - x - 3)) // 2 + y - 1
+
+
+def column_start(x: int, n: int) -> int:
+    """Cell index of the first pair of column ``x``, i.e. ``c(x, x+1, N)``."""
+    if not 0 <= x < n - 1:
+        raise ValueError(f"column {x} out of range for block size {n}")
+    return (x * (2 * n - x - 3)) // 2 + x
+
+def cell_of(p: int, n: int) -> tuple[int, int]:
+    """Inverse of :func:`cell_index`: the pair ``(x, y)`` at cell ``p``.
+
+    Used by tests (bijectivity) and by the analytic planner to locate
+    range boundaries inside a block.
+    """
+    total = block_pair_count(n)
+    if not 0 <= p < total:
+        raise ValueError(f"cell index {p} outside [0, {total})")
+    # Column x spans [column_start(x), column_start(x) + (N-1-x) - 1].
+    # Solve by binary search over the monotone column_start.
+    lo, hi = 0, n - 2
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if column_start(mid, n) <= p:
+            lo = mid
+        else:
+            hi = mid - 1
+    x = lo
+    y = x + 1 + (p - column_start(x, n))
+    return x, y
+
+
+def block_pair_count(n: int) -> int:
+    """Number of pairs in a block of ``n`` entities: n·(n−1)/2."""
+    if n < 0:
+        raise ValueError(f"block size must be non-negative, got {n}")
+    return n * (n - 1) // 2
+
+
+def _validate_pair(x: int, y: int, n: int) -> None:
+    if not 0 <= x < y < n:
+        raise ValueError(f"invalid pair ({x}, {y}) for block size {n}")
+
+
+# ---------------------------------------------------------------------------
+# Entity-interval algebra (one source)
+# ---------------------------------------------------------------------------
+
+
+def merge_intervals(intervals: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Union of inclusive integer intervals, merged and sorted.
+
+    Adjacent intervals (``hi + 1 == lo``) are coalesced; empty inputs
+    (``hi < lo``) are ignored.
+    """
+    cleaned = sorted((lo, hi) for lo, hi in intervals if hi >= lo)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1] + 1:
+            last_lo, last_hi = merged[-1]
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def interval_total(intervals: Sequence[tuple[int, int]]) -> int:
+    """Total number of integers covered by merged intervals."""
+    return sum(hi - lo + 1 for lo, hi in intervals)
+
+
+def entities_in_cell_interval(n: int, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Entity indexes participating in pairs with cell indexes in [lo, hi].
+
+    Returns merged inclusive intervals of entity indexes.  An entity
+    participates if it appears as the column (``x``) or the row (``y``)
+    of at least one cell in the interval.  O(log n).
+    """
+    if hi < lo:
+        return []
+    cl, rl = cell_of(lo, n)
+    ch, rh = cell_of(hi, n)
+    intervals: list[tuple[int, int]] = []
+    if cl == ch:
+        # One (partial) column: entity cl plus rows rl..rh.
+        intervals.append((cl, cl))
+        intervals.append((rl, rh))
+    elif ch == cl + 1:
+        # Two partial columns, no full middle column.
+        intervals.append((cl, cl))          # first column head
+        intervals.append((rl, n - 1))       # first column tail rows
+        intervals.append((ch, rh))          # second column head + rows
+    else:
+        # At least one full middle column (cl+1): it alone contributes
+        # entities cl+1..n-1, which subsumes every other contribution
+        # except the first column head.
+        intervals.append((cl, n - 1))
+    return merge_intervals(intervals)
+
+
+def entity_count_in_cell_interval(n: int, lo: int, hi: int) -> int:
+    return interval_total(entities_in_cell_interval(n, lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# Entity-interval algebra (two sources)
+# ---------------------------------------------------------------------------
+
+
+def dual_cell_index(x: int, y: int, n_s: int) -> int:
+    """Two-source cell index ``c(x, y, |Φi,S|) = x·|Φi,S| + y``."""
+    if n_s <= 0:
+        raise ValueError(f"S-side block size must be positive, got {n_s}")
+    if x < 0 or not 0 <= y < n_s:
+        raise ValueError(f"invalid dual pair ({x}, {y}) for NS={n_s}")
+    return x * n_s + y
+
+
+def dual_cell_of(p: int, n_s: int) -> tuple[int, int]:
+    """Inverse of :func:`dual_cell_index`."""
+    if p < 0:
+        raise ValueError(f"cell index must be non-negative, got {p}")
+    return divmod(p, n_s)
+
+
+def dual_entities_in_cell_interval(
+    n_r: int, n_s: int, lo: int, hi: int
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """Entities of R and S participating in dual cells [lo, hi].
+
+    Returns ``(r_intervals, s_intervals)`` of entity indexes.  O(1).
+    """
+    if hi < lo:
+        return [], []
+    total = n_r * n_s
+    if not (0 <= lo and hi < total):
+        raise ValueError(f"cell interval [{lo}, {hi}] outside [0, {total})")
+    xl, yl = divmod(lo, n_s)
+    xh, yh = divmod(hi, n_s)
+    r_intervals = [(xl, xh)]
+    if xl == xh:
+        s_intervals = [(yl, yh)]
+    elif xh == xl + 1:
+        s_intervals = merge_intervals([(yl, n_s - 1), (0, yh)])
+    else:
+        s_intervals = [(0, n_s - 1)]
+    return merge_intervals(r_intervals), s_intervals
+
+
+# ---------------------------------------------------------------------------
+# Global enumerations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class PairRangeSpec:
+    """The division of ``total_pairs`` into ``num_ranges`` ranges.
+
+    Range ``k`` covers global pair indexes
+    ``[k·pairs_per_range, min((k+1)·pairs_per_range, P))`` with
+    ``pairs_per_range = ⌈P/r⌉`` (Algorithm 2).  All but the last
+    non-empty range hold exactly ``pairs_per_range`` pairs.
+    """
+
+    total_pairs: int
+    num_ranges: int
+
+    def __post_init__(self) -> None:
+        if self.total_pairs < 0:
+            raise ValueError(f"total_pairs must be >= 0, got {self.total_pairs}")
+        if self.num_ranges <= 0:
+            raise ValueError(f"num_ranges must be positive, got {self.num_ranges}")
+
+    @property
+    def pairs_per_range(self) -> int:
+        """``⌈P/r⌉`` — the paper's ``compsPerReduceTask``."""
+        if self.total_pairs == 0:
+            return 1  # avoid div-by-zero; every range is empty anyway
+        return math.ceil(self.total_pairs / self.num_ranges)
+
+    def range_of(self, pair_index: int) -> int:
+        """The range (= reduce task) owning a global pair index."""
+        if not 0 <= pair_index < self.total_pairs:
+            raise ValueError(
+                f"pair index {pair_index} outside [0, {self.total_pairs})"
+            )
+        return pair_index // self.pairs_per_range
+
+    def bounds(self, range_index: int) -> tuple[int, int]:
+        """Global pair interval ``[lo, hi]`` (inclusive) of a range;
+        returns ``(0, -1)`` for empty trailing ranges."""
+        if not 0 <= range_index < self.num_ranges:
+            raise ValueError(
+                f"range index {range_index} outside [0, {self.num_ranges})"
+            )
+        lo = range_index * self.pairs_per_range
+        hi = min(lo + self.pairs_per_range, self.total_pairs) - 1
+        if lo > hi:
+            return (0, -1)
+        return (lo, hi)
+
+    def size_of(self, range_index: int) -> int:
+        lo, hi = self.bounds(range_index)
+        return hi - lo + 1
+
+    def sizes(self) -> list[int]:
+        return [self.size_of(k) for k in range(self.num_ranges)]
+
+
+class PairEnumeration:
+    """Global one-source pair enumeration over a sequence of block sizes.
+
+    Wraps the per-block cell arithmetic with the block offsets ``o(i)``
+    and provides both directions (pair → index, index → pair) plus the
+    per-entity relevant-range computation of Algorithm 2.
+    """
+
+    def __init__(self, block_sizes: Sequence[int]):
+        if any(n < 0 for n in block_sizes):
+            raise ValueError("block sizes must be non-negative")
+        self.block_sizes = list(block_sizes)
+        self._offsets = [0]
+        for n in self.block_sizes:
+            self._offsets.append(self._offsets[-1] + block_pair_count(n))
+
+    @property
+    def total_pairs(self) -> int:
+        return self._offsets[-1]
+
+    def offset(self, block: int) -> int:
+        """``o(i)`` — pairs in all preceding blocks."""
+        if not 0 <= block < len(self.block_sizes):
+            raise ValueError(f"block {block} out of range")
+        return self._offsets[block]
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        """Inclusive global pair interval of a block (``(0, -1)`` if empty)."""
+        lo = self._offsets[block]
+        hi = self._offsets[block + 1] - 1
+        return (lo, hi) if hi >= lo else (0, -1)
+
+    def pair_index(self, block: int, x: int, y: int) -> int:
+        """``π_i(x, y)`` — global index of pair (x, y) of ``block``."""
+        return self._offsets[block] + cell_index(x, y, self.block_sizes[block])
+
+    def pair_at(self, pair_index: int) -> tuple[int, int, int]:
+        """Inverse: ``(block, x, y)`` of a global pair index."""
+        if not 0 <= pair_index < self.total_pairs:
+            raise ValueError(
+                f"pair index {pair_index} outside [0, {self.total_pairs})"
+            )
+        block = bisect_right(self._offsets, pair_index) - 1
+        # Skip empty blocks that share the same offset.
+        while self._offsets[block + 1] == self._offsets[block]:
+            block += 1
+        x, y = cell_of(pair_index - self._offsets[block], self.block_sizes[block])
+        return block, x, y
+
+    def relevant_ranges(
+        self, block: int, entity_index: int, spec: PairRangeSpec
+    ) -> list[int]:
+        """All ranges containing at least one pair of this entity.
+
+        Mirrors Algorithm 2's map-side computation: the *row* pairs
+        ``(k, x)`` for ``k < x`` are probed individually (their cell
+        indexes are scattered), the *column* pairs ``(x, x+1)…(x, N−1)``
+        are contiguous so only their boundary ranges matter.
+        """
+        n = self.block_sizes[block]
+        if not 0 <= entity_index < n:
+            raise ValueError(f"entity index {entity_index} outside block of size {n}")
+        if n < 2:
+            return []
+        o = self._offsets[block]
+        ranges: set[int] = set()
+        x = entity_index
+        for k in range(x):
+            ranges.add(spec.range_of(o + cell_index(k, x, n)))
+        if x < n - 1:
+            first = spec.range_of(o + cell_index(x, x + 1, n))
+            last = spec.range_of(o + cell_index(x, n - 1, n))
+            ranges.update(range(first, last + 1))
+        return sorted(ranges)
+
+
+class DualPairEnumeration:
+    """Two-source pair enumeration over per-block ``(NR, NS)`` sizes."""
+
+    def __init__(self, block_sizes: Sequence[tuple[int, int]]):
+        self.block_sizes = [(int(r), int(s)) for r, s in block_sizes]
+        if any(r < 0 or s < 0 for r, s in self.block_sizes):
+            raise ValueError("block sizes must be non-negative")
+        self._offsets = [0]
+        for n_r, n_s in self.block_sizes:
+            self._offsets.append(self._offsets[-1] + n_r * n_s)
+
+    @property
+    def total_pairs(self) -> int:
+        return self._offsets[-1]
+
+    def offset(self, block: int) -> int:
+        if not 0 <= block < len(self.block_sizes):
+            raise ValueError(f"block {block} out of range")
+        return self._offsets[block]
+
+    def block_bounds(self, block: int) -> tuple[int, int]:
+        lo = self._offsets[block]
+        hi = self._offsets[block + 1] - 1
+        return (lo, hi) if hi >= lo else (0, -1)
+
+    def pair_index(self, block: int, x: int, y: int) -> int:
+        n_r, n_s = self.block_sizes[block]
+        if not 0 <= x < n_r:
+            raise ValueError(f"R index {x} outside block with NR={n_r}")
+        return self._offsets[block] + dual_cell_index(x, y, n_s)
+
+    def pair_at(self, pair_index: int) -> tuple[int, int, int]:
+        if not 0 <= pair_index < self.total_pairs:
+            raise ValueError(
+                f"pair index {pair_index} outside [0, {self.total_pairs})"
+            )
+        block = bisect_right(self._offsets, pair_index) - 1
+        while self._offsets[block + 1] == self._offsets[block]:
+            block += 1
+        x, y = dual_cell_of(
+            pair_index - self._offsets[block], self.block_sizes[block][1]
+        )
+        return block, x, y
+
+    def relevant_ranges_r(
+        self, block: int, x: int, spec: PairRangeSpec
+    ) -> list[int]:
+        """Ranges of R-entity ``x``: its pairs are one contiguous run."""
+        n_r, n_s = self.block_sizes[block]
+        if not 0 <= x < n_r:
+            raise ValueError(f"R index {x} outside block with NR={n_r}")
+        if n_s == 0:
+            return []
+        o = self._offsets[block]
+        first = spec.range_of(o + dual_cell_index(x, 0, n_s))
+        last = spec.range_of(o + dual_cell_index(x, n_s - 1, n_s))
+        return list(range(first, last + 1))
+
+    def relevant_ranges_s(
+        self, block: int, y: int, spec: PairRangeSpec
+    ) -> list[int]:
+        """Ranges of S-entity ``y``: a stride-``NS`` progression."""
+        n_r, n_s = self.block_sizes[block]
+        if not 0 <= y < n_s:
+            raise ValueError(f"S index {y} outside block with NS={n_s}")
+        if n_r == 0:
+            return []
+        o = self._offsets[block]
+        ranges = {
+            spec.range_of(o + dual_cell_index(x, y, n_s)) for x in range(n_r)
+        }
+        return sorted(ranges)

@@ -1,0 +1,88 @@
+"""Composite map-output keys used by the strategies.
+
+The whole trick of the paper (Section III-A) is that map emits a
+*composite* key combining the target reduce task, the block, and the
+entity, while ``part``/``comp``/``group`` each look at different
+projections of it.  We model the keys as named tuples: they sort
+lexicographically by field order, which is exactly the ``comp``
+behaviour each strategy wants, and the projections are plain attribute
+accesses.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class BdmKey(NamedTuple):
+    """Job 1 key: ``blocking key . partition index`` (Algorithm 3)."""
+
+    block_key: str
+    partition_index: int
+
+
+class BlockSplitKey(NamedTuple):
+    """BlockSplit key: ``reduce index . block index . split`` (Section IV).
+
+    ``i`` and ``j`` encode the split component: ``(0, 0)`` for an
+    unsplit block ("``k.*``"), ``(i, i)`` for sub-block ``k.i`` and
+    ``(i, j)`` with ``i > j`` for the cross product ``k.j×i`` (the
+    paper's Algorithm 1 stores ``(k, max, min)``).
+
+    * partitioned on ``reduce_index``;
+    * sorted and grouped on ``(block, i, j)``.
+    """
+
+    reduce_index: int
+    block: int
+    i: int
+    j: int
+
+    @property
+    def match_task(self) -> tuple[int, int, int]:
+        return (self.block, self.i, self.j)
+
+
+class DualBlockSplitKey(NamedTuple):
+    """Two-source BlockSplit key adds the source tag (Appendix I-A).
+
+    Sorting on the full key puts all R entities of a match task before
+    all S entities (``"R" < "S"``), which lets the reduce function
+    buffer R and stream S.
+    """
+
+    reduce_index: int
+    block: int
+    i: int
+    j: int
+    source: str
+
+    @property
+    def match_task(self) -> tuple[int, int, int]:
+        return (self.block, self.i, self.j)
+
+
+class PairRangeKey(NamedTuple):
+    """PairRange key: ``range index . block index . entity index`` (Section V).
+
+    * partitioned on ``range_index``;
+    * sorted on the full key (entities of a block arrive in entity-index
+      order);
+    * grouped on ``(range_index, block)``.
+    """
+
+    range_index: int
+    block: int
+    entity_index: int
+
+
+class DualPairRangeKey(NamedTuple):
+    """Two-source PairRange key: ``range . block . source . entity index``.
+
+    Appendix I-B; the source component again sorts R before S.
+    """
+
+    range_index: int
+    block: int
+    source: str
+    entity_index: int

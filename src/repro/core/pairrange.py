@@ -1,0 +1,111 @@
+"""The PairRange strategy (Section V, Algorithm 2).
+
+Entities are globally enumerated per block (the BDM supplies the
+cross-partition offsets); all pairs are virtually enumerated column-wise
+and divided into ``r`` near-equal contiguous ranges.  Map sends each
+entity to every range it participates in; reduce re-derives each pair's
+index and evaluates exactly those pairs falling into its own range.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..er.blocking import BlockKey
+from ..er.entity import Entity
+from ..er.matching import Matcher
+from ..mapreduce.counters import StandardCounter
+from ..mapreduce.job import MapReduceJob, TaskContext
+from .bdm import BlockDistributionMatrix
+from .enumeration import PairEnumeration, PairRangeSpec
+from .keys import PairRangeKey
+
+
+class PairRangeJob(MapReduceJob):
+    """MR Job 2 for PairRange.
+
+    Input: Job-1-annotated records ``(blocking key, entity)`` in Job 1's
+    partitioning.
+
+    Routing (Algorithm 2's comments):
+
+    * partition — on ``range_index`` only;
+    * sort — full key (entities arrive in entity-index order);
+    * group — on ``(range_index, block)``.
+
+    Erratum note: Algorithm 2's reduce aborts the whole reduce call
+    (``return``) once a pair index exceeds the task's range.  Pair
+    indexes are monotone only *within* one buffer scan, not across
+    them, so a later entity may still contribute in-range pairs; we
+    ``break`` the inner scan instead (see DESIGN.md).
+    """
+
+    name = "job2-pairrange"
+
+    def __init__(
+        self,
+        bdm: BlockDistributionMatrix,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ):
+        self.bdm = bdm
+        self.matcher = matcher
+        self.num_reduce_tasks = num_reduce_tasks
+        self.enumeration = PairEnumeration(bdm.block_sizes())
+        self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
+
+    # -- map phase ---------------------------------------------------------
+
+    def configure_map(self, context: TaskContext) -> None:
+        # entityIndex[i] starts at the number of entities of block i in
+        # all partitions preceding this one (Algorithm 2 lines 4-8),
+        # computed lazily per block actually seen.
+        context.next_entity_index = {}  # type: ignore[attr-defined]
+
+    def map(self, key: BlockKey, value: Entity, emit, context: TaskContext) -> None:
+        k = self.bdm.block_index(key)
+        state: dict[int, int] = context.next_entity_index  # type: ignore[attr-defined]
+        x = state.get(k)
+        if x is None:
+            x = self.bdm.entity_index_offset(k, context.partition_index)
+        state[k] = x + 1
+        if self.bdm.size(k) < 2:
+            return  # no pairs — Algorithm 2's edge case (see DESIGN.md)
+        for range_index in self.enumeration.relevant_ranges(k, x, self.spec):
+            emit(PairRangeKey(range_index, k, x), (value, x))
+
+    def partition(self, key: PairRangeKey, num_reduce_tasks: int) -> int:
+        return key.range_index
+
+    def group_key(self, key: PairRangeKey) -> tuple[int, int]:
+        return (key.range_index, key.block)
+
+    # -- reduce phase ----------------------------------------------------------
+
+    def reduce(
+        self,
+        key: PairRangeKey,
+        values: Sequence[tuple[Entity, int]],
+        emit,
+        context: TaskContext,
+    ) -> None:
+        task_range = key.range_index
+        block = key.block
+        enumeration = self.enumeration
+        spec = self.spec
+        buffer: list[tuple[Entity, int]] = []
+        for e2, x2 in values:
+            for e1, x1 in buffer:
+                pair_index = enumeration.pair_index(block, x1, x2)
+                pair_range = spec.range_of(pair_index)
+                if pair_range == task_range:
+                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
+                    pair = self.matcher.match(e1, e2)
+                    if pair is not None:
+                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        emit(None, pair)
+                elif pair_range > task_range:
+                    # Within one scan pair indexes grow with x1; all
+                    # remaining buffered entities are past the range.
+                    break
+            buffer.append((e2, x2))

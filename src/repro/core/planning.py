@@ -1,0 +1,450 @@
+"""Analytic strategy planners.
+
+For every strategy, compute — from the BDM alone, without running the
+matching job or materialising a single pair — exactly the quantities
+the evaluation figures need:
+
+* per-reduce-task comparison counts (load balance, Figures 9-11, 13, 14),
+* per-reduce-task input KV counts (shuffle volume),
+* per-map-task output KV counts (Figure 12),
+
+plus the Job 1 (BDM) task workloads for end-to-end time simulation.
+
+The planners are exact mirrors of the executing jobs; the test suite
+asserts planner == executor on every counter for random inputs.  This
+is what makes DS2-scale (1.4 M entities, ~10⁹ pairs) figure
+reproduction feasible in seconds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..mapreduce.job import stable_hash
+from .bdm import BlockDistributionMatrix
+from .enumeration import (
+    PairRangeSpec,
+    block_pair_count,
+    dual_entities_in_cell_interval,
+    entities_in_cell_interval,
+    interval_total,
+)
+from .match_tasks import plan_block_split
+from .two_source import SOURCE_R, SOURCE_S, DualSourceBDM, generate_dual_match_tasks
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyPlan:
+    """Predicted workload of Job 2 under one strategy.
+
+    All lists are per-task; ``map_output_kv[i]`` is what map task ``i``
+    emits, ``reduce_comparisons[t]`` what reduce task ``t`` compares.
+    """
+
+    strategy: str
+    num_map_tasks: int
+    num_reduce_tasks: int
+    total_pairs: int
+    map_input_records: tuple[int, ...]
+    map_output_kv: tuple[int, ...]
+    reduce_input_kv: tuple[int, ...]
+    reduce_comparisons: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.map_input_records) != self.num_map_tasks:
+            raise ValueError("map_input_records length != num_map_tasks")
+        if len(self.map_output_kv) != self.num_map_tasks:
+            raise ValueError("map_output_kv length != num_map_tasks")
+        if len(self.reduce_input_kv) != self.num_reduce_tasks:
+            raise ValueError("reduce_input_kv length != num_reduce_tasks")
+        if len(self.reduce_comparisons) != self.num_reduce_tasks:
+            raise ValueError("reduce_comparisons length != num_reduce_tasks")
+
+    @property
+    def total_map_output_kv(self) -> int:
+        """The y-axis of Figure 12."""
+        return sum(self.map_output_kv)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(self.reduce_comparisons)
+
+    @property
+    def max_reduce_comparisons(self) -> int:
+        return max(self.reduce_comparisons) if self.reduce_comparisons else 0
+
+    @property
+    def replication_factor(self) -> float:
+        """Map output KV per input entity (1.0 = no replication)."""
+        entities = sum(self.map_input_records)
+        if entities == 0:
+            return 0.0
+        return self.total_map_output_kv / entities
+
+
+class _AnyBdm(Protocol):
+    def partition_sizes(self) -> list[int]: ...
+
+
+def _map_inputs(bdm: _AnyBdm, map_input_records: Sequence[int] | None) -> tuple[int, ...]:
+    """Job 2's map input is Job 1's annotated output: the keyed entities
+    per partition.  Callers may override (e.g. raw inputs with keyless
+    entities for the stand-alone Basic job)."""
+    if map_input_records is not None:
+        return tuple(map_input_records)
+    return tuple(bdm.partition_sizes())
+
+
+# ---------------------------------------------------------------------------
+# Basic
+# ---------------------------------------------------------------------------
+
+
+def plan_basic(
+    bdm: BlockDistributionMatrix,
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Basic: hash the blocking key, ship whole blocks.
+
+    Mirrors :class:`~repro.core.basic.BasicMatchJob`: map output equals
+    the keyed input (no replication); each block's entities and pairs
+    land on ``stable_hash(block key) % r``.
+    """
+    if num_reduce_tasks <= 0:
+        raise ValueError(f"num_reduce_tasks must be positive, got {num_reduce_tasks}")
+    reduce_kv = [0] * num_reduce_tasks
+    reduce_comps = [0] * num_reduce_tasks
+    for k in range(bdm.num_blocks):
+        target = stable_hash(bdm.key_of(k)) % num_reduce_tasks
+        reduce_kv[target] += bdm.size(k)
+        reduce_comps[target] += bdm.block_pairs(k)
+    map_inputs = _map_inputs(bdm, map_input_records)
+    return StrategyPlan(
+        strategy="basic",
+        num_map_tasks=bdm.num_partitions,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=bdm.pairs(),
+        map_input_records=map_inputs,
+        map_output_kv=tuple(bdm.partition_sizes()),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(reduce_comps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# BlockSplit
+# ---------------------------------------------------------------------------
+
+
+def plan_blocksplit(
+    bdm: BlockDistributionMatrix,
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """BlockSplit: match-task generation + greedy assignment.
+
+    Uses the very same :func:`~repro.core.match_tasks.plan_block_split`
+    the executing job uses, then derives shuffle volumes:
+
+    * unsplit block with pairs: every entity shipped once;
+    * split block: every entity shipped once per occupied partition of
+      its block (sub-block self-task + cross tasks).
+    """
+    assignment = plan_block_split(bdm, num_reduce_tasks)
+    m = bdm.num_partitions
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * m
+    for task in assignment.tasks:
+        target = assignment.reduce_of[task.key]
+        k = task.block
+        if task.is_whole_block and not assignment.is_split(k):
+            if task.comparisons == 0:
+                continue  # singleton block suppressed by map
+            reduce_kv[target] += bdm.size(k)
+        elif task.is_cross_product:
+            reduce_kv[target] += bdm.size(k, task.i) + bdm.size(k, task.j)
+        else:
+            reduce_kv[target] += bdm.size(k, task.i)
+    for k in range(bdm.num_blocks):
+        if assignment.is_split(k):
+            occupied = len(bdm.occupied_partitions(k))
+            for p in range(m):
+                map_out[p] += bdm.size(k, p) * occupied
+        elif bdm.block_pairs(k) > 0:
+            for p in range(m):
+                map_out[p] += bdm.size(k, p)
+    return StrategyPlan(
+        strategy="blocksplit",
+        num_map_tasks=m,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=bdm.pairs(),
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=assignment.reduce_comparisons,
+    )
+
+
+# ---------------------------------------------------------------------------
+# PairRange
+# ---------------------------------------------------------------------------
+
+
+def _block_range_overlaps(
+    offsets: Sequence[int], spec: PairRangeSpec
+) -> list[tuple[int, int, int, int]]:
+    """All (block, range, local_lo, local_hi) overlaps.
+
+    ``offsets`` is the blocks' cumulative pair-count prefix (length
+    b+1).  Local cell bounds are inclusive and relative to the block.
+    Runs in O(b + r) — merge-scan of two sorted interval lists.
+    """
+    overlaps: list[tuple[int, int, int, int]] = []
+    total = offsets[-1]
+    if total == 0:
+        return overlaps
+    ppr = spec.pairs_per_range
+    for block in range(len(offsets) - 1):
+        lo, hi = offsets[block], offsets[block + 1] - 1
+        if hi < lo:
+            continue
+        first_range = lo // ppr
+        last_range = hi // ppr
+        for range_index in range(first_range, last_range + 1):
+            range_lo = range_index * ppr
+            range_hi = min(range_lo + ppr, total) - 1
+            cell_lo = max(lo, range_lo) - lo
+            cell_hi = min(hi, range_hi) - lo
+            overlaps.append((block, range_index, cell_lo, cell_hi))
+    return overlaps
+
+
+def _partition_slice_counts(
+    cumulative: Sequence[int], intervals: Sequence[tuple[int, int]]
+) -> dict[int, int]:
+    """Distribute entity-index intervals over partition slices.
+
+    ``cumulative`` is the per-partition entity-count prefix for one
+    block (length m+1): partition ``p`` owns indexes
+    ``[cumulative[p], cumulative[p+1])``.  Returns partition → count of
+    covered indexes.
+    """
+    counts: dict[int, int] = {}
+    for lo, hi in intervals:
+        p = bisect_right(cumulative, lo) - 1
+        while p < len(cumulative) - 1 and cumulative[p] <= hi:
+            slice_lo = max(lo, cumulative[p])
+            slice_hi = min(hi, cumulative[p + 1] - 1)
+            if slice_hi >= slice_lo:
+                counts[p] = counts.get(p, 0) + slice_hi - slice_lo + 1
+            p += 1
+    return counts
+
+
+def plan_pairrange(
+    bdm: BlockDistributionMatrix,
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """PairRange: equal contiguous pair ranges.
+
+    Comparison counts follow directly from the range arithmetic; KV
+    counts use the interval algebra of
+    :func:`~repro.core.enumeration.entities_in_cell_interval` — an
+    entity is shipped to range k iff it participates in at least one of
+    the range's pairs.
+    """
+    total = bdm.pairs()
+    spec = PairRangeSpec(total, num_reduce_tasks)
+    sizes = bdm.block_sizes()
+    offsets = [0]
+    for n in sizes:
+        offsets.append(offsets[-1] + block_pair_count(n))
+
+    reduce_comps = spec.sizes()
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * bdm.num_partitions
+
+    # Per-block per-partition cumulative entity counts (for map output).
+    for block, range_index, cell_lo, cell_hi in _block_range_overlaps(offsets, spec):
+        n = sizes[block]
+        intervals = entities_in_cell_interval(n, cell_lo, cell_hi)
+        reduce_kv[range_index] += interval_total(intervals)
+        cumulative = [0]
+        for p in range(bdm.num_partitions):
+            cumulative.append(cumulative[-1] + bdm.size(block, p))
+        for p, count in _partition_slice_counts(cumulative, intervals).items():
+            map_out[p] += count
+    return StrategyPlan(
+        strategy="pairrange",
+        num_map_tasks=bdm.num_partitions,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=total,
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(reduce_comps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-source planners
+# ---------------------------------------------------------------------------
+
+
+def plan_dual_blocksplit(
+    bdm: DualSourceBDM,
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Two-source BlockSplit plan (Appendix I-A)."""
+    from .match_tasks import assign_greedy
+
+    tasks, split_blocks, _threshold = generate_dual_match_tasks(bdm, num_reduce_tasks)
+    assignment, loads = assign_greedy(tasks, num_reduce_tasks)
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * bdm.num_partitions
+    for task in tasks:
+        target = assignment[task.key]
+        k = task.block
+        if task.key[1:] == (0, 0) and k not in split_blocks:
+            reduce_kv[target] += bdm.size_r(k) + bdm.size_s(k)
+        else:
+            reduce_kv[target] += bdm.size(k, task.i) + bdm.size(k, task.j)
+    for k in range(bdm.num_blocks):
+        if bdm.block_pairs(k) == 0:
+            continue
+        if k in split_blocks:
+            occupied_r = len(bdm.occupied_partitions(k, SOURCE_R))
+            occupied_s = len(bdm.occupied_partitions(k, SOURCE_S))
+            for p in bdm.r_partitions:
+                map_out[p] += bdm.size(k, p) * occupied_s
+            for p in bdm.s_partitions:
+                map_out[p] += bdm.size(k, p) * occupied_r
+        else:
+            for p in range(bdm.num_partitions):
+                map_out[p] += bdm.size(k, p)
+    return StrategyPlan(
+        strategy="blocksplit-2src",
+        num_map_tasks=bdm.num_partitions,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=bdm.pairs(),
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(loads),
+    )
+
+
+def plan_dual_pairrange(
+    bdm: DualSourceBDM,
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Two-source PairRange plan (Appendix I-B)."""
+    dual_sizes = bdm.dual_block_sizes()
+    total = bdm.pairs()
+    spec = PairRangeSpec(total, num_reduce_tasks)
+    offsets = [0]
+    for n_r, n_s in dual_sizes:
+        offsets.append(offsets[-1] + n_r * n_s)
+
+    reduce_comps = spec.sizes()
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * bdm.num_partitions
+
+    for block, range_index, cell_lo, cell_hi in _block_range_overlaps(offsets, spec):
+        n_r, n_s = dual_sizes[block]
+        r_intervals, s_intervals = dual_entities_in_cell_interval(
+            n_r, n_s, cell_lo, cell_hi
+        )
+        reduce_kv[range_index] += interval_total(r_intervals) + interval_total(
+            s_intervals
+        )
+        cumulative_r = [0]
+        for p in bdm.r_partitions:
+            cumulative_r.append(cumulative_r[-1] + bdm.size(block, p))
+        cumulative_s = [0]
+        for p in bdm.s_partitions:
+            cumulative_s.append(cumulative_s[-1] + bdm.size(block, p))
+        for local_p, count in _partition_slice_counts(cumulative_r, r_intervals).items():
+            map_out[bdm.r_partitions[local_p]] += count
+        for local_p, count in _partition_slice_counts(cumulative_s, s_intervals).items():
+            map_out[bdm.s_partitions[local_p]] += count
+    return StrategyPlan(
+        strategy="pairrange-2src",
+        num_map_tasks=bdm.num_partitions,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=total,
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(reduce_comps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Job 1 (BDM computation) workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BdmJobPlan:
+    """Predicted workload of Job 1 for time simulation."""
+
+    map_input_records: tuple[int, ...]
+    map_output_kv: tuple[int, ...]
+    reduce_input_kv: tuple[int, ...]
+    num_reduce_tasks: int
+
+    @property
+    def num_map_tasks(self) -> int:
+        return len(self.map_input_records)
+
+
+def plan_bdm_job(
+    bdm: BlockDistributionMatrix | DualSourceBDM,
+    num_reduce_tasks: int,
+    *,
+    use_combiner: bool = True,
+    raw_partition_sizes: Sequence[int] | None = None,
+) -> BdmJobPlan:
+    """Workload of the BDM job itself.
+
+    With the combiner, map task ``p`` emits one KV per *distinct block*
+    present in its partition; without it, one KV per entity.
+    """
+    if num_reduce_tasks <= 0:
+        raise ValueError(f"num_reduce_tasks must be positive, got {num_reduce_tasks}")
+    m = bdm.num_partitions
+    partition_sizes = bdm.partition_sizes()
+    inputs = tuple(
+        raw_partition_sizes if raw_partition_sizes is not None else partition_sizes
+    )
+    if len(inputs) != m:
+        raise ValueError(f"expected {m} raw partition sizes, got {len(inputs)}")
+    map_out = [0] * m
+    reduce_kv = [0] * num_reduce_tasks
+    for k in range(bdm.num_blocks):
+        target = stable_hash(bdm.key_of(k)) % num_reduce_tasks
+        for p in range(m):
+            size = bdm.size(k, p)
+            if size == 0:
+                continue
+            emitted = 1 if use_combiner else size
+            map_out[p] += emitted
+            reduce_kv[target] += emitted
+    return BdmJobPlan(
+        map_input_records=inputs,
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        num_reduce_tasks=num_reduce_tasks,
+    )

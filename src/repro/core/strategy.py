@@ -1,0 +1,156 @@
+"""Common strategy interface and registry.
+
+A :class:`LoadBalancingStrategy` bundles the pieces the workflow needs:
+whether Job 1 (BDM) is required, how to build the matching job, and how
+to produce the analytic :class:`~repro.core.planning.StrategyPlan`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..er.matching import Matcher
+from ..mapreduce.job import MapReduceJob
+from .basic import BasicMatchJob
+from .bdm import BlockDistributionMatrix
+from .blocksplit import BlockSplitJob
+from .pairrange import PairRangeJob
+from .planning import (
+    StrategyPlan,
+    plan_basic,
+    plan_blocksplit,
+    plan_dual_blocksplit,
+    plan_dual_pairrange,
+    plan_pairrange,
+)
+from .two_source import DualBlockSplitJob, DualPairRangeJob, DualSourceBDM
+
+
+class LoadBalancingStrategy(ABC):
+    """One of the paper's entity redistribution schemes."""
+
+    #: Registry key and display name.
+    name: str = "strategy"
+
+    #: Whether Job 2 needs the BDM (and hence Job 1).  The Basic
+    #: strategy is a single job; it still *accepts* annotated input so
+    #: all strategies can be compared on identical inputs.
+    requires_bdm: bool = True
+
+    @abstractmethod
+    def build_job(
+        self,
+        bdm: BlockDistributionMatrix,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ) -> MapReduceJob:
+        """The matching job (Job 2) for the one-source case."""
+
+    @abstractmethod
+    def plan(
+        self,
+        bdm: BlockDistributionMatrix,
+        num_reduce_tasks: int,
+        *,
+        map_input_records: Sequence[int] | None = None,
+    ) -> StrategyPlan:
+        """The analytic workload plan for the one-source case."""
+
+    def build_dual_job(
+        self,
+        bdm: DualSourceBDM,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ) -> MapReduceJob:
+        """The matching job for the two-source case (Appendix I)."""
+        raise NotImplementedError(
+            f"strategy {self.name!r} has no two-source variant"
+        )
+
+    def plan_dual(
+        self,
+        bdm: DualSourceBDM,
+        num_reduce_tasks: int,
+        *,
+        map_input_records: Sequence[int] | None = None,
+    ) -> StrategyPlan:
+        raise NotImplementedError(
+            f"strategy {self.name!r} has no two-source planner"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BasicStrategy(LoadBalancingStrategy):
+    """Section III's baseline — no skew handling."""
+
+    name = "basic"
+    requires_bdm = False
+
+    def build_job(self, bdm, matcher, num_reduce_tasks):
+        return BasicMatchJob(matcher)
+
+    def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_basic(bdm, num_reduce_tasks, map_input_records=map_input_records)
+
+
+class BlockSplitStrategy(LoadBalancingStrategy):
+    """Section IV's block-based load balancing."""
+
+    name = "blocksplit"
+
+    def build_job(self, bdm, matcher, num_reduce_tasks):
+        return BlockSplitJob(bdm, matcher, num_reduce_tasks)
+
+    def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_blocksplit(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
+    def build_dual_job(self, bdm, matcher, num_reduce_tasks):
+        return DualBlockSplitJob(bdm, matcher, num_reduce_tasks)
+
+    def plan_dual(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_dual_blocksplit(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
+
+class PairRangeStrategy(LoadBalancingStrategy):
+    """Section V's pair-based load balancing."""
+
+    name = "pairrange"
+
+    def build_job(self, bdm, matcher, num_reduce_tasks):
+        return PairRangeJob(bdm, matcher, num_reduce_tasks)
+
+    def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_pairrange(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
+    def build_dual_job(self, bdm, matcher, num_reduce_tasks):
+        return DualPairRangeJob(bdm, matcher, num_reduce_tasks)
+
+    def plan_dual(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_dual_pairrange(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
+
+#: Registry of available strategies by name.
+STRATEGIES: dict[str, type[LoadBalancingStrategy]] = {
+    cls.name: cls
+    for cls in (BasicStrategy, BlockSplitStrategy, PairRangeStrategy)
+}
+
+
+def get_strategy(name: str) -> LoadBalancingStrategy:
+    """Instantiate a strategy by registry name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(STRATEGIES))
+        raise KeyError(f"unknown strategy {name!r}; known: {known}") from None

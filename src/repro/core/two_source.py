@@ -1,0 +1,365 @@
+"""Two-source matching (Appendix I): R × S linkage with load balancing.
+
+Matching two sources R and S compares only *cross-source* pairs within
+each block.  Input partitions are homogeneous — each holds entities of
+exactly one source (Hadoop's ``MultipleInputs``); the number of
+partitions may differ per source.
+
+The BDM keeps its ``b × m`` shape but every block's pair count becomes
+``|Φk,R| · |Φk,S|`` and entity enumeration runs per (block, source).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..er.blocking import BlockingFunction, BlockKey
+from ..er.entity import Entity
+from ..er.matching import Matcher
+from ..mapreduce.counters import StandardCounter
+from ..mapreduce.job import MapReduceJob, TaskContext
+from ..mapreduce.runtime import JobResult, LocalRuntime
+from ..mapreduce.types import Partition
+from .bdm import ANNOTATED_DIR, BdmJob, BlockDistributionMatrix, compute_bdm
+from .enumeration import DualPairEnumeration, PairRangeSpec
+from .keys import DualBlockSplitKey, DualPairRangeKey
+from .match_tasks import MatchTask
+
+SOURCE_R = "R"
+SOURCE_S = "S"
+
+
+class DualSourceBDM:
+    """BDM for two sources: block × partition counts plus a partition →
+    source map (Figure 15(a))."""
+
+    def __init__(
+        self,
+        bdm: BlockDistributionMatrix,
+        partition_sources: Sequence[str],
+    ):
+        if len(partition_sources) != bdm.num_partitions:
+            raise ValueError(
+                f"expected {bdm.num_partitions} partition sources, "
+                f"got {len(partition_sources)}"
+            )
+        bad = set(partition_sources) - {SOURCE_R, SOURCE_S}
+        if bad:
+            raise ValueError(f"unknown source tags: {sorted(bad)}")
+        self._bdm = bdm
+        self.partition_sources = list(partition_sources)
+        self.r_partitions = [
+            i for i, s in enumerate(partition_sources) if s == SOURCE_R
+        ]
+        self.s_partitions = [
+            i for i, s in enumerate(partition_sources) if s == SOURCE_S
+        ]
+
+    # -- delegation --------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return self._bdm.num_blocks
+
+    @property
+    def num_partitions(self) -> int:
+        return self._bdm.num_partitions
+
+    @property
+    def block_keys(self) -> list[BlockKey]:
+        return self._bdm.block_keys
+
+    def block_index(self, block_key: BlockKey) -> int:
+        return self._bdm.block_index(block_key)
+
+    def key_of(self, block: int) -> BlockKey:
+        return self._bdm.key_of(block)
+
+    def size(self, block: int, partition: int | None = None) -> int:
+        return self._bdm.size(block, partition)
+
+    def partition_sizes(self) -> list[int]:
+        return self._bdm.partition_sizes()
+
+    # -- two-source quantities -------------------------------------------------
+
+    def size_r(self, block: int) -> int:
+        return sum(self._bdm.size(block, i) for i in self.r_partitions)
+
+    def size_s(self, block: int) -> int:
+        return sum(self._bdm.size(block, i) for i in self.s_partitions)
+
+    def block_pairs(self, block: int) -> int:
+        return self.size_r(block) * self.size_s(block)
+
+    def pairs(self) -> int:
+        return sum(self.block_pairs(k) for k in range(self.num_blocks))
+
+    def dual_block_sizes(self) -> list[tuple[int, int]]:
+        return [(self.size_r(k), self.size_s(k)) for k in range(self.num_blocks)]
+
+    def source_of(self, partition: int) -> str:
+        return self.partition_sources[partition]
+
+    def entity_index_offset(self, block: int, partition: int) -> int:
+        """Entities of ``block`` in *same-source* partitions before
+        ``partition`` — enumeration runs per (block, source)."""
+        source = self.partition_sources[partition]
+        same_source = (
+            self.r_partitions if source == SOURCE_R else self.s_partitions
+        )
+        return sum(
+            self._bdm.size(block, i) for i in same_source if i < partition
+        )
+
+    def occupied_partitions(self, block: int, source: str) -> list[int]:
+        partitions = self.r_partitions if source == SOURCE_R else self.s_partitions
+        return [i for i in partitions if self._bdm.size(block, i) > 0]
+
+    def __repr__(self) -> str:
+        return (
+            f"DualSourceBDM(blocks={self.num_blocks}, "
+            f"partitions={self.num_partitions}, pairs={self.pairs()})"
+        )
+
+
+def compute_dual_bdm(
+    runtime: LocalRuntime,
+    partitions: Sequence[Partition],
+    blocking: BlockingFunction,
+    *,
+    num_reduce_tasks: int,
+    use_combiner: bool = True,
+) -> tuple[DualSourceBDM, JobResult, list[Partition]]:
+    """Job 1 for two sources.
+
+    Each input partition must be source-homogeneous; the source map is
+    derived from the entities themselves.
+    """
+    sources: list[str] = []
+    for partition in partitions:
+        tags = {record.value.source for record in partition}
+        if len(tags) > 1:
+            raise ValueError(
+                f"partition {partition.index} mixes sources {sorted(tags)}"
+            )
+        sources.append(tags.pop() if tags else SOURCE_R)
+    bdm, job_result, annotated = compute_bdm(
+        runtime,
+        partitions,
+        blocking,
+        num_reduce_tasks=num_reduce_tasks,
+        use_combiner=use_combiner,
+    )
+    return DualSourceBDM(bdm, sources), job_result, annotated
+
+
+# ---------------------------------------------------------------------------
+# Dual-source BlockSplit (Appendix I-A)
+# ---------------------------------------------------------------------------
+
+
+def generate_dual_match_tasks(
+    bdm: DualSourceBDM, num_reduce_tasks: int
+) -> tuple[list[MatchTask], frozenset[int], float]:
+    """Match tasks for two sources.
+
+    Unsplit blocks yield one ``k.*`` task with ``|Φk,R|·|Φk,S|``
+    comparisons; split blocks yield only cross tasks ``k.i×j`` with
+    ``Πi ∈ R`` and ``Πj ∈ S`` (no same-source sub-block self-joins).
+    Blocks without any cross-source pair yield nothing.
+    """
+    if num_reduce_tasks <= 0:
+        raise ValueError(f"num_reduce_tasks must be positive, got {num_reduce_tasks}")
+    threshold = bdm.pairs() / num_reduce_tasks
+    tasks: list[MatchTask] = []
+    split_blocks: set[int] = set()
+    for k in range(bdm.num_blocks):
+        comps = bdm.block_pairs(k)
+        if comps == 0:
+            continue
+        if comps <= threshold:
+            tasks.append(MatchTask(k, 0, 0, comps))
+            continue
+        split_blocks.add(k)
+        for i in bdm.r_partitions:
+            size_i = bdm.size(k, i)
+            if size_i == 0:
+                continue
+            for j in bdm.s_partitions:
+                size_j = bdm.size(k, j)
+                if size_j == 0:
+                    continue
+                tasks.append(MatchTask(k, i, j, size_i * size_j))
+    return tasks, frozenset(split_blocks), threshold
+
+
+class DualBlockSplitJob(MapReduceJob):
+    """MR Job 2 for two-source BlockSplit.
+
+    Keys add the source tag; full-key sorting delivers each match
+    task's R entities before its S entities, so reduce buffers R and
+    streams S (Appendix I-A).
+    """
+
+    name = "job2-blocksplit-2src"
+
+    def __init__(
+        self,
+        bdm: DualSourceBDM,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ):
+        from .match_tasks import assign_greedy  # local import avoids cycle
+
+        self.bdm = bdm
+        self.matcher = matcher
+        self.num_reduce_tasks = num_reduce_tasks
+        tasks, split_blocks, threshold = generate_dual_match_tasks(
+            bdm, num_reduce_tasks
+        )
+        assignment, loads = assign_greedy(tasks, num_reduce_tasks)
+        self.tasks = tuple(tasks)
+        self.reduce_of = assignment
+        self.reduce_comparisons = tuple(loads)
+        self.split_blocks = split_blocks
+        self.threshold = threshold
+
+    # -- map phase ---------------------------------------------------------
+
+    def map(self, key: BlockKey, value: Entity, emit, context: TaskContext) -> None:
+        bdm = self.bdm
+        k = bdm.block_index(key)
+        p = context.partition_index
+        source = bdm.source_of(p)
+        if k not in self.split_blocks:
+            reduce_index = self.reduce_of.get((k, 0, 0))
+            if reduce_index is None:
+                return  # block has no cross-source pairs
+            emit(DualBlockSplitKey(reduce_index, k, 0, 0, source), value)
+            return
+        if source == SOURCE_R:
+            partner_tasks = [(k, p, j) for j in bdm.occupied_partitions(k, SOURCE_S)]
+        else:
+            partner_tasks = [(k, i, p) for i in bdm.occupied_partitions(k, SOURCE_R)]
+        for block, i, j in partner_tasks:
+            reduce_index = self.reduce_of.get((block, i, j))
+            if reduce_index is None:
+                continue
+            emit(DualBlockSplitKey(reduce_index, block, i, j, source), value)
+
+    def partition(self, key: DualBlockSplitKey, num_reduce_tasks: int) -> int:
+        return key.reduce_index
+
+    def group_key(self, key: DualBlockSplitKey) -> tuple[int, int, int]:
+        return (key.block, key.i, key.j)
+
+    # -- reduce phase ----------------------------------------------------------
+
+    def reduce(
+        self,
+        key: DualBlockSplitKey,
+        values: Sequence[Entity],
+        emit,
+        context: TaskContext,
+    ) -> None:
+        buffer: list[Entity] = []
+        for entity in values:
+            if entity.source == SOURCE_R:
+                buffer.append(entity)
+            else:
+                for e1 in buffer:
+                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
+                    pair = self.matcher.match(e1, entity)
+                    if pair is not None:
+                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        emit(None, pair)
+
+
+# ---------------------------------------------------------------------------
+# Dual-source PairRange (Appendix I-B)
+# ---------------------------------------------------------------------------
+
+
+class DualPairRangeJob(MapReduceJob):
+    """MR Job 2 for two-source PairRange.
+
+    Pair enumeration covers every cell of each block's ``NR × NS``
+    matrix; keys carry ``range . block . source . entity index`` and
+    reduce matches each S entity against the buffered R entities,
+    filtering by the task's pair range.
+    """
+
+    name = "job2-pairrange-2src"
+
+    def __init__(
+        self,
+        bdm: DualSourceBDM,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ):
+        self.bdm = bdm
+        self.matcher = matcher
+        self.num_reduce_tasks = num_reduce_tasks
+        self.enumeration = DualPairEnumeration(bdm.dual_block_sizes())
+        self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
+
+    # -- map phase ---------------------------------------------------------
+
+    def configure_map(self, context: TaskContext) -> None:
+        context.next_entity_index = {}  # type: ignore[attr-defined]
+
+    def map(self, key: BlockKey, value: Entity, emit, context: TaskContext) -> None:
+        bdm = self.bdm
+        k = bdm.block_index(key)
+        p = context.partition_index
+        source = bdm.source_of(p)
+        state: dict[int, int] = context.next_entity_index  # type: ignore[attr-defined]
+        index = state.get(k)
+        if index is None:
+            index = bdm.entity_index_offset(k, p)
+        state[k] = index + 1
+        if bdm.block_pairs(k) == 0:
+            return  # one side empty — no cross-source pairs (Figure 15(b))
+        if source == SOURCE_R:
+            ranges = self.enumeration.relevant_ranges_r(k, index, self.spec)
+        else:
+            ranges = self.enumeration.relevant_ranges_s(k, index, self.spec)
+        for range_index in ranges:
+            emit(DualPairRangeKey(range_index, k, source, index), (value, index))
+
+    def partition(self, key: DualPairRangeKey, num_reduce_tasks: int) -> int:
+        return key.range_index
+
+    def group_key(self, key: DualPairRangeKey) -> tuple[int, int]:
+        return (key.range_index, key.block)
+
+    # -- reduce phase ----------------------------------------------------------
+
+    def reduce(
+        self,
+        key: DualPairRangeKey,
+        values: Sequence[tuple[Entity, int]],
+        emit,
+        context: TaskContext,
+    ) -> None:
+        task_range = key.range_index
+        block = key.block
+        enumeration = self.enumeration
+        spec = self.spec
+        buffer: list[tuple[Entity, int]] = []
+        for entity, index in values:
+            if entity.source == SOURCE_R:
+                buffer.append((entity, index))
+                continue
+            for e1, x in buffer:
+                pair_index = enumeration.pair_index(block, x, index)
+                pair_range = spec.range_of(pair_index)
+                if pair_range == task_range:
+                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
+                    pair = self.matcher.match(e1, entity)
+                    if pair is not None:
+                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        emit(None, pair)
+                elif pair_range > task_range:
+                    break  # pair indexes grow with the R index x

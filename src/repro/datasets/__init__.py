@@ -1,0 +1,53 @@
+"""Dataset substrate: synthetic DS1/DS2 stand-ins, skew models, partitioning."""
+
+from .corruption import (
+    CorruptedDataset,
+    CorruptionConfig,
+    corrupt_dataset,
+)
+from .generators import (
+    DS1_PROFILE,
+    DS2_PROFILE,
+    DatasetProfile,
+    ProductGenerator,
+    PublicationGenerator,
+    generate_products,
+    generate_publications,
+)
+from .loaders import iter_entity_batches, load_entities_csv, save_entities_csv
+from .partitioning import (
+    distribute_block_sizes,
+    order_entities,
+    partition_entities,
+)
+from .skew import (
+    apportion,
+    exponential_block_sizes,
+    largest_block_share,
+    pair_count,
+    zipf_block_sizes,
+)
+
+__all__ = [
+    "CorruptedDataset",
+    "CorruptionConfig",
+    "corrupt_dataset",
+    "DS1_PROFILE",
+    "DS2_PROFILE",
+    "DatasetProfile",
+    "ProductGenerator",
+    "PublicationGenerator",
+    "generate_products",
+    "generate_publications",
+    "iter_entity_batches",
+    "load_entities_csv",
+    "save_entities_csv",
+    "distribute_block_sizes",
+    "order_entities",
+    "partition_entities",
+    "apportion",
+    "exponential_block_sizes",
+    "largest_block_share",
+    "pair_count",
+    "zipf_block_sizes",
+]

@@ -1,0 +1,103 @@
+"""CSV round-trip for entity datasets.
+
+Keeps the library usable with real data: one row per entity, one
+column per attribute, plus the reserved ``_id`` and ``_source``
+columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..er.entity import Entity
+
+_ID_COLUMN = "_id"
+_SOURCE_COLUMN = "_source"
+
+
+def save_entities_csv(entities: Sequence[Entity], path: str | Path) -> None:
+    """Write entities to CSV; attribute set is the union across entities."""
+    if not entities:
+        raise ValueError("cannot save an empty dataset")
+    attributes: list[str] = []
+    seen: set[str] = set()
+    for entity in entities:
+        for name in entity.attributes:
+            if name not in seen:
+                seen.add(name)
+                attributes.append(name)
+    if _ID_COLUMN in seen or _SOURCE_COLUMN in seen:
+        raise ValueError(
+            f"attribute names {_ID_COLUMN!r}/{_SOURCE_COLUMN!r} are reserved"
+        )
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([_ID_COLUMN, _SOURCE_COLUMN, *attributes])
+        for entity in entities:
+            row = [entity.entity_id, entity.source]
+            row.extend(
+                "" if entity.get(name) is None else str(entity.get(name))
+                for name in attributes
+            )
+            writer.writerow(row)
+
+
+def load_entities_csv(path: str | Path, *, source: str | None = None) -> list[Entity]:
+    """Read entities from CSV written by :func:`save_entities_csv`
+    (or any CSV with an ``_id`` column).
+
+    ``source`` overrides the stored source tag for every entity —
+    convenient when loading the S side of a two-source match task.
+    """
+    path = Path(path)
+    entities: list[Entity] = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if _ID_COLUMN not in header:
+            raise ValueError(f"{path} lacks the required {_ID_COLUMN!r} column")
+        id_index = header.index(_ID_COLUMN)
+        source_index = header.index(_SOURCE_COLUMN) if _SOURCE_COLUMN in header else None
+        attribute_indexes = [
+            (i, name)
+            for i, name in enumerate(header)
+            if name not in (_ID_COLUMN, _SOURCE_COLUMN)
+        ]
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{row_number}: expected {len(header)} columns, got {len(row)}"
+                )
+            attributes = {
+                name: (row[i] if row[i] != "" else None)
+                for i, name in attribute_indexes
+            }
+            entity_source = source
+            if entity_source is None:
+                entity_source = row[source_index] if source_index is not None else "R"
+            entities.append(Entity(row[id_index], attributes, entity_source))
+    return entities
+
+
+def iter_entity_batches(
+    entities: Iterable[Entity], batch_size: int
+) -> Iterable[list[Entity]]:
+    """Yield fixed-size batches (streaming ingestion helper)."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    batch: list[Entity] = []
+    for entity in entities:
+        batch.append(entity)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

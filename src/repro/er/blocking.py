@@ -1,0 +1,188 @@
+"""Blocking functions.
+
+A blocking key function maps an entity to the key of the block it
+belongs to; only entities sharing a block are compared (Section I).
+The paper's default blocking is the first three letters of the title;
+its robustness experiment replaces that by a synthetic exponential
+distribution (Section VI-A), and the Cartesian-product fallback for
+entities without a key uses a constant key (Section III / Appendix I).
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from abc import ABC, abstractmethod
+from typing import Callable, Hashable, Iterable, Sequence
+
+from .entity import Entity
+
+BlockKey = Hashable
+
+#: The constant key "⊥" of Section III used for Cartesian-product matching.
+CONSTANT_BLOCK_KEY = "⊥"
+
+
+class BlockingFunction(ABC):
+    """Maps entities to blocking keys.
+
+    Implementations must be deterministic: the workflow applies the
+    function in MR Job 1 and relies on Job 2 seeing identical keys.
+    """
+
+    @abstractmethod
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        """The entity's blocking key, or ``None`` if it has no valid key."""
+
+    def __call__(self, entity: Entity) -> BlockKey | None:
+        return self.key_for(entity)
+
+    def partition_entities(
+        self, entities: Iterable[Entity]
+    ) -> dict[BlockKey, list[Entity]]:
+        """Group entities into blocks (reference implementation for tests)."""
+        blocks: dict[BlockKey, list[Entity]] = {}
+        for entity in entities:
+            key = self.key_for(entity)
+            if key is None:
+                continue
+            blocks.setdefault(key, []).append(entity)
+        return blocks
+
+
+class PrefixBlocking(BlockingFunction):
+    """Block on the first ``length`` characters of an attribute.
+
+    This is the paper's default for both datasets ("the first three
+    letters of the product or publication title").  Values are lowered
+    and accent-stripped so that case and diacritics do not fragment
+    blocks; whitespace is collapsed.
+    """
+
+    def __init__(self, attribute: str = "title", length: int = 3):
+        if length <= 0:
+            raise ValueError(f"prefix length must be positive, got {length}")
+        self.attribute = attribute
+        self.length = length
+
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        value = entity.get(self.attribute)
+        if value is None:
+            return None
+        normalized = normalize_string(str(value))
+        if not normalized:
+            return None
+        return normalized[: self.length]
+
+    def __repr__(self) -> str:
+        return f"PrefixBlocking(attribute={self.attribute!r}, length={self.length})"
+
+
+class AttributeBlocking(BlockingFunction):
+    """Block on the (normalized) full value of an attribute.
+
+    The introduction's example: product entities partitioned by
+    manufacturer.
+    """
+
+    def __init__(self, attribute: str, *, normalize: bool = True):
+        self.attribute = attribute
+        self.normalize = normalize
+
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        value = entity.get(self.attribute)
+        if value is None:
+            return None
+        text = str(value)
+        if self.normalize:
+            text = normalize_string(text)
+        return text or None
+
+    def __repr__(self) -> str:
+        return f"AttributeBlocking(attribute={self.attribute!r})"
+
+
+class ConstantBlocking(BlockingFunction):
+    """Every entity lands in one block — the Cartesian product fallback."""
+
+    def __init__(self, key: BlockKey = CONSTANT_BLOCK_KEY):
+        self.key = key
+
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        return self.key
+
+    def __repr__(self) -> str:
+        return f"ConstantBlocking(key={self.key!r})"
+
+
+class CallableBlocking(BlockingFunction):
+    """Adapter wrapping a plain function, e.g. a lambda in tests."""
+
+    def __init__(self, fn: Callable[[Entity], BlockKey | None], name: str = "callable"):
+        self._fn = fn
+        self.name = name
+
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        return self._fn(entity)
+
+    def __repr__(self) -> str:
+        return f"CallableBlocking({self.name})"
+
+
+class CompositeBlocking(BlockingFunction):
+    """Concatenates several blocking functions' keys into a tuple key.
+
+    Refining a blocking function (e.g. manufacturer + first title
+    letter) is the manual skew-mitigation the paper argues against in
+    Section III; we provide it so the comparison can be made.
+    """
+
+    def __init__(self, parts: Sequence[BlockingFunction]):
+        if not parts:
+            raise ValueError("CompositeBlocking needs at least one part")
+        self.parts = list(parts)
+
+    def key_for(self, entity: Entity) -> BlockKey | None:
+        keys = []
+        for part in self.parts:
+            key = part.key_for(entity)
+            if key is None:
+                return None
+            keys.append(key)
+        return tuple(keys)
+
+    def __repr__(self) -> str:
+        return f"CompositeBlocking({self.parts!r})"
+
+
+class MultiPassBlocking:
+    """Assigns *multiple* blocking keys per entity (paper's future work).
+
+    Not a :class:`BlockingFunction` — the interface differs (one entity
+    may yield several keys).  The workflow layer deduplicates pairs that
+    co-occur in more than one block.
+    """
+
+    def __init__(self, passes: Sequence[BlockingFunction]):
+        if not passes:
+            raise ValueError("MultiPassBlocking needs at least one pass")
+        self.passes = list(passes)
+
+    def keys_for(self, entity: Entity) -> list[BlockKey]:
+        keys: list[BlockKey] = []
+        seen: set[BlockKey] = set()
+        for index, blocking in enumerate(self.passes):
+            key = blocking.key_for(entity)
+            if key is None:
+                continue
+            tagged = (index, key)
+            if tagged not in seen:
+                seen.add(tagged)
+                keys.append(tagged)
+        return keys
+
+
+def normalize_string(text: str) -> str:
+    """Lowercase, strip accents, collapse whitespace."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    stripped = "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+    return " ".join(stripped.lower().split())

@@ -1,0 +1,109 @@
+"""The entity model.
+
+Entities are immutable records with a unique identifier, a source tag
+(for two-source matching, Appendix I of the paper) and a flat attribute
+dictionary.  Immutability matters because the load-balancing strategies
+*replicate* entities to multiple reduce tasks; sharing one frozen object
+is both safe and memory-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """A single record to be resolved.
+
+    Parameters
+    ----------
+    entity_id:
+        Unique identifier within its source.
+    attributes:
+        Attribute name → value.  Values are compared by the similarity
+        functions; ``None`` encodes a missing attribute.
+    source:
+        Source tag; ``"R"`` by default.  Two-source matching uses
+        ``"R"`` and ``"S"``.
+    """
+
+    entity_id: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    source: str = "R"
+
+    def __post_init__(self) -> None:
+        # Freeze the attribute mapping so entities are hashable and safe
+        # to replicate across simulated tasks.
+        object.__setattr__(self, "attributes", _FrozenMapping(self.attributes))
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.attributes.get(attribute, default)
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.attributes[attribute]
+
+    def with_source(self, source: str) -> "Entity":
+        return Entity(self.entity_id, dict(self.attributes), source)
+
+    @property
+    def qualified_id(self) -> str:
+        """Globally unique id across sources, e.g. ``"R:p123"``."""
+        return f"{self.source}:{self.entity_id}"
+
+    def __repr__(self) -> str:
+        return f"Entity({self.qualified_id})"
+
+
+class _FrozenMapping(Mapping[str, Any]):
+    """A hashable, read-only view over a dict."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[str, Any]):
+        self._data = dict(data)
+        self._hash: int | None = None
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self._data.items(), key=lambda kv: kv[0])))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"_FrozenMapping({self._data!r})"
+
+
+def make_entities(
+    values: Iterable[Mapping[str, Any] | tuple[str, Mapping[str, Any]]],
+    *,
+    source: str = "R",
+    id_attribute: str | None = None,
+    id_prefix: str = "e",
+) -> list[Entity]:
+    """Bulk-construct entities from attribute mappings.
+
+    Ids are taken from ``id_attribute`` when given, otherwise generated
+    as ``<id_prefix><ordinal>``.
+    """
+    entities: list[Entity] = []
+    for i, item in enumerate(values):
+        if isinstance(item, tuple):
+            entity_id, attributes = item
+        elif id_attribute is not None:
+            attributes = item
+            entity_id = str(item[id_attribute])
+        else:
+            attributes = item
+            entity_id = f"{id_prefix}{i}"
+        entities.append(Entity(str(entity_id), attributes, source))
+    return entities

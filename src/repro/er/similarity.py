@@ -1,0 +1,179 @@
+"""String and numeric similarity measures.
+
+The paper compares entities "by computing the edit distance of their
+title" with a match threshold of 0.8.  We implement Levenshtein with
+the standard normalisation ``1 - d / max(|a|, |b|)`` plus the usual ER
+toolbox (Jaro, Jaro-Winkler, Jaccard over token or n-gram sets, numeric
+closeness) so the library is usable beyond the single paper workload.
+
+All functions return similarities in ``[0, 1]`` where 1 means equal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+SimilarityFunction = Callable[[str, str], float]
+
+
+def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> int:
+    """Classic dynamic-programming edit distance with two rows.
+
+    ``max_distance`` enables early exit: once every cell of a row
+    exceeds the bound the true distance cannot come back under it, and
+    ``max_distance + 1`` is returned.  The matcher uses this to skip
+    hopeless comparisons cheaply.
+    """
+    if a == b:
+        return 0
+    # Ensure b is the shorter string to minimise the row size.
+    if len(b) > len(a):
+        a, b = b, a
+    if not b:
+        if max_distance is not None and len(a) > max_distance:
+            return max_distance + 1
+        return len(a)
+    if max_distance is not None and len(a) - len(b) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, ca in enumerate(a, start=1):
+        current[0] = i
+        best = current[0]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,      # deletion
+                current[j - 1] + 1,   # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+            if current[j] < best:
+                best = current[j]
+        if max_distance is not None and best > max_distance:
+            return max_distance + 1
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - d(a, b) / max(|a|, |b|)`` — the paper's match measure."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def levenshtein_similarity_bounded(a: str, b: str, threshold: float) -> float:
+    """Similarity with early exit below ``threshold``.
+
+    Returns the exact similarity when it is ≥ ``threshold`` and ``0.0``
+    otherwise — sufficient for threshold matching and much faster on
+    dissimilar strings.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    max_distance = int((1.0 - threshold) * longest)
+    distance = levenshtein_distance(a, b, max_distance=max_distance)
+    if distance > max_distance:
+        return 0.0
+    return 1.0 - distance / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity — transposition-aware matching for short strings."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if flagged:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, *, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the common prefix (max 4 chars)."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25], got {prefix_weight}")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def jaccard_similarity(a: Iterable, b: Iterable) -> float:
+    """Jaccard coefficient over two element collections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard over whitespace tokens."""
+    return jaccard_similarity(a.split(), b.split())
+
+
+def ngrams(text: str, n: int = 3, *, pad: bool = True) -> list[str]:
+    """Character n-grams, optionally padded like standard trigram indexing."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if pad:
+        padding = "#" * (n - 1)
+        text = f"{padding}{text}{padding}"
+    if len(text) < n:
+        return [text] if text else []
+    return [text[i:i + n] for i in range(len(text) - n + 1)]
+
+
+def ngram_jaccard(a: str, b: str, n: int = 3) -> float:
+    """Jaccard over character n-gram sets."""
+    return jaccard_similarity(ngrams(a, n), ngrams(b, n))
+
+
+def numeric_similarity(a: float, b: float, *, scale: float = 1.0) -> float:
+    """``max(0, 1 - |a - b| / scale)`` for numeric attributes (e.g. price)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(0.0, 1.0 - abs(a - b) / scale)
+
+
+def weighted_average(scores: Sequence[float], weights: Sequence[float]) -> float:
+    """Combine several attribute similarities into one match score."""
+    if len(scores) != len(weights):
+        raise ValueError("scores and weights must have equal length")
+    if not scores:
+        raise ValueError("at least one score is required")
+    total_weight = sum(weights)
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(s * w for s, w in zip(scores, weights)) / total_weight

@@ -1,0 +1,41 @@
+"""An in-process, deterministic MapReduce runtime.
+
+This package is the substrate the paper's algorithms run on.  It
+implements the full MR contract from Section II of the paper —
+``map``/``reduce`` user functions plus the ``part``/``comp``/``group``
+routing functions over composite keys — together with Hadoop-style
+counters, combiners, and side outputs chained through an in-memory
+distributed file system.
+"""
+
+from .counters import Counters, StandardCounter
+from .dfs import DfsError, DistributedFileSystem
+from .job import Emitter, JobConfig, LambdaJob, MapReduceJob, TaskContext, stable_hash
+from .runtime import JobResult, LocalRuntime, MapTaskResult, ReduceTaskResult
+from .shuffle import group_bucket, partition_map_output, shuffle, sort_bucket
+from .types import KeyValue, Partition, ReduceGroup, make_partitions
+
+__all__ = [
+    "Counters",
+    "StandardCounter",
+    "DfsError",
+    "DistributedFileSystem",
+    "Emitter",
+    "JobConfig",
+    "LambdaJob",
+    "MapReduceJob",
+    "TaskContext",
+    "stable_hash",
+    "JobResult",
+    "LocalRuntime",
+    "MapTaskResult",
+    "ReduceTaskResult",
+    "group_bucket",
+    "partition_map_output",
+    "shuffle",
+    "sort_bucket",
+    "KeyValue",
+    "Partition",
+    "ReduceGroup",
+    "make_partitions",
+]

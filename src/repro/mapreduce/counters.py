@@ -1,0 +1,81 @@
+"""Hadoop-style counters.
+
+Counters are the runtime's measurement backbone: the cluster simulator
+derives task costs from them (records read, KV pairs emitted, pair
+comparisons performed), and the analysis layer reads them to reproduce
+Figure 12 (map output sizes) without instrumenting user code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from typing import Iterable, Iterator
+
+
+class Counters:
+    """A mutable group of named integer counters.
+
+    Counter names are free-form strings; the runtime uses a few
+    well-known names (see :class:`StandardCounter`).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, initial: dict[str, int] | None = None):
+        self._values: _Counter[str] = _Counter(initial or {})
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Add all of ``other``'s counts into this group."""
+        self._values.update(other._values)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def names(self) -> Iterable[str]:
+        return self._values.keys()
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return dict(self._values) == dict(other._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"
+
+    @classmethod
+    def merged(cls, groups: Iterable["Counters"]) -> "Counters":
+        out = cls()
+        for g in groups:
+            out.merge(g)
+        return out
+
+
+class StandardCounter:
+    """Well-known counter names maintained by the runtime itself."""
+
+    MAP_INPUT_RECORDS = "map.input.records"
+    MAP_OUTPUT_RECORDS = "map.output.records"
+    COMBINE_INPUT_RECORDS = "combine.input.records"
+    COMBINE_OUTPUT_RECORDS = "combine.output.records"
+    REDUCE_INPUT_GROUPS = "reduce.input.groups"
+    REDUCE_INPUT_RECORDS = "reduce.input.records"
+    REDUCE_OUTPUT_RECORDS = "reduce.output.records"
+    SIDE_OUTPUT_RECORDS = "side.output.records"
+    # Maintained by the ER matcher rather than the engine:
+    PAIR_COMPARISONS = "er.pair.comparisons"
+    PAIRS_MATCHED = "er.pairs.matched"

@@ -1,0 +1,99 @@
+"""A miniature distributed-file-system model for side outputs and job chaining.
+
+The paper's workflow (Section III-A, Appendix II) chains two MR jobs:
+Job 1 writes, per map task, an *additional output* file containing the
+entities annotated with their blocking key, and Job 2 reads those files
+with input-split splitting disabled so that its map task ``i`` sees
+exactly the additional output of Job 1's map task ``i``.  This module
+models that contract: named files of records, grouped by writer
+(partition index), never re-split.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .types import KeyValue, Partition
+
+
+class DfsError(KeyError):
+    """Raised when a path is missing or written twice."""
+
+
+class DistributedFileSystem:
+    """In-memory stand-in for HDFS used to pass data between jobs.
+
+    Files are append-only sequences of :class:`KeyValue` records keyed by
+    a string path.  The convention ``<dir>/part-<index>`` mirrors
+    Hadoop's per-task output files.
+    """
+
+    def __init__(self) -> None:
+        self._files: dict[str, list[KeyValue]] = {}
+
+    # -- writing ---------------------------------------------------------
+
+    def create(self, path: str) -> None:
+        if path in self._files:
+            raise DfsError(f"path already exists: {path!r}")
+        self._files[path] = []
+
+    def append(self, path: str, key: Any, value: Any) -> None:
+        try:
+            self._files[path].append(KeyValue(key, value))
+        except KeyError:
+            raise DfsError(f"no such path: {path!r}") from None
+
+    def write_records(self, path: str, records: Iterable[KeyValue]) -> None:
+        self.create(path)
+        self._files[path].extend(records)
+
+    # -- reading ---------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def read(self, path: str) -> list[KeyValue]:
+        try:
+            return list(self._files[path])
+        except KeyError:
+            raise DfsError(f"no such path: {path!r}") from None
+
+    def list_dir(self, directory: str) -> list[str]:
+        prefix = directory.rstrip("/") + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def read_dir(self, directory: str) -> list[KeyValue]:
+        records: list[KeyValue] = []
+        for path in self.list_dir(directory):
+            records.extend(self._files[path])
+        return records
+
+    # -- job chaining ----------------------------------------------------
+
+    @staticmethod
+    def task_path(directory: str, partition_index: int) -> str:
+        return f"{directory.rstrip('/')}/part-{partition_index:05d}"
+
+    def read_as_partitions(self, directory: str) -> list[Partition]:
+        """Expose a directory's per-task files as input partitions.
+
+        Each ``part-<i>`` file becomes the partition with index ``i``;
+        this is the "prohibit input-file splitting" trick of Appendix II
+        that guarantees Job 2 sees Job 1's partitioning.
+        """
+        partitions = []
+        for path in self.list_dir(directory):
+            index = int(path.rsplit("-", 1)[1])
+            partitions.append(Partition(self._files[path], index=index, name=path))
+        partitions.sort(key=lambda p: p.index)
+        for expected, part in enumerate(partitions):
+            if part.index != expected:
+                raise DfsError(
+                    f"directory {directory!r} has non-contiguous partition "
+                    f"indices (missing part-{expected:05d})"
+                )
+        return partitions
+
+    def total_records(self, directory: str) -> int:
+        return sum(len(self._files[p]) for p in self.list_dir(directory))

@@ -1,0 +1,245 @@
+"""The local MapReduce runtime.
+
+Executes a :class:`~repro.mapreduce.job.MapReduceJob` over a list of
+input partitions exactly as a (single-threaded, deterministic) Hadoop
+would: one map task per input partition, a full partition/sort/group
+shuffle, then one reduce task per configured reduce index.  The runtime
+records rich per-task statistics which the cluster simulator turns into
+execution-time estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .counters import Counters, StandardCounter
+from .dfs import DistributedFileSystem
+from .job import JobConfig, MapReduceJob, TaskContext
+from .shuffle import group_bucket, partition_map_output, sort_bucket
+from .types import KeyValue, Partition
+
+
+@dataclass(frozen=True, slots=True)
+class MapTaskResult:
+    """Statistics and output of one map task."""
+
+    partition_index: int
+    input_records: int
+    output_records: int
+    counters: Counters
+    output: tuple[KeyValue, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceTaskResult:
+    """Statistics and output of one reduce task."""
+
+    reduce_index: int
+    input_records: int
+    input_groups: int
+    output_records: int
+    counters: Counters
+    output: tuple[KeyValue, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class JobResult:
+    """Everything a finished job produced.
+
+    ``output`` concatenates reduce outputs in reduce-task order.
+    ``counters`` aggregates the runtime's standard counters and any
+    user counters across all tasks.
+    """
+
+    job_name: str
+    config: JobConfig
+    map_tasks: tuple[MapTaskResult, ...]
+    reduce_tasks: tuple[ReduceTaskResult, ...]
+    counters: Counters
+
+    @property
+    def output(self) -> list[KeyValue]:
+        records: list[KeyValue] = []
+        for task in self.reduce_tasks:
+            records.extend(task.output)
+        return records
+
+    def output_values(self) -> list[Any]:
+        return [record.value for record in self.output]
+
+    def reduce_input_records(self) -> list[int]:
+        return [task.input_records for task in self.reduce_tasks]
+
+    def reduce_counter(self, name: str) -> list[int]:
+        """Per-reduce-task values of a counter (e.g. pair comparisons)."""
+        return [task.counters.get(name) for task in self.reduce_tasks]
+
+    def map_output_records(self) -> int:
+        return self.counters.get(StandardCounter.MAP_OUTPUT_RECORDS)
+
+
+class LocalRuntime:
+    """Deterministic in-process job executor.
+
+    Parameters
+    ----------
+    dfs:
+        Optional shared file system for side outputs / job chaining.
+        A fresh one is created when omitted.
+    """
+
+    def __init__(self, dfs: DistributedFileSystem | None = None):
+        self.dfs = dfs if dfs is not None else DistributedFileSystem()
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        job: MapReduceJob,
+        partitions: Sequence[Partition],
+        num_reduce_tasks: int,
+        *,
+        properties: dict[str, Any] | None = None,
+    ) -> JobResult:
+        """Run ``job`` over ``partitions`` with ``num_reduce_tasks`` reducers.
+
+        The number of map tasks is the number of input partitions, as in
+        the paper (one map task per input split; splitting disabled).
+        """
+        if not partitions:
+            raise ValueError("at least one input partition is required")
+        indices = [p.index for p in partitions]
+        if indices != list(range(len(partitions))):
+            raise ValueError(
+                f"partitions must have contiguous indices 0..m-1, got {indices}"
+            )
+        config = JobConfig(
+            num_map_tasks=len(partitions),
+            num_reduce_tasks=num_reduce_tasks,
+            properties=dict(properties or {}),
+        )
+
+        map_results = [self._run_map_task(job, config, part) for part in partitions]
+        map_outputs = [result.output for result in map_results]
+        buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
+        reduce_results = [
+            self._run_reduce_task(job, config, reduce_index, bucket)
+            for reduce_index, bucket in enumerate(buckets)
+        ]
+
+        counters = Counters.merged(
+            [r.counters for r in map_results] + [r.counters for r in reduce_results]
+        )
+        return JobResult(
+            job_name=job.name,
+            config=config,
+            map_tasks=tuple(map_results),
+            reduce_tasks=tuple(reduce_results),
+            counters=counters,
+        )
+
+    # -- task execution ------------------------------------------------------
+
+    def _run_map_task(
+        self, job: MapReduceJob, config: JobConfig, partition: Partition
+    ) -> MapTaskResult:
+        side_files: dict[str, str] = {}
+
+        def side_writer(directory: str, key: Any, value: Any) -> None:
+            path = side_files.get(directory)
+            if path is None:
+                path = DistributedFileSystem.task_path(directory, partition.index)
+                self.dfs.create(path)
+                side_files[directory] = path
+            self.dfs.append(path, key, value)
+            context.counters.increment(StandardCounter.SIDE_OUTPUT_RECORDS)
+
+        context = TaskContext(
+            config, partition_index=partition.index, side_writer=side_writer
+        )
+        output: list[KeyValue] = []
+
+        def emit(key: Any, value: Any) -> None:
+            output.append(KeyValue(key, value))
+
+        job.configure_map(context)
+        for record in partition:
+            job.map(record.key, record.value, emit, context)
+            context.counters.increment(StandardCounter.MAP_INPUT_RECORDS)
+
+        output = self._run_combiner(job, context, output)
+        context.counters.increment(StandardCounter.MAP_OUTPUT_RECORDS, len(output))
+        return MapTaskResult(
+            partition_index=partition.index,
+            input_records=len(partition),
+            output_records=len(output),
+            counters=context.counters,
+            output=tuple(output),
+        )
+
+    def _run_combiner(
+        self, job: MapReduceJob, context: TaskContext, output: list[KeyValue]
+    ) -> list[KeyValue]:
+        """Apply the job's combiner to one map task's output, if defined.
+
+        Groups by the full key (sorted by the sort projection first) and
+        replaces each group by whatever the combiner returns.  Jobs
+        without a combiner pass through untouched.
+        """
+        if type(job).combine is MapReduceJob.combine:
+            return output
+
+        sorted_output = sort_bucket(job, output)
+        combined: list[KeyValue] = []
+        i = 0
+        n = len(sorted_output)
+        while i < n:
+            j = i
+            key = sorted_output[i].key
+            values: list[Any] = []
+            while j < n and sorted_output[j].key == key:
+                values.append(sorted_output[j].value)
+                j += 1
+            context.counters.increment(StandardCounter.COMBINE_INPUT_RECORDS, j - i)
+            replacement = job.combine(key, values)
+            if replacement is None:
+                combined.extend(sorted_output[i:j])
+                context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS, j - i)
+            else:
+                for out_key, out_value in replacement:
+                    combined.append(KeyValue(out_key, out_value))
+                    context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS)
+            i = j
+        return combined
+
+    def _run_reduce_task(
+        self,
+        job: MapReduceJob,
+        config: JobConfig,
+        reduce_index: int,
+        bucket: list[KeyValue],
+    ) -> ReduceTaskResult:
+        context = TaskContext(config, reduce_index=reduce_index)
+        output: list[KeyValue] = []
+
+        def emit(key: Any, value: Any) -> None:
+            output.append(KeyValue(key, value))
+
+        job.configure_reduce(context)
+        groups = group_bucket(job, sort_bucket(job, bucket))
+        for group in groups:
+            job.reduce(group.key, group.values, emit, context)
+            context.counters.increment(StandardCounter.REDUCE_INPUT_GROUPS)
+            context.counters.increment(
+                StandardCounter.REDUCE_INPUT_RECORDS, len(group.values)
+            )
+        context.counters.increment(StandardCounter.REDUCE_OUTPUT_RECORDS, len(output))
+        return ReduceTaskResult(
+            reduce_index=reduce_index,
+            input_records=len(bucket),
+            input_groups=len(groups),
+            output_records=len(output),
+            counters=context.counters,
+            output=tuple(output),
+        )

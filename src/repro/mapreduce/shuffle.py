@@ -1,0 +1,83 @@
+"""Shuffle phase: partition, sort, and group map output.
+
+This is the part of the MR contract the paper's strategies lean on
+hardest — composite keys are *partitioned* on one component, *sorted*
+on the whole key and *grouped* on another projection, which is what
+lets a reduce task receive several blocks (or pair ranges) in a
+well-defined order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .job import MapReduceJob
+from .types import KeyValue, ReduceGroup
+
+
+def partition_map_output(
+    job: MapReduceJob,
+    map_outputs: Sequence[Sequence[KeyValue]],
+    num_reduce_tasks: int,
+) -> list[list[KeyValue]]:
+    """Route every map-output record to its reduce task.
+
+    ``map_outputs`` is one record list per map task.  Records are
+    appended in map-task order, matching the merge order a real shuffle
+    would produce before sorting.
+    """
+    buckets: list[list[KeyValue]] = [[] for _ in range(num_reduce_tasks)]
+    for task_output in map_outputs:
+        for record in task_output:
+            index = job.validate_partition(record.key, num_reduce_tasks)
+            buckets[index].append(record)
+    return buckets
+
+
+def sort_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[KeyValue]:
+    """Stably sort one reduce task's input by the job's sort projection.
+
+    Stability matters: records with equal sort keys keep their map-task
+    arrival order, which the BlockSplit reduce function exploits when it
+    buffers the first sub-block of a cross-product match task.
+    """
+    return sorted(bucket, key=lambda record: job.sort_key(record.key))
+
+
+def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
+    """Split a sorted bucket into reduce groups by the group projection.
+
+    Consecutive records whose ``group_key`` projections are equal form
+    one group; the representative key of a group is the full key of its
+    first record (Hadoop semantics).
+    """
+    groups: list[ReduceGroup] = []
+    current_key: Any = None
+    current_group_key: Any = None
+    current_values: list[Any] = []
+    have_group = False
+
+    for record in sorted_bucket:
+        gk = job.group_key(record.key)
+        if have_group and gk == current_group_key:
+            current_values.append(record.value)
+        else:
+            if have_group:
+                groups.append(ReduceGroup(current_key, tuple(current_values)))
+            current_key = record.key
+            current_group_key = gk
+            current_values = [record.value]
+            have_group = True
+    if have_group:
+        groups.append(ReduceGroup(current_key, tuple(current_values)))
+    return groups
+
+
+def shuffle(
+    job: MapReduceJob,
+    map_outputs: Sequence[Sequence[KeyValue]],
+    num_reduce_tasks: int,
+) -> list[list[ReduceGroup]]:
+    """Full shuffle: returns, per reduce task, its ordered reduce groups."""
+    buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
+    return [group_bucket(job, sort_bucket(job, bucket)) for bucket in buckets]

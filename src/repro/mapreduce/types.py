@@ -1,0 +1,107 @@
+"""Basic value types for the in-process MapReduce runtime.
+
+The runtime models data as ``(key, value)`` pairs exactly like Hadoop.
+Keys are ordinary Python objects; composite keys are tuples.  The paper's
+strategies rely on *composite* keys whose components drive partitioning,
+sorting and grouping independently (Section II of the paper), so the
+runtime never assumes anything about key structure beyond comparability
+of the sort projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Iterator, Sequence, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+@dataclass(frozen=True, slots=True)
+class KeyValue(Generic[K, V]):
+    """A single ``(key, value)`` record flowing through a job."""
+
+    key: K
+    value: V
+
+    def as_tuple(self) -> tuple[K, V]:
+        return (self.key, self.value)
+
+    def __iter__(self) -> Iterator[Any]:
+        # Allows ``key, value = kv`` unpacking at call sites.
+        return iter((self.key, self.value))
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceGroup(Generic[K, V]):
+    """One reduce-function invocation: a group key and its value list.
+
+    ``key`` is the full composite key of the *first* record in the group
+    (Hadoop semantics: the reduce function sees one representative key,
+    while grouping may have used only a projection of it).
+    """
+
+    key: K
+    values: tuple[V, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Partition(Sequence[KeyValue]):
+    """An ordered, immutable input partition (one map task's input).
+
+    The paper's workflow requires both MR jobs to read *the same
+    partitioning* of the input (Section III-A); modelling partitions as
+    first-class objects with a stable ``index`` makes that contract
+    explicit and testable.
+    """
+
+    __slots__ = ("_records", "index", "name")
+
+    def __init__(self, records: Sequence[KeyValue], index: int, name: str | None = None):
+        if index < 0:
+            raise ValueError(f"partition index must be >= 0, got {index}")
+        self._records = tuple(records)
+        self.index = index
+        self.name = name if name is not None else f"part-{index:05d}"
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[Any, Any]], index: int, name: str | None = None) -> "Partition":
+        return cls([KeyValue(k, v) for k, v in pairs], index, name)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any], index: int, name: str | None = None) -> "Partition":
+        """Build a partition of ``(None, value)`` records (offset keys unused)."""
+        return cls([KeyValue(None, v) for v in values], index, name)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._records[i]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return f"Partition(index={self.index}, records={len(self._records)})"
+
+
+def make_partitions(values: Sequence[Any], num_partitions: int) -> list[Partition]:
+    """Split ``values`` into ``num_partitions`` contiguous, near-equal partitions.
+
+    Mirrors how a DFS splits an input file into fixed-size splits: record
+    order is preserved and partition sizes differ by at most one.
+    """
+    if num_partitions <= 0:
+        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+    n = len(values)
+    base, extra = divmod(n, num_partitions)
+    partitions: list[Partition] = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        partitions.append(Partition.from_values(values[start:start + size], index=i))
+        start += size
+    return partitions

@@ -1,0 +1,146 @@
+"""Experiment sweeps: structure, determinism, and figure-level claims
+at reduced scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    bdm_for_block_sizes,
+    dataset_statistics,
+    simulate_run,
+    sweep_input_order,
+    sweep_nodes,
+    sweep_reduce_tasks,
+    sweep_skew,
+)
+from repro.datasets.skew import zipf_block_sizes
+
+STRATEGIES = ["basic", "blocksplit", "pairrange"]
+SIZES = zipf_block_sizes(20_000, 200, 1.2)
+
+
+class TestSimulateRun:
+    def test_fields(self):
+        bdm = bdm_for_block_sizes(SIZES, 8, seed=1)
+        run = simulate_run("blocksplit", bdm, num_nodes=4, num_reduce_tasks=16)
+        assert run.strategy == "blocksplit"
+        assert run.execution_time > 0
+        assert run.total_pairs == bdm.pairs()
+        assert run.num_map_tasks == 8
+        assert run.ms_per_10k_pairs > 0
+
+    def test_deterministic(self):
+        bdm = bdm_for_block_sizes(SIZES, 8, seed=1)
+        a = simulate_run("pairrange", bdm, num_nodes=4, num_reduce_tasks=16)
+        b = simulate_run("pairrange", bdm, num_nodes=4, num_reduce_tasks=16)
+        assert a.execution_time == b.execution_time
+
+
+class TestSkewSweep:
+    def test_figure9_claims(self):
+        """Basic degrades with skew; BlockSplit/PairRange stay flat."""
+        results = sweep_skew(
+            STRATEGIES,
+            [0.0, 1.0],
+            num_entities=20_000,
+            num_blocks=100,
+            num_nodes=4,
+            num_map_tasks=8,
+            num_reduce_tasks=40,
+        )
+        flat = results[0.0]
+        skewed = results[1.0]
+        # At s=0, Basic is competitive (no BDM job overhead).
+        assert flat["basic"].execution_time <= flat["blocksplit"].execution_time
+        # At s=1, Basic is several times slower per pair.
+        assert (
+            skewed["basic"].ms_per_10k_pairs
+            > 3 * skewed["blocksplit"].ms_per_10k_pairs
+        )
+        # Balanced strategies stay within 2x across skews (robustness).
+        for name in ("blocksplit", "pairrange"):
+            ratio = (
+                skewed[name].ms_per_10k_pairs / flat[name].ms_per_10k_pairs
+            )
+            assert ratio < 2.0
+
+
+class TestReduceTaskSweep:
+    def test_figure10_structure(self):
+        bdm = bdm_for_block_sizes(SIZES, 8, seed=2)
+        results = sweep_reduce_tasks(STRATEGIES, [8, 16, 32], bdm, num_nodes=4)
+        for r, runs in results.items():
+            assert set(runs) == set(STRATEGIES)
+            # Basic never beats the balanced strategies on skewed data.
+            assert runs["basic"].execution_time > runs["blocksplit"].execution_time
+
+    def test_figure12_map_output(self):
+        bdm = bdm_for_block_sizes(SIZES, 8, seed=2)
+        results = sweep_reduce_tasks(STRATEGIES, [8, 16, 32, 64], bdm, num_nodes=4)
+        basic_out = [results[r]["basic"].map_output_kv for r in (8, 16, 32, 64)]
+        pairrange_out = [
+            results[r]["pairrange"].map_output_kv for r in (8, 16, 32, 64)
+        ]
+        blocksplit_out = [
+            results[r]["blocksplit"].map_output_kv for r in (8, 16, 32, 64)
+        ]
+        # Basic: constant, equal to the input size.
+        assert len(set(basic_out)) == 1
+        assert basic_out[0] == 20_000
+        # PairRange: grows monotonically with r.
+        assert pairrange_out == sorted(pairrange_out)
+        assert pairrange_out[-1] > pairrange_out[0]
+        # BlockSplit: non-decreasing, below PairRange for large r.
+        assert blocksplit_out == sorted(blocksplit_out)
+        assert blocksplit_out[-1] <= pairrange_out[-1]
+
+
+class TestNodeSweep:
+    def test_figure13_scaling(self):
+        results = sweep_nodes(
+            ["basic", "blocksplit", "pairrange"], [1, 2, 4, 8], SIZES
+        )
+        blocksplit_times = [results[n]["blocksplit"].execution_time for n in (1, 2, 4, 8)]
+        basic_times = [results[n]["basic"].execution_time for n in (1, 2, 4, 8)]
+        # Balanced strategies scale down; speedup 1->8 nodes is substantial.
+        assert blocksplit_times == sorted(blocksplit_times, reverse=True)
+        assert blocksplit_times[0] / blocksplit_times[-1] > 3.0
+        # Basic saturates: best-case speedup stays small on skewed data.
+        assert basic_times[0] / basic_times[-1] < 2.5
+
+    def test_m_and_r_follow_nodes(self):
+        results = sweep_nodes(["pairrange"], [2, 4], SIZES)
+        assert results[2]["pairrange"].num_map_tasks == 4
+        assert results[2]["pairrange"].num_reduce_tasks == 20
+        assert results[4]["pairrange"].num_map_tasks == 8
+        assert results[4]["pairrange"].num_reduce_tasks == 40
+
+
+class TestInputOrderSweep:
+    def test_figure11_sorted_hurts_blocksplit_only(self):
+        results = sweep_input_order(
+            ["blocksplit", "pairrange"],
+            ["shuffled", "sorted"],
+            SIZES,
+            num_map_tasks=8,
+            num_nodes=4,
+            reduce_task_counts=(16, 32),
+        )
+        for r in (16, 32):
+            unsorted_bs = results["shuffled"][r]["blocksplit"].execution_time
+            sorted_bs = results["sorted"][r]["blocksplit"].execution_time
+            assert sorted_bs > 1.2 * unsorted_bs
+            unsorted_pr = results["shuffled"][r]["pairrange"].execution_time
+            sorted_pr = results["sorted"][r]["pairrange"].execution_time
+            assert sorted_pr == pytest.approx(unsorted_pr, rel=0.15)
+
+
+class TestDatasetStatistics:
+    def test_fields(self):
+        stats = dataset_statistics(SIZES)
+        assert stats["entities"] == 20_000
+        assert stats["blocks"] == 200
+        assert stats["pairs"] > 0
+        assert 0 < stats["largest_block_entity_share"] < 1
+        assert 0 < stats["largest_block_pair_share"] < 1

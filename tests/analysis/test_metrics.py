@@ -1,0 +1,74 @@
+"""Load-balance and scalability metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    WorkloadStats,
+    efficiency,
+    imbalance,
+    replication_factor,
+    speedup,
+    time_per_pairs,
+)
+
+
+class TestWorkloadStats:
+    def test_balanced(self):
+        stats = WorkloadStats.from_workloads([10, 10, 10])
+        assert stats.imbalance == pytest.approx(1.0)
+        assert stats.stdev == 0.0
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_skewed(self):
+        stats = WorkloadStats.from_workloads([30, 0, 0])
+        assert stats.total == 30
+        assert stats.mean == pytest.approx(10.0)
+        assert stats.imbalance == pytest.approx(3.0)
+
+    def test_all_zero(self):
+        stats = WorkloadStats.from_workloads([0, 0])
+        assert stats.imbalance == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadStats.from_workloads([])
+        with pytest.raises(ValueError):
+            WorkloadStats.from_workloads([-1])
+
+    def test_imbalance_helper(self):
+        assert imbalance([4, 2]) == pytest.approx(4 / 3)
+
+
+class TestScalabilityMetrics:
+    def test_speedup_default_baseline(self):
+        assert speedup([100.0, 50.0, 25.0]) == [1.0, 2.0, 4.0]
+
+    def test_speedup_explicit_baseline(self):
+        assert speedup([50.0], baseline=100.0) == [2.0]
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup([0.0])
+        assert speedup([]) == []
+
+    def test_efficiency(self):
+        # 1 -> 4 nodes with 3x speedup = 75 % efficiency.
+        assert efficiency([1.0, 3.0], [1, 4]) == [1.0, pytest.approx(0.75)]
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            efficiency([1.0], [1, 2])
+        assert efficiency([], []) == []
+
+    def test_replication_factor(self):
+        assert replication_factor(200, 100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            replication_factor(1, 0)
+
+    def test_time_per_pairs(self):
+        # 10 s for 1e6 pairs -> 0.1 s per 10^4 pairs.
+        assert time_per_pairs(10.0, 1_000_000) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            time_per_pairs(1.0, 0)

@@ -1,0 +1,65 @@
+"""Text rendering of tables and series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_seconds, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "a" in lines[2]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_number_formatting(self):
+        text = format_table(["n"], [[1234567]])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        text = format_table(["f"], [[0.1234567]])
+        assert "0.1235" in text
+
+    def test_bool_formatting(self):
+        text = format_table(["b"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestFormatSeries:
+    def test_columns(self):
+        text = format_series(
+            "r", [20, 40], {"basic": [1.0, 2.0], "blocksplit": [0.5, 0.6]}
+        )
+        lines = text.splitlines()
+        assert "basic" in lines[0] and "blocksplit" in lines[0]
+        assert len(lines) == 4
+
+    def test_short_series_padded(self):
+        text = format_series("x", [1, 2], {"y": [9]})
+        assert text  # second row simply has an empty cell
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(95.4) == "95 s"
+
+    def test_minutes(self):
+        assert format_seconds(725) == "12 min 5 s"
+
+    def test_hours(self):
+        assert format_seconds(4320) == "1.20 h"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)

@@ -1,0 +1,86 @@
+"""Text visualisations: bar charts, Gantt, sparklines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.visualization import bar_chart, gantt, sparkline, workload_chart
+from repro.cluster.simulation import ClusterSimulator, ClusterSpec, TaskSpec
+
+
+class TestBarChart:
+    def test_scaling(self):
+        chart = bar_chart([10, 5, 0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert lines[2].count("█") == 0
+
+    def test_labels_and_title(self):
+        chart = bar_chart([1.0], labels=["task"], title="T")
+        assert chart.splitlines()[0] == "T"
+        assert "task" in chart
+
+    def test_all_zero(self):
+        chart = bar_chart([0, 0], width=5)
+        assert "█" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+        with pytest.raises(ValueError):
+            bar_chart([-1])
+        with pytest.raises(ValueError):
+            bar_chart([1], width=0)
+        with pytest.raises(ValueError):
+            bar_chart([1], labels=["a", "b"])
+
+    def test_workload_chart_sections(self):
+        chart = workload_chart({"basic": [5, 1], "pairrange": [3, 3]})
+        assert "basic — comparisons per reduce task" in chart
+        assert "pairrange — comparisons per reduce task" in chart
+
+
+class TestGantt:
+    def _phase(self):
+        simulator = ClusterSimulator(ClusterSpec(num_nodes=2))
+        tasks = [TaskSpec(f"t{i}", 2.0 + i) for i in range(6)]
+        return simulator.simulate_phase("reduce", tasks, slots_per_node=2)
+
+    def test_rows_per_slot(self):
+        text = gantt(self._phase(), width=40)
+        lines = text.splitlines()
+        assert "reduce phase" in lines[0]
+        assert sum(1 for line in lines if line.startswith("n00.")) == 2
+        assert sum(1 for line in lines if line.startswith("n01.")) == 2
+
+    def test_empty_phase(self):
+        from repro.cluster.timeline import PhaseTimeline
+
+        empty = PhaseTimeline("map", 0.0, (), 2)
+        assert "(no tasks)" in gantt(empty)
+
+    def test_max_rows_elision(self):
+        simulator = ClusterSimulator(ClusterSpec(num_nodes=8))
+        tasks = [TaskSpec(f"t{i}", 1.0) for i in range(16)]
+        phase = simulator.simulate_phase("reduce", tasks, slots_per_node=2)
+        text = gantt(phase, max_rows=4)
+        assert "more slots" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gantt(self._phase(), width=0)
+
+
+class TestSparkline:
+    def test_trend(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat(self):
+        assert sparkline([5, 5]) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

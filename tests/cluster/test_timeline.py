@@ -1,0 +1,93 @@
+"""Timelines: makespan, utilisation, speedup helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.timeline import (
+    JobTimeline,
+    PhaseTimeline,
+    TaskExecution,
+    makespan_lower_bound,
+    speedup_series,
+)
+
+
+def execution(name, start, end, node=0, slot=0):
+    return TaskExecution(name=name, node=node, slot=slot, start=start, end=end)
+
+
+class TestTaskExecution:
+    def test_duration(self):
+        assert execution("t", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            execution("t", 2.0, 1.0)
+
+
+class TestPhaseTimeline:
+    def _phase(self):
+        return PhaseTimeline(
+            phase="reduce",
+            start=0.0,
+            executions=(
+                execution("a", 0, 4, node=0),
+                execution("b", 0, 2, node=1),
+                execution("c", 2, 3, node=1),
+            ),
+            num_slots=2,
+        )
+
+    def test_makespan(self):
+        assert self._phase().makespan == pytest.approx(4.0)
+
+    def test_total_work(self):
+        assert self._phase().total_work == pytest.approx(4 + 2 + 1)
+
+    def test_utilisation(self):
+        assert self._phase().utilisation == pytest.approx(7 / 8)
+
+    def test_critical_task(self):
+        assert self._phase().critical_task().name == "a"
+
+    def test_empty_phase(self):
+        phase = PhaseTimeline(phase="map", start=3.0, executions=(), num_slots=2)
+        assert phase.makespan == 0.0
+        assert phase.critical_task() is None
+        assert phase.utilisation == 1.0
+
+    def test_per_slot_busy_time(self):
+        busy = self._phase().per_slot_busy_time()
+        assert busy == {(0, 0): 4.0, (1, 0): 3.0}
+
+
+class TestJobTimeline:
+    def test_execution_time(self):
+        job = JobTimeline(
+            job_name="j",
+            setup_time=2.0,
+            map_phase=PhaseTimeline("map", 2.0, (execution("m", 2, 5),), 1),
+            reduce_phase=PhaseTimeline("reduce", 5.0, (execution("r", 5, 9),), 1),
+        )
+        assert job.execution_time == pytest.approx(2 + 3 + 4)
+        assert job.reduce_straggler.name == "r"
+
+
+class TestHelpers:
+    def test_speedup_series(self):
+        assert speedup_series([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+
+    def test_speedup_empty(self):
+        assert speedup_series([]) == []
+
+    def test_speedup_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_series([0.0, 1.0])
+
+    def test_lower_bound(self):
+        assert makespan_lower_bound([4, 4, 4], 2) == pytest.approx(6.0)
+        assert makespan_lower_bound([10, 1], 4) == pytest.approx(10.0)
+        assert makespan_lower_bound([], 2) == 0.0
+        with pytest.raises(ValueError):
+            makespan_lower_bound([1], 0)

@@ -1,0 +1,347 @@
+"""Pair-enumeration math: bijectivity, offsets, ranges, interval algebra.
+
+These are the invariants PairRange's correctness rests on (DESIGN.md
+invariant 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import (
+    DualPairEnumeration,
+    PairEnumeration,
+    PairRangeSpec,
+    block_pair_count,
+    cell_index,
+    cell_of,
+    column_start,
+    dual_cell_index,
+    dual_cell_of,
+    dual_entities_in_cell_interval,
+    entities_in_cell_interval,
+    entity_count_in_cell_interval,
+    interval_total,
+    merge_intervals,
+)
+
+
+class TestCellIndex:
+    def test_paper_example_block0(self):
+        # Figure 6: pair (2, 3) of block Φ0 (|Φ0|=4) has cell index 5.
+        assert cell_index(2, 3, 4) == 5
+
+    def test_column_wise_layout_n4(self):
+        # N=4 columns: x=0 -> cells 0,1,2; x=1 -> 3,4; x=2 -> 5.
+        expected = {(0, 1): 0, (0, 2): 1, (0, 3): 2, (1, 2): 3, (1, 3): 4, (2, 3): 5}
+        for (x, y), cell in expected.items():
+            assert cell_index(x, y, 4) == cell
+
+    def test_first_pair_is_zero(self):
+        for n in range(2, 20):
+            assert cell_index(0, 1, n) == 0
+
+    def test_last_pair_is_count_minus_one(self):
+        for n in range(2, 20):
+            assert cell_index(n - 2, n - 1, n) == block_pair_count(n) - 1
+
+    def test_rejects_invalid_pairs(self):
+        with pytest.raises(ValueError):
+            cell_index(1, 1, 4)
+        with pytest.raises(ValueError):
+            cell_index(2, 1, 4)
+        with pytest.raises(ValueError):
+            cell_index(0, 4, 4)
+        with pytest.raises(ValueError):
+            cell_index(-1, 1, 4)
+
+    @given(st.integers(min_value=2, max_value=60))
+    def test_bijection(self, n):
+        seen = set()
+        for x in range(n - 1):
+            for y in range(x + 1, n):
+                seen.add(cell_index(x, y, n))
+        assert seen == set(range(block_pair_count(n)))
+
+    @given(st.integers(min_value=2, max_value=60), st.data())
+    def test_cell_of_inverts_cell_index(self, n, data):
+        p = data.draw(st.integers(min_value=0, max_value=block_pair_count(n) - 1))
+        x, y = cell_of(p, n)
+        assert cell_index(x, y, n) == p
+
+    def test_column_start_matches_first_cell(self):
+        for n in range(2, 15):
+            for x in range(n - 1):
+                assert column_start(x, n) == cell_index(x, x + 1, n)
+
+
+class TestBlockPairCount:
+    def test_known_values(self):
+        assert block_pair_count(0) == 0
+        assert block_pair_count(1) == 0
+        assert block_pair_count(2) == 1
+        assert block_pair_count(5) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            block_pair_count(-1)
+
+
+class TestMergeIntervals:
+    def test_overlapping(self):
+        assert merge_intervals([(0, 3), (2, 5)]) == [(0, 5)]
+
+    def test_adjacent_coalesced(self):
+        assert merge_intervals([(0, 2), (3, 4)]) == [(0, 4)]
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(0, 1), (5, 6)]) == [(0, 1), (5, 6)]
+
+    def test_empty_inputs_ignored(self):
+        assert merge_intervals([(3, 2), (0, 1)]) == [(0, 1)]
+
+    def test_interval_total(self):
+        assert interval_total([(0, 4), (10, 10)]) == 6
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=10,
+        )
+    )
+    def test_total_matches_set_union(self, raw):
+        intervals = [(lo, hi) for lo, hi in raw]
+        merged = merge_intervals(intervals)
+        expected = set()
+        for lo, hi in intervals:
+            expected.update(range(lo, hi + 1))
+        assert interval_total(merged) == len(expected)
+        covered = set()
+        for lo, hi in merged:
+            covered.update(range(lo, hi + 1))
+        assert covered == expected
+
+
+class TestEntitiesInCellInterval:
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    def test_matches_brute_force(self, n, data):
+        total = block_pair_count(n)
+        lo = data.draw(st.integers(min_value=0, max_value=total - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=total - 1))
+        expected = set()
+        for p in range(lo, hi + 1):
+            x, y = cell_of(p, n)
+            expected.add(x)
+            expected.add(y)
+        intervals = entities_in_cell_interval(n, lo, hi)
+        covered = set()
+        for a, b in intervals:
+            covered.update(range(a, b + 1))
+        assert covered == expected
+        assert entity_count_in_cell_interval(n, lo, hi) == len(expected)
+
+    def test_empty_interval(self):
+        assert entities_in_cell_interval(5, 3, 2) == []
+
+
+class TestDualCells:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_bijection(self, n_r, n_s):
+        seen = set()
+        for x in range(n_r):
+            for y in range(n_s):
+                seen.add(dual_cell_index(x, y, n_s))
+        assert seen == set(range(n_r * n_s))
+
+    def test_inverse(self):
+        for n_s in range(1, 8):
+            for p in range(4 * n_s):
+                x, y = dual_cell_of(p, n_s)
+                assert dual_cell_index(x, y, n_s) == p
+
+    @given(
+        st.integers(min_value=1, max_value=15),
+        st.integers(min_value=1, max_value=15),
+        st.data(),
+    )
+    def test_dual_interval_matches_brute_force(self, n_r, n_s, data):
+        total = n_r * n_s
+        lo = data.draw(st.integers(min_value=0, max_value=total - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=total - 1))
+        expected_r, expected_s = set(), set()
+        for p in range(lo, hi + 1):
+            x, y = dual_cell_of(p, n_s)
+            expected_r.add(x)
+            expected_s.add(y)
+        r_intervals, s_intervals = dual_entities_in_cell_interval(n_r, n_s, lo, hi)
+        covered_r = {i for a, b in r_intervals for i in range(a, b + 1)}
+        covered_s = {i for a, b in s_intervals for i in range(a, b + 1)}
+        assert covered_r == expected_r
+        assert covered_s == expected_s
+
+
+class TestPairRangeSpec:
+    def test_paper_example_ranges(self):
+        # P=20 pairs, r=3 -> ranges [0,6], [7,13], [14,19] (Figure 6).
+        spec = PairRangeSpec(20, 3)
+        assert spec.pairs_per_range == 7
+        assert spec.bounds(0) == (0, 6)
+        assert spec.bounds(1) == (7, 13)
+        assert spec.bounds(2) == (14, 19)
+        assert spec.sizes() == [7, 7, 6]
+
+    def test_range_of_is_monotone(self):
+        spec = PairRangeSpec(100, 7)
+        ranges = [spec.range_of(p) for p in range(100)]
+        assert ranges == sorted(ranges)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_sizes_partition_all_pairs(self, total, r):
+        spec = PairRangeSpec(total, r)
+        sizes = spec.sizes()
+        assert sum(sizes) == total
+        assert len(sizes) == r
+        # All but the last *non-empty* range hold exactly ⌈P/r⌉ pairs.
+        non_empty = [s for s in sizes if s > 0]
+        if non_empty:
+            assert all(s == spec.pairs_per_range for s in non_empty[:-1])
+
+    def test_out_of_range_pair_rejected(self):
+        spec = PairRangeSpec(10, 2)
+        with pytest.raises(ValueError):
+            spec.range_of(10)
+        with pytest.raises(ValueError):
+            spec.range_of(-1)
+
+
+class TestPairEnumeration:
+    def _paper_enumeration(self) -> PairEnumeration:
+        # Running example: blocks w, x, y, z with sizes 4, 2, 3, 5.
+        return PairEnumeration([4, 2, 3, 5])
+
+    def test_total_pairs(self):
+        assert self._paper_enumeration().total_pairs == 20
+
+    def test_offsets(self):
+        enum = self._paper_enumeration()
+        assert [enum.offset(i) for i in range(4)] == [0, 6, 7, 10]
+
+    def test_entity_m_pair_bounds(self):
+        # Entity M: block 3, index 2 of 5 -> pmin=11, pmax=18 (Section V).
+        enum = self._paper_enumeration()
+        assert enum.pair_index(3, 0, 2) == 11
+        assert enum.pair_index(3, 2, 4) == 18
+
+    def test_entity_m_relevant_ranges(self):
+        # M participates in pairs 11, 14, 17, 18 -> ranges {1, 2}.
+        enum = self._paper_enumeration()
+        spec = PairRangeSpec(enum.total_pairs, 3)
+        assert enum.relevant_ranges(3, 2, spec) == [1, 2]
+
+    def test_entity_f_not_in_last_range(self):
+        # F (block 3, index 0) takes part in pairs 10-13 only -> range 1.
+        enum = self._paper_enumeration()
+        spec = PairRangeSpec(enum.total_pairs, 3)
+        assert enum.relevant_ranges(3, 0, spec) == [1]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=6),
+    )
+    def test_pair_at_inverts_pair_index(self, sizes):
+        enum = PairEnumeration(sizes)
+        for p in range(enum.total_pairs):
+            block, x, y = enum.pair_at(p)
+            assert enum.pair_index(block, x, y) == p
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_relevant_ranges_match_brute_force(self, sizes, r):
+        enum = PairEnumeration(sizes)
+        spec = PairRangeSpec(enum.total_pairs, r)
+        for block, n in enumerate(sizes):
+            for x in range(n):
+                expected = set()
+                for other in range(n):
+                    if other == x:
+                        continue
+                    lo, hi = min(x, other), max(x, other)
+                    expected.add(spec.range_of(enum.pair_index(block, lo, hi)))
+                assert enum.relevant_ranges(block, x, spec) == sorted(expected)
+
+    def test_singleton_block_has_no_ranges(self):
+        enum = PairEnumeration([1, 5])
+        spec = PairRangeSpec(enum.total_pairs, 2)
+        assert enum.relevant_ranges(0, 0, spec) == []
+
+
+class TestDualPairEnumeration:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_pair_at_inverts(self, sizes):
+        enum = DualPairEnumeration(sizes)
+        for p in range(enum.total_pairs):
+            block, x, y = enum.pair_at(p)
+            assert enum.pair_index(block, x, y) == p
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50)
+    def test_relevant_ranges_match_brute_force(self, sizes, r):
+        enum = DualPairEnumeration(sizes)
+        spec = PairRangeSpec(enum.total_pairs, r)
+        for block, (n_r, n_s) in enumerate(sizes):
+            for x in range(n_r):
+                expected = sorted(
+                    {
+                        spec.range_of(enum.pair_index(block, x, y))
+                        for y in range(n_s)
+                    }
+                )
+                assert enum.relevant_ranges_r(block, x, spec) == expected
+            for y in range(n_s):
+                expected = sorted(
+                    {
+                        spec.range_of(enum.pair_index(block, x, y))
+                        for x in range(n_r)
+                    }
+                )
+                assert enum.relevant_ranges_s(block, y, spec) == expected
+
+    def test_r_entity_ranges_are_contiguous(self):
+        enum = DualPairEnumeration([(3, 10), (2, 8)])
+        spec = PairRangeSpec(enum.total_pairs, 5)
+        for block, (n_r, _n_s) in enumerate(enum.block_sizes):
+            for x in range(n_r):
+                ranges = enum.relevant_ranges_r(block, x, spec)
+                assert ranges == list(range(ranges[0], ranges[-1] + 1))

@@ -1,0 +1,69 @@
+"""Composite-key semantics the shuffle relies on."""
+
+from __future__ import annotations
+
+from repro.core.keys import (
+    BdmKey,
+    BlockSplitKey,
+    DualBlockSplitKey,
+    DualPairRangeKey,
+    PairRangeKey,
+)
+
+
+class TestSortOrder:
+    def test_blocksplit_sorts_by_reduce_block_split(self):
+        keys = [
+            BlockSplitKey(1, 0, 0, 0),
+            BlockSplitKey(0, 2, 1, 0),
+            BlockSplitKey(0, 1, 1, 1),
+            BlockSplitKey(0, 1, 0, 0),
+        ]
+        assert sorted(keys) == [
+            BlockSplitKey(0, 1, 0, 0),
+            BlockSplitKey(0, 1, 1, 1),
+            BlockSplitKey(0, 2, 1, 0),
+            BlockSplitKey(1, 0, 0, 0),
+        ]
+
+    def test_pairrange_sorts_entities_in_index_order(self):
+        keys = [PairRangeKey(0, 1, 5), PairRangeKey(0, 1, 2), PairRangeKey(0, 0, 9)]
+        assert sorted(keys) == [
+            PairRangeKey(0, 0, 9),
+            PairRangeKey(0, 1, 2),
+            PairRangeKey(0, 1, 5),
+        ]
+
+    def test_dual_blocksplit_sorts_r_before_s(self):
+        r_key = DualBlockSplitKey(0, 1, 0, 1, "R")
+        s_key = DualBlockSplitKey(0, 1, 0, 1, "S")
+        assert sorted([s_key, r_key]) == [r_key, s_key]
+
+    def test_dual_pairrange_sorts_r_before_s_within_block(self):
+        keys = [
+            DualPairRangeKey(0, 1, "S", 0),
+            DualPairRangeKey(0, 1, "R", 3),
+            DualPairRangeKey(0, 1, "R", 1),
+        ]
+        assert sorted(keys) == [
+            DualPairRangeKey(0, 1, "R", 1),
+            DualPairRangeKey(0, 1, "R", 3),
+            DualPairRangeKey(0, 1, "S", 0),
+        ]
+
+
+class TestProjections:
+    def test_blocksplit_match_task(self):
+        assert BlockSplitKey(4, 7, 1, 0).match_task == (7, 1, 0)
+
+    def test_dual_blocksplit_match_task(self):
+        assert DualBlockSplitKey(4, 7, 1, 0, "S").match_task == (7, 1, 0)
+
+    def test_bdm_key_fields(self):
+        key = BdmKey("abc", 3)
+        assert key.block_key == "abc"
+        assert key.partition_index == 3
+
+    def test_keys_are_hashable_tuples(self):
+        assert tuple(PairRangeKey(1, 2, 3)) == (1, 2, 3)
+        assert len({BlockSplitKey(0, 0, 0, 0), BlockSplitKey(0, 0, 0, 0)}) == 1

@@ -1,0 +1,143 @@
+"""BlockSplit match-task generation and the greedy LPT assignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bdm import BlockDistributionMatrix
+from repro.core.enumeration import block_pair_count
+from repro.core.match_tasks import (
+    MatchTask,
+    assign_greedy,
+    generate_match_tasks,
+    plan_block_split,
+)
+
+
+def bdm_from_matrix(matrix) -> BlockDistributionMatrix:
+    keys = [f"b{k}" for k in range(len(matrix))]
+    return BlockDistributionMatrix(keys, matrix)
+
+
+bdm_matrices = st.integers(min_value=1, max_value=6).flatmap(
+    lambda m: st.lists(
+        st.lists(st.integers(min_value=0, max_value=12), min_size=m, max_size=m)
+        .filter(lambda row: sum(row) > 0),
+        min_size=1,
+        max_size=8,
+    )
+)
+
+
+class TestGeneration:
+    def test_split_threshold_is_average_workload(self):
+        # One block of 6 (15 pairs), r=3 -> threshold 5: split.
+        bdm = bdm_from_matrix([[3, 3]])
+        tasks, split, threshold = generate_match_tasks(bdm, num_reduce_tasks=3)
+        assert threshold == pytest.approx(5.0)
+        assert split == {0}
+
+    def test_block_at_threshold_not_split(self):
+        # Block pairs == P/r exactly -> "comps <= compsPerReduceTask".
+        bdm = bdm_from_matrix([[2, 2]])  # 6 pairs, r=1 -> threshold 6
+        _tasks, split, _threshold = generate_match_tasks(bdm, num_reduce_tasks=1)
+        assert split == set()
+
+    def test_split_task_structure(self):
+        bdm = bdm_from_matrix([[2, 3, 0]])  # 5 entities in partitions 0,1
+        tasks, split, _ = generate_match_tasks(bdm, num_reduce_tasks=5)
+        assert split == {0}
+        by_key = {t.key: t.comparisons for t in tasks}
+        # Sub-blocks 0 (2 entities) and 1 (3 entities); partition 2 empty.
+        assert by_key == {(0, 0, 0): 1, (0, 1, 0): 6, (0, 1, 1): 3}
+
+    def test_empty_sub_block_pairs_skipped(self):
+        bdm = bdm_from_matrix([[4, 0]])
+        tasks, split, _ = generate_match_tasks(bdm, num_reduce_tasks=3)
+        assert split == {0}
+        assert {t.key for t in tasks} == {(0, 0, 0)}
+
+    def test_singleton_unsplit_block_generates_zero_comp_task(self):
+        bdm = bdm_from_matrix([[1, 0], [2, 2]])
+        tasks, _split, _ = generate_match_tasks(bdm, num_reduce_tasks=1)
+        zero = [t for t in tasks if t.block == 0]
+        assert len(zero) == 1 and zero[0].comparisons == 0
+
+    @given(bdm_matrices, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_split_tasks_cover_all_block_pairs(self, matrix, r):
+        bdm = bdm_from_matrix(matrix)
+        tasks, split, _ = generate_match_tasks(bdm, r)
+        per_block: dict[int, int] = {}
+        for task in tasks:
+            per_block[task.block] = per_block.get(task.block, 0) + task.comparisons
+        for k in range(bdm.num_blocks):
+            assert per_block.get(k, 0) == block_pair_count(bdm.size(k))
+
+
+class TestGreedyAssignment:
+    def test_descending_then_least_loaded(self):
+        tasks = [
+            MatchTask(0, 0, 0, 10),
+            MatchTask(1, 0, 0, 8),
+            MatchTask(2, 0, 0, 7),
+            MatchTask(3, 0, 0, 2),
+        ]
+        assignment, loads = assign_greedy(tasks, num_reduce_tasks=2)
+        # 10->r0, 8->r1, 7->r1(15? no: r1 has 8 < r0 10 -> r1), 2->r0.
+        assert assignment[(0, 0, 0)] == 0
+        assert assignment[(1, 0, 0)] == 1
+        assert assignment[(2, 0, 0)] == 1
+        assert assignment[(3, 0, 0)] == 0
+        assert loads == [12, 15]
+
+    def test_ties_break_deterministically(self):
+        tasks = [MatchTask(k, 0, 0, 5) for k in range(4)]
+        a1, _ = assign_greedy(tasks, 4)
+        a2, _ = assign_greedy(list(reversed(tasks)), 4)
+        assert a1 == a2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60)
+    def test_lpt_bound(self, sizes, r):
+        """LPT guarantee: makespan ≤ average load + largest task."""
+        tasks = [MatchTask(k, 0, 0, c) for k, c in enumerate(sizes)]
+        _assignment, loads = assign_greedy(tasks, r)
+        assert sum(loads) == sum(sizes)
+        average = sum(sizes) / r
+        assert max(loads) <= average + max(sizes)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30)
+    def test_every_task_assigned_exactly_once(self, sizes, r):
+        tasks = [MatchTask(k, 0, 0, c) for k, c in enumerate(sizes)]
+        assignment, _loads = assign_greedy(tasks, r)
+        assert set(assignment) == {t.key for t in tasks}
+        assert all(0 <= target < r for target in assignment.values())
+
+
+class TestPlanBlockSplit:
+    @given(bdm_matrices, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60)
+    def test_total_comparisons_preserved(self, matrix, r):
+        bdm = bdm_from_matrix(matrix)
+        assignment = plan_block_split(bdm, r)
+        assert sum(assignment.reduce_comparisons) == bdm.pairs()
+
+    def test_unsplittable_block_in_single_partition(self):
+        # A huge block entirely in one partition cannot be parallelised
+        # (the Figure 11 phenomenon): it yields exactly one sub-block task.
+        bdm = bdm_from_matrix([[10, 0], [0, 2]])
+        assignment = plan_block_split(bdm, num_reduce_tasks=4)
+        assert assignment.is_split(0)
+        block0_tasks = assignment.tasks_of_block(0)
+        assert len(block0_tasks) == 1
+        assert block0_tasks[0].comparisons == 45

@@ -1,0 +1,116 @@
+"""The Section III / Appendix I decomposition for keyless entities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.missing_keys import (
+    link_with_missing_keys,
+    resolve_with_missing_keys,
+    split_by_key,
+)
+from repro.er.blocking import PrefixBlocking
+from repro.er.entity import Entity
+from repro.er.matching import AlwaysMatcher
+
+
+def keyed(eid, title, source="R"):
+    return Entity(eid, {"title": title}, source)
+
+
+def keyless(eid, source="R"):
+    return Entity(eid, {"title": None}, source)
+
+
+BLOCKING = PrefixBlocking("title", 3)
+
+
+class TestSplit:
+    def test_split_by_key(self):
+        entities = [keyed("a", "alpha"), keyless("b"), keyed("c", "beta")]
+        with_key, without_key = split_by_key(entities, BLOCKING)
+        assert [e.entity_id for e in with_key] == ["a", "c"]
+        assert [e.entity_id for e in without_key] == ["b"]
+
+
+class TestOneSource:
+    @pytest.mark.parametrize("strategy", ["blocksplit", "pairrange"])
+    def test_all_pairs_involving_keyless_entities(self, strategy):
+        entities = [
+            keyed("a", "alpha one"),
+            keyed("b", "alpha two"),
+            keyed("c", "beta"),
+            keyless("x"),
+            keyless("y"),
+        ]
+        result = resolve_with_missing_keys(
+            entities,
+            BLOCKING,
+            strategy=strategy,
+            matcher_factory=AlwaysMatcher,
+            num_reduce_tasks=3,
+        )
+        # Expected: blocked pairs among keyed (a-b) plus every pair
+        # involving x or y.
+        expected = {
+            ("R:a", "R:b"),
+            ("R:a", "R:x"), ("R:b", "R:x"), ("R:c", "R:x"),
+            ("R:a", "R:y"), ("R:b", "R:y"), ("R:c", "R:y"),
+            ("R:x", "R:y"),
+        }
+        assert result.pair_ids == expected
+
+    def test_no_keyless_entities_is_plain_blocked_matching(self):
+        entities = [keyed("a", "alpha one"), keyed("b", "alpha two"), keyed("c", "beta")]
+        result = resolve_with_missing_keys(
+            entities, BLOCKING, matcher_factory=AlwaysMatcher
+        )
+        assert result.pair_ids == {("R:a", "R:b")}
+
+    def test_all_keyless_is_cartesian(self):
+        entities = [keyless("x"), keyless("y"), keyless("z")]
+        result = resolve_with_missing_keys(
+            entities, BLOCKING, matcher_factory=AlwaysMatcher
+        )
+        assert len(result) == 3
+
+
+class TestTwoSources:
+    @pytest.mark.parametrize("strategy", ["blocksplit", "pairrange"])
+    def test_appendix_union(self, strategy):
+        r_entities = [
+            keyed("r1", "alpha", "R"),
+            keyed("r2", "beta", "R"),
+            keyless("r3", "R"),
+        ]
+        s_entities = [
+            keyed("s1", "alpha", "S"),
+            keyed("s2", "gamma", "S"),
+            keyless("s3", "S"),
+        ]
+        result = link_with_missing_keys(
+            r_entities,
+            s_entities,
+            BLOCKING,
+            strategy=strategy,
+            matcher_factory=AlwaysMatcher,
+            num_reduce_tasks=3,
+        )
+        expected = {
+            # matchB(R−R∅, S−S∅): alpha block only.
+            ("R:r1", "S:s1"),
+            # match⊥(R, S∅): every R entity × s3.
+            ("R:r1", "S:s3"), ("R:r2", "S:s3"), ("R:r3", "S:s3"),
+            # match⊥(R∅, S−S∅): r3 × keyed S.
+            ("R:r3", "S:s1"), ("R:r3", "S:s2"),
+        }
+        assert result.pair_ids == expected
+
+    def test_cross_source_only(self):
+        # Same-source pairs must never appear, keyless or not.
+        r_entities = [keyless("r1", "R"), keyless("r2", "R")]
+        s_entities = [keyed("s1", "alpha", "S")]
+        result = link_with_missing_keys(
+            r_entities, s_entities, BLOCKING, matcher_factory=AlwaysMatcher
+        )
+        assert result.pair_ids == {("R:r1", "S:s1"), ("R:r2", "S:s1")}

@@ -1,0 +1,92 @@
+"""BDM skew statistics and the strategy recommendation rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import bdm_for_block_sizes
+from repro.core.bdm import BlockDistributionMatrix
+from repro.core.statistics import (
+    bdm_statistics,
+    recommend_strategy,
+)
+from repro.datasets.skew import exponential_block_sizes, zipf_block_sizes
+
+
+def uniform_bdm(num_blocks=20, size=10, m=4):
+    return bdm_for_block_sizes([size] * num_blocks, m, seed=3)
+
+
+def skewed_bdm(m=4):
+    return bdm_for_block_sizes(zipf_block_sizes(5_000, 50, 1.3), m, seed=3)
+
+
+class TestStatistics:
+    def test_uniform_profile(self):
+        stats = bdm_statistics(uniform_bdm())
+        assert stats.num_entities == 200
+        assert stats.num_blocks == 20
+        assert stats.largest_block_entity_share == pytest.approx(0.05)
+        assert stats.gini_coefficient == pytest.approx(0.0, abs=1e-9)
+        assert stats.mean_block_size == 10
+        assert stats.median_block_size == 10
+
+    def test_skewed_profile(self):
+        stats = bdm_statistics(skewed_bdm())
+        assert stats.gini_coefficient > 0.5
+        assert stats.largest_block_pair_share > 0.5
+        assert stats.top10_pair_share > stats.largest_block_pair_share
+
+    def test_single_block(self):
+        bdm = BlockDistributionMatrix(["a"], [[5, 5]])
+        stats = bdm_statistics(bdm)
+        assert stats.largest_block_entity_share == 1.0
+        assert stats.largest_block_pair_share == 1.0
+
+    def test_gini_increases_with_skew(self):
+        # High skews apportion zero entities to tail blocks, which the
+        # BDM drops, so monotonicity holds only approximately there.
+        ginis = []
+        for skew in (0.0, 0.3, 0.6, 1.0):
+            sizes = exponential_block_sizes(10_000, 100, skew)
+            ginis.append(bdm_statistics(bdm_for_block_sizes(sizes, 4)).gini_coefficient)
+        assert ginis[0] < ginis[1] < ginis[2]
+        assert ginis[3] > ginis[1]
+        assert ginis[3] == pytest.approx(ginis[2], abs=0.05)
+
+    def test_as_dict(self):
+        stats = bdm_statistics(uniform_bdm())
+        d = stats.as_dict()
+        assert d["blocks"] == 20.0
+        assert set(d) >= {"pairs", "gini_coefficient", "largest_block_pair_share"}
+
+
+class TestRecommendation:
+    def test_uniform_data_recommends_basic(self):
+        rec = recommend_strategy(uniform_bdm(num_blocks=64, size=10), 8)
+        assert rec.strategy == "basic"
+        assert rec.expected_basic_imbalance <= 1.5
+
+    def test_skewed_data_recommends_blocksplit(self):
+        rec = recommend_strategy(skewed_bdm(), 20)
+        assert rec.strategy == "blocksplit"
+        assert rec.expected_basic_imbalance > 1.5
+
+    def test_sorted_input_recommends_pairrange(self):
+        rec = recommend_strategy(skewed_bdm(), 20, input_sorted_by_key=True)
+        assert rec.strategy == "pairrange"
+
+    def test_degenerate_block_recommends_pairrange(self):
+        bdm = bdm_for_block_sizes([1_000, 3, 3, 3], 4, seed=1)
+        rec = recommend_strategy(bdm, 16)
+        assert rec.strategy == "pairrange"
+        assert rec.largest_block_pair_share > 0.9
+
+    def test_reasons_present(self):
+        rec = recommend_strategy(skewed_bdm(), 20)
+        assert rec.reasons
+        assert all(isinstance(reason, str) for reason in rec.reasons)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_strategy(uniform_bdm(), 0)

@@ -1,0 +1,148 @@
+"""Duplicate injection with ground truth."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.corruption import (
+    CorruptionConfig,
+    abbreviate_token,
+    corrupt_dataset,
+    drop_character,
+    drop_token,
+    insert_character,
+    swap_tokens,
+    transpose,
+    typo,
+)
+from repro.datasets.generators import generate_products
+from repro.er.blocking import PrefixBlocking
+from repro.er.similarity import levenshtein_distance
+
+
+class TestCorruptors:
+    def _rng(self):
+        return random.Random(1)
+
+    def test_typo_single_substitution(self):
+        out = typo("abcdef", self._rng())
+        assert len(out) == 6
+        assert sum(a != b for a, b in zip(out, "abcdef")) <= 1
+
+    def test_transpose_keeps_characters(self):
+        out = transpose("abcdef", self._rng())
+        assert sorted(out) == sorted("abcdef")
+
+    def test_drop_character(self):
+        assert len(drop_character("abcdef", self._rng())) == 5
+
+    def test_insert_character(self):
+        assert len(insert_character("abcdef", self._rng())) == 7
+
+    def test_swap_tokens(self):
+        out = swap_tokens("alpha beta gamma", self._rng())
+        assert sorted(out.split()) == ["alpha", "beta", "gamma"]
+
+    def test_abbreviate_token(self):
+        out = abbreviate_token("alpha beta", self._rng())
+        assert "." in out
+
+    def test_drop_token(self):
+        out = drop_token("alpha beta gamma", self._rng())
+        assert len(out.split()) == 2
+
+    def test_degenerate_inputs_pass_through(self):
+        rng = self._rng()
+        assert typo("", rng) == ""
+        assert transpose("a", rng) == "a"
+        assert drop_character("a", rng) == "a"
+        assert swap_tokens("single", rng) == "single"
+        assert drop_token("single", rng) == "single"
+
+
+class TestCorruptDataset:
+    def test_gold_pairs_match_copies(self):
+        clean = generate_products(200, seed=1)
+        corrupted = corrupt_dataset(
+            clean, CorruptionConfig(duplicate_fraction=0.25, seed=5)
+        )
+        assert corrupted.num_duplicates == 50
+        assert len(corrupted.entities) == 250
+        for a, b in corrupted.gold_pairs:
+            assert b.split(":")[1] == f"dup-{a.split(':')[1]}" or a.split(":")[
+                1
+            ] == f"dup-{b.split(':')[1]}"
+
+    def test_protected_prefix_keeps_block(self):
+        clean = generate_products(150, seed=2)
+        corrupted = corrupt_dataset(
+            clean, CorruptionConfig(duplicate_fraction=0.3, protect_prefix=3, seed=6)
+        )
+        blocking = PrefixBlocking("title", 3)
+        by_id = {e.qualified_id: e for e in corrupted.entities}
+        for a, b in corrupted.gold_pairs:
+            assert blocking.key_for(by_id[a]) == blocking.key_for(by_id[b])
+
+    def test_copies_stay_similar(self):
+        from repro.datasets.corruption import drop_character, insert_character, typo
+
+        clean = generate_products(100, seed=3)
+        char_level = ((typo, 1.0), (insert_character, 1.0), (drop_character, 1.0))
+        corrupted = corrupt_dataset(
+            clean,
+            CorruptionConfig(
+                duplicate_fraction=0.5, max_edits=1, seed=7, corruptors=char_level
+            ),
+        )
+        by_id = {e.qualified_id: e for e in corrupted.entities}
+        for a, b in corrupted.gold_pairs:
+            distance = levenshtein_distance(
+                str(by_id[a].get("title")), str(by_id[b].get("title"))
+            )
+            assert 0 <= distance <= 1  # one character-level operator
+
+    def test_missing_value_rate(self):
+        clean = generate_products(100, seed=4)
+        corrupted = corrupt_dataset(
+            clean,
+            CorruptionConfig(duplicate_fraction=0.5, missing_value_rate=1.0, seed=8),
+        )
+        dups = [e for e in corrupted.entities if e.entity_id.startswith("dup-")]
+        assert dups
+        for entity in dups:
+            assert entity.get("price") is None
+            assert entity.get("manufacturer") is None
+            assert entity.get("title") is not None  # corrupted, not dropped
+
+    def test_deterministic(self):
+        clean = generate_products(80, seed=5)
+        a = corrupt_dataset(clean, CorruptionConfig(seed=11))
+        b = corrupt_dataset(clean, CorruptionConfig(seed=11))
+        assert a.entities == b.entities
+        assert a.gold_pairs == b.gold_pairs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(duplicate_fraction=1.5)
+        with pytest.raises(ValueError):
+            CorruptionConfig(max_edits=0)
+        with pytest.raises(ValueError):
+            CorruptionConfig(corruptors=())
+
+    @given(
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sizes_always_consistent(self, fraction, seed):
+        clean = generate_products(60, seed=9)
+        corrupted = corrupt_dataset(
+            clean, CorruptionConfig(duplicate_fraction=fraction, seed=seed)
+        )
+        expected_copies = int(round(60 * fraction))
+        assert len(corrupted.entities) == 60 + expected_copies
+        assert corrupted.num_duplicates == expected_copies

@@ -1,0 +1,115 @@
+"""Synthetic DS1/DS2 generators: determinism, blocking fidelity, duplicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generators import (
+    DS1_PROFILE,
+    DS2_PROFILE,
+    DatasetProfile,
+    ProductGenerator,
+    PublicationGenerator,
+    generate_products,
+    generate_publications,
+)
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+
+
+class TestProfiles:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetProfile("x", 0, 1, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("x", 10, 0, 1.0)
+        with pytest.raises(ValueError):
+            DatasetProfile("x", 10, 5, 1.0, duplicate_rate=1.0)
+
+    def test_scaled(self):
+        small = DS1_PROFILE.scaled(0.01)
+        assert small.num_entities == 1_140
+        assert small.zipf_exponent == DS1_PROFILE.zipf_exponent
+        with pytest.raises(ValueError):
+            DS1_PROFILE.scaled(0)
+
+    def test_ds_profiles_match_paper_scale(self):
+        assert DS1_PROFILE.num_entities == 114_000
+        assert DS2_PROFILE.num_entities == 1_400_000
+
+
+class TestProductGenerator:
+    def _small(self, seed=42):
+        return ProductGenerator(
+            DatasetProfile("t", 800, 30, 1.2, seed=seed)
+        )
+
+    def test_deterministic(self):
+        a = self._small().generate()
+        b = self._small().generate()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = self._small(seed=1).generate()
+        b = self._small(seed=2).generate()
+        assert a != b
+
+    def test_entity_count(self):
+        assert len(self._small().generate()) == 800
+
+    def test_prefix_blocks_match_declared_sizes(self):
+        generator = self._small()
+        entities = generator.generate()
+        blocking = PrefixBlocking("title", 3)
+        blocks = blocking.partition_entities(entities)
+        observed = sorted((len(v) for v in blocks.values()), reverse=True)
+        declared = sorted(generator.block_sizes(), reverse=True)
+        assert observed == declared
+
+    def test_attributes_present(self):
+        entity = self._small().generate()[0]
+        assert entity.get("title")
+        assert entity.get("manufacturer")
+        assert isinstance(entity.get("price"), float)
+
+    def test_duplicates_are_findable(self):
+        profile = DatasetProfile("t", 600, 20, 1.2, duplicate_rate=0.3, seed=7)
+        entities = ProductGenerator(profile).generate()
+        blocking = PrefixBlocking("title", 3)
+        matcher = ThresholdMatcher()
+        matches = 0
+        for block in blocking.partition_entities(entities).values():
+            for i, e1 in enumerate(block):
+                for e2 in block[i + 1:]:
+                    if matcher.match(e1, e2) is not None:
+                        matches += 1
+        assert matches > 0
+
+    def test_shuffled_output_order(self):
+        # Output order must not be sorted by blocking key (Figure 11's
+        # "unsorted" default).
+        entities = self._small().generate()
+        keys = [PrefixBlocking("title").key_for(e) for e in entities]
+        assert keys != sorted(keys, key=repr)
+
+
+class TestPublicationGenerator:
+    def test_attributes(self):
+        profile = DatasetProfile("p", 200, 10, 1.6, seed=3)
+        entity = PublicationGenerator(profile).generate()[0]
+        assert entity.get("title")
+        assert entity.get("authors")
+        assert entity.get("venue")
+        assert 1990 <= entity.get("year") <= 2011
+
+
+class TestConvenienceFunctions:
+    def test_generate_products(self):
+        entities = generate_products(150, seed=9)
+        assert len(entities) == 150
+        ids = {e.entity_id for e in entities}
+        assert len(ids) == 150
+
+    def test_generate_publications(self):
+        entities = generate_publications(150, seed=9)
+        assert len(entities) == 150

@@ -1,0 +1,91 @@
+"""CSV round-trip for entity datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generators import generate_products
+from repro.datasets.loaders import (
+    iter_entity_batches,
+    load_entities_csv,
+    save_entities_csv,
+)
+from repro.er.entity import Entity
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        entities = generate_products(50, seed=4)
+        path = tmp_path / "products.csv"
+        save_entities_csv(entities, path)
+        loaded = load_entities_csv(path)
+        assert len(loaded) == 50
+        for original, restored in zip(entities, loaded):
+            assert restored.entity_id == original.entity_id
+            assert restored.source == original.source
+            assert restored.get("title") == original.get("title")
+
+    def test_none_attribute_round_trips(self, tmp_path):
+        entities = [
+            Entity("a", {"title": "x", "price": None}),
+            Entity("b", {"title": None, "price": "9"}),
+        ]
+        path = tmp_path / "e.csv"
+        save_entities_csv(entities, path)
+        loaded = load_entities_csv(path)
+        assert loaded[0].get("price") is None
+        assert loaded[1].get("title") is None
+
+    def test_source_override(self, tmp_path):
+        entities = [Entity("a", {"t": "1"})]
+        path = tmp_path / "e.csv"
+        save_entities_csv(entities, path)
+        loaded = load_entities_csv(path, source="S")
+        assert loaded[0].source == "S"
+
+    def test_union_of_attributes(self, tmp_path):
+        entities = [Entity("a", {"x": "1"}), Entity("b", {"y": "2"})]
+        path = tmp_path / "e.csv"
+        save_entities_csv(entities, path)
+        loaded = load_entities_csv(path)
+        assert loaded[0].get("y") is None
+        assert loaded[1].get("x") is None
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_entities_csv([], tmp_path / "e.csv")
+
+    def test_reserved_column_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_entities_csv([Entity("a", {"_id": "x"})], tmp_path / "e.csv")
+
+    def test_missing_id_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("title\nfoo\n")
+        with pytest.raises(ValueError, match="_id"):
+            load_entities_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_entities_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("_id,_source,title\na,R,x,EXTRA\n")
+        with pytest.raises(ValueError, match="columns"):
+            load_entities_csv(path)
+
+
+class TestBatches:
+    def test_batching(self):
+        entities = [Entity(str(i), {}) for i in range(7)]
+        batches = list(iter_entity_batches(entities, 3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            list(iter_entity_batches([], 0))

@@ -1,0 +1,117 @@
+"""Input ordering and the analytic block-over-partition distributors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.partitioning import (
+    distribute_block_sizes,
+    order_entities,
+    partition_entities,
+)
+from repro.er.entity import Entity
+
+
+def titled(i, title):
+    return Entity(f"e{i}", {"title": title})
+
+
+class TestOrderEntities:
+    def _entities(self):
+        return [titled(0, "zebra"), titled(1, "apple"), titled(2, "mango")]
+
+    def test_input_order_preserved(self):
+        assert order_entities(self._entities(), "input") == self._entities()
+
+    def test_sorted_by_title(self):
+        ordered = order_entities(self._entities(), "sorted")
+        assert [e["title"] for e in ordered] == ["apple", "mango", "zebra"]
+
+    def test_shuffled_is_seeded(self):
+        a = order_entities(self._entities(), "shuffled", seed=1)
+        b = order_entities(self._entities(), "shuffled", seed=1)
+        assert a == b
+
+    def test_custom_sort_key(self):
+        ordered = order_entities(
+            self._entities(), "sorted", sort_key=lambda e: e.entity_id
+        )
+        assert [e.entity_id for e in ordered] == ["e0", "e1", "e2"]
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            order_entities(self._entities(), "random")
+
+    def test_partition_entities_roundtrip(self):
+        parts = partition_entities(self._entities(), 2, "sorted")
+        assert [len(p) for p in parts] == [2, 1]
+
+
+class TestDistributeSorted:
+    def test_blocks_stay_contiguous(self):
+        matrix = distribute_block_sizes([4, 4], 2, order="sorted")
+        assert matrix == [[4, 0], [0, 4]]
+
+    def test_large_block_spans_partitions(self):
+        matrix = distribute_block_sizes([10], 3, order="sorted")
+        assert matrix == [[4, 3, 3]]
+
+    def test_each_block_touches_few_partitions(self):
+        # With b >> m, a sorted layout puts most blocks in 1-2 partitions.
+        sizes = [10] * 50
+        matrix = distribute_block_sizes(sizes, 5, order="sorted")
+        touched = [sum(1 for c in row if c > 0) for row in matrix]
+        assert max(touched) <= 2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_marginals_preserved(self, sizes, m):
+        matrix = distribute_block_sizes(sizes, m, order="sorted")
+        assert [sum(row) for row in matrix] == sizes
+        total = sum(sizes)
+        column_sums = [sum(matrix[k][p] for k in range(len(sizes))) for p in range(m)]
+        assert sum(column_sums) == total
+        assert max(column_sums) - min(column_sums) <= 1 if total >= m else True
+
+
+class TestDistributeShuffled:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_marginals_preserved(self, sizes, m, seed):
+        matrix = distribute_block_sizes(sizes, m, order="shuffled", seed=seed)
+        assert [sum(row) for row in matrix] == sizes
+        total = sum(sizes)
+        base, extra = divmod(total, m)
+        column_sums = [sum(matrix[k][p] for k in range(len(sizes))) for p in range(m)]
+        expected = [base + (1 if p < extra else 0) for p in range(m)]
+        assert column_sums == expected
+
+    def test_deterministic_per_seed(self):
+        a = distribute_block_sizes([30, 20, 10], 4, seed=5)
+        b = distribute_block_sizes([30, 20, 10], 4, seed=5)
+        assert a == b
+
+    def test_big_blocks_spread_over_partitions(self):
+        matrix = distribute_block_sizes([10_000, 5_000], 10, seed=1)
+        # A shuffled layout spreads each big block over every partition.
+        assert all(c > 0 for c in matrix[0])
+        assert all(c > 0 for c in matrix[1])
+        # Roughly proportional spread: each partition holds ~1000 of block 0.
+        assert max(matrix[0]) < 2 * min(matrix[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            distribute_block_sizes([1], 0)
+        with pytest.raises(ValueError):
+            distribute_block_sizes([-1], 2)
+        with pytest.raises(ValueError):
+            distribute_block_sizes([1], 2, order="bogus")

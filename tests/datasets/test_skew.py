@@ -1,0 +1,115 @@
+"""Block-size distributions: apportioning, exponential skew, Zipf."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.skew import (
+    apportion,
+    exponential_block_sizes,
+    largest_block_share,
+    pair_count,
+    zipf_block_sizes,
+)
+
+
+class TestApportion:
+    def test_exact_sum(self):
+        assert sum(apportion([1, 2, 3], 100)) == 100
+
+    def test_proportionality(self):
+        sizes = apportion([1, 1, 2], 400)
+        assert sizes == [100, 100, 200]
+
+    def test_zero_total(self):
+        assert apportion([1, 2], 0) == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            apportion([], 10)
+        with pytest.raises(ValueError):
+            apportion([-1, 2], 10)
+        with pytest.raises(ValueError):
+            apportion([0, 0], 10)
+        with pytest.raises(ValueError):
+            apportion([1], -1)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20)
+        .filter(lambda ws: sum(ws) > 0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_sum_and_fairness(self, weights, total):
+        sizes = apportion(weights, total)
+        assert sum(sizes) == total
+        assert all(s >= 0 for s in sizes)
+        # Largest-remainder: each size within 1 of its exact quota.
+        weight_sum = sum(weights)
+        for w, s in zip(weights, sizes):
+            quota = w * total / weight_sum
+            assert abs(s - quota) < 1 + 1e-9
+
+
+class TestExponential:
+    def test_skew_zero_is_uniform(self):
+        sizes = exponential_block_sizes(1000, 100, 0.0)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_paper_example(self):
+        # "two blocks with 25 entities each lead to 600 pairs; split
+        #  45 vs 5 the number of pairs equals already 1,000."
+        assert pair_count([25, 25]) == 600
+        assert pair_count([45, 5]) == 1_000
+
+    def test_higher_skew_more_pairs(self):
+        pairs = [
+            pair_count(exponential_block_sizes(10_000, 100, s))
+            for s in (0.0, 0.2, 0.4, 0.8, 1.0)
+        ]
+        assert pairs == sorted(pairs)
+
+    def test_size_ratio_follows_exponential(self):
+        sizes = exponential_block_sizes(100_000, 10, 0.5)
+        assert sizes[0] / sizes[1] == pytest.approx(math.exp(0.5), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_block_sizes(10, 0)
+        with pytest.raises(ValueError):
+            exponential_block_sizes(10, 10, -1.0)
+
+
+class TestZipf:
+    def test_monotone_decreasing(self):
+        sizes = zipf_block_sizes(10_000, 50, 1.2)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_ds1_headline_statistics(self):
+        # The calibration target: largest block > 70 % of pairs while
+        # holding well under a quarter of the entities.
+        sizes = zipf_block_sizes(114_000, 2_800, 1.2)
+        entity_share, pair_share = largest_block_share(sizes)
+        assert 0.15 < entity_share < 0.25
+        assert pair_share > 0.70
+
+    def test_exponent_zero_is_uniform(self):
+        sizes = zipf_block_sizes(1000, 10, 0.0)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestShares:
+    def test_largest_block_share(self):
+        entity_share, pair_share = largest_block_share([8, 2])
+        assert entity_share == pytest.approx(0.8)
+        assert pair_share == pytest.approx(28 / 29)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            largest_block_share([])
+
+    def test_no_pairs(self):
+        assert largest_block_share([1, 1]) == (0.5, 0.0)

@@ -1,0 +1,112 @@
+"""Blocking functions: prefix, attribute, constant, composite, multi-pass."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er.blocking import (
+    CONSTANT_BLOCK_KEY,
+    AttributeBlocking,
+    CallableBlocking,
+    CompositeBlocking,
+    ConstantBlocking,
+    MultiPassBlocking,
+    PrefixBlocking,
+    normalize_string,
+)
+from repro.er.entity import Entity
+
+
+def product(title, **extra):
+    return Entity("e", {"title": title, **extra})
+
+
+class TestNormalize:
+    def test_lowercase_and_whitespace(self):
+        assert normalize_string("  Sony   VAIO ") == "sony vaio"
+
+    def test_accent_stripping(self):
+        assert normalize_string("Köpcke était") == "kopcke etait"
+
+
+class TestPrefixBlocking:
+    def test_first_three_letters(self):
+        # The paper's default blocking key for both datasets.
+        blocking = PrefixBlocking("title", 3)
+        assert blocking.key_for(product("Panasonic Lumix")) == "pan"
+
+    def test_shorter_value_keeps_full_string(self):
+        assert PrefixBlocking("title", 3).key_for(product("tv")) == "tv"
+
+    def test_missing_attribute_is_none(self):
+        assert PrefixBlocking("title").key_for(Entity("e", {})) is None
+
+    def test_empty_value_is_none(self):
+        assert PrefixBlocking("title").key_for(product("   ")) is None
+
+    def test_case_insensitive(self):
+        blocking = PrefixBlocking("title")
+        assert blocking.key_for(product("SONY tv")) == blocking.key_for(product("sony TV"))
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            PrefixBlocking("title", 0)
+
+    def test_partition_entities(self):
+        blocking = PrefixBlocking("title")
+        blocks = blocking.partition_entities(
+            [product("sony a"), product("sony b"), product("canon c")]
+        )
+        assert {k: len(v) for k, v in blocks.items()} == {"son": 2, "can": 1}
+
+
+class TestOtherBlocking:
+    def test_attribute_blocking(self):
+        blocking = AttributeBlocking("manufacturer")
+        assert blocking.key_for(product("x", manufacturer="Sony Corp")) == "sony corp"
+
+    def test_attribute_blocking_unnormalized(self):
+        blocking = AttributeBlocking("manufacturer", normalize=False)
+        assert blocking.key_for(product("x", manufacturer="Sony Corp")) == "Sony Corp"
+
+    def test_constant_blocking(self):
+        blocking = ConstantBlocking()
+        assert blocking.key_for(product("anything")) == CONSTANT_BLOCK_KEY
+
+    def test_callable_blocking(self):
+        blocking = CallableBlocking(lambda e: e.get("title", "")[:1])
+        assert blocking.key_for(product("xyz")) == "x"
+
+    def test_composite_blocking(self):
+        blocking = CompositeBlocking(
+            [AttributeBlocking("manufacturer"), PrefixBlocking("title", 1)]
+        )
+        key = blocking.key_for(product("alpha", manufacturer="sony"))
+        assert key == ("sony", "a")
+
+    def test_composite_none_propagates(self):
+        blocking = CompositeBlocking([AttributeBlocking("missing")])
+        assert blocking.key_for(product("alpha")) is None
+
+    def test_composite_requires_parts(self):
+        with pytest.raises(ValueError):
+            CompositeBlocking([])
+
+
+class TestMultiPass:
+    def test_multiple_keys_tagged_by_pass(self):
+        multi = MultiPassBlocking(
+            [PrefixBlocking("title", 3), AttributeBlocking("manufacturer")]
+        )
+        keys = multi.keys_for(product("alpha beta", manufacturer="sony"))
+        assert keys == [(0, "alp"), (1, "sony")]
+
+    def test_missing_pass_skipped(self):
+        multi = MultiPassBlocking(
+            [PrefixBlocking("title", 3), AttributeBlocking("missing")]
+        )
+        assert multi.keys_for(product("alpha")) == [(0, "alp")]
+
+    def test_requires_passes(self):
+        with pytest.raises(ValueError):
+            MultiPassBlocking([])

@@ -1,0 +1,69 @@
+"""Entity model: immutability, identity, bulk construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er.entity import Entity, make_entities
+
+
+class TestEntity:
+    def test_attribute_access(self):
+        e = Entity("p1", {"title": "sony tv", "price": 99})
+        assert e["title"] == "sony tv"
+        assert e.get("price") == 99
+        assert e.get("missing") is None
+        assert e.get("missing", 0) == 0
+
+    def test_qualified_id(self):
+        assert Entity("p1", {}, "S").qualified_id == "S:p1"
+        assert Entity("p1", {}).qualified_id == "R:p1"
+
+    def test_with_source(self):
+        e = Entity("p1", {"a": 1})
+        s = e.with_source("S")
+        assert s.source == "S"
+        assert s.entity_id == "p1"
+        assert dict(s.attributes) == {"a": 1}
+        assert e.source == "R"  # original untouched
+
+    def test_hashable(self):
+        e1 = Entity("p1", {"a": 1})
+        e2 = Entity("p1", {"a": 1})
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+        assert len({e1, e2}) == 1
+
+    def test_attributes_are_read_only(self):
+        e = Entity("p1", {"a": 1})
+        with pytest.raises(TypeError):
+            e.attributes["a"] = 2  # type: ignore[index]
+
+    def test_frozen_dataclass(self):
+        e = Entity("p1", {})
+        with pytest.raises(AttributeError):
+            e.entity_id = "p2"  # type: ignore[misc]
+
+    def test_source_attribute_order_irrelevant_for_hash(self):
+        e1 = Entity("p1", {"a": 1, "b": 2})
+        e2 = Entity("p1", {"b": 2, "a": 1})
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+
+class TestMakeEntities:
+    def test_generated_ids(self):
+        entities = make_entities([{"t": 1}, {"t": 2}])
+        assert [e.entity_id for e in entities] == ["e0", "e1"]
+
+    def test_id_attribute(self):
+        entities = make_entities([{"sku": 7, "t": 1}], id_attribute="sku")
+        assert entities[0].entity_id == "7"
+
+    def test_explicit_tuples(self):
+        entities = make_entities([("x1", {"t": 1})])
+        assert entities[0].entity_id == "x1"
+
+    def test_source_applied(self):
+        entities = make_entities([{"t": 1}], source="S")
+        assert entities[0].source == "S"

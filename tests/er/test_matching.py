@@ -1,0 +1,106 @@
+"""Matchers and match results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er.entity import Entity
+from repro.er.matching import (
+    AlwaysMatcher,
+    MatchPair,
+    MatchResult,
+    RecordingMatcher,
+    ThresholdMatcher,
+    brute_force_match,
+    brute_force_pairs,
+)
+
+
+def entity(eid, title, source="R"):
+    return Entity(eid, {"title": title}, source)
+
+
+class TestMatchPair:
+    def test_canonical_order(self):
+        a, b = entity("a", "x"), entity("b", "x")
+        assert MatchPair.of(a, b, 1.0) == MatchPair.of(b, a, 1.0)
+
+    def test_ids(self):
+        pair = MatchPair.of(entity("b", "x"), entity("a", "x"), 0.9)
+        assert pair.ids == ("R:a", "R:b")
+
+
+class TestMatchResult:
+    def test_deduplicates(self):
+        result = MatchResult()
+        result.add(MatchPair("R:a", "R:b", 0.9))
+        result.add(MatchPair("R:a", "R:b", 0.95))
+        assert len(result) == 1
+
+    def test_contains_unordered(self):
+        result = MatchResult([MatchPair("R:a", "R:b", 0.9)])
+        assert ("R:b", "R:a") in result
+        assert ("R:a", "R:c") not in result
+
+    def test_merge_and_equality(self):
+        r1 = MatchResult([MatchPair("R:a", "R:b", 0.9)])
+        r2 = MatchResult([MatchPair("R:c", "R:d", 0.8)])
+        r1.merge(r2)
+        assert r1.pair_ids == {("R:a", "R:b"), ("R:c", "R:d")}
+
+    def test_iteration_sorted(self):
+        result = MatchResult(
+            [MatchPair("R:c", "R:d", 0.8), MatchPair("R:a", "R:b", 0.9)]
+        )
+        assert [p.ids for p in result] == [("R:a", "R:b"), ("R:c", "R:d")]
+
+
+class TestThresholdMatcher:
+    def test_paper_configuration_matches_similar_titles(self):
+        matcher = ThresholdMatcher()  # title, 0.8, edit distance
+        near = matcher.match(entity("a", "panasonic lumix 12"), entity("b", "panasonic lumix 13"))
+        assert near is not None
+        assert near.similarity >= 0.8
+
+    def test_rejects_dissimilar(self):
+        matcher = ThresholdMatcher()
+        assert matcher.match(entity("a", "panasonic lumix"), entity("b", "qqqq zzzz")) is None
+
+    def test_counts_comparisons_and_matches(self):
+        matcher = ThresholdMatcher()
+        matcher.match(entity("a", "same title"), entity("b", "same title"))
+        matcher.match(entity("a", "same title"), entity("c", "zzz"))
+        assert matcher.comparisons == 2
+        assert matcher.matches_found == 1
+        matcher.reset_counters()
+        assert matcher.comparisons == 0
+
+    def test_custom_similarity_function(self):
+        matcher = ThresholdMatcher(similarity_fn=lambda a, b: 1.0, threshold=0.5)
+        assert matcher.match(entity("a", "x"), entity("b", "y")) is not None
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(threshold=1.5)
+
+    def test_missing_attribute_treated_as_empty(self):
+        matcher = ThresholdMatcher()
+        pair = matcher.match(Entity("a", {}), Entity("b", {}))
+        assert pair is not None  # "" vs "" is similarity 1.0
+
+
+class TestHelpers:
+    def test_brute_force_pairs(self):
+        entities = [entity(str(i), "t") for i in range(4)]
+        assert len(brute_force_pairs(entities)) == 6
+
+    def test_brute_force_match_with_always(self):
+        entities = [entity(str(i), "t") for i in range(5)]
+        result = brute_force_match(entities, AlwaysMatcher())
+        assert len(result) == 10
+
+    def test_recording_matcher_records_canonical_pairs(self):
+        matcher = RecordingMatcher()
+        matcher.match(entity("b", "x"), entity("a", "y"))
+        assert matcher.compared == [("R:a", "R:b")]
+        assert matcher.matches_found == 0

@@ -1,0 +1,169 @@
+"""Similarity measures: known values and metric properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.er.similarity import (
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    levenshtein_similarity_bounded,
+    ngram_jaccard,
+    ngrams,
+    numeric_similarity,
+    token_jaccard,
+    weighted_average,
+)
+
+short_text = st.text(alphabet="abcdef ", max_size=12)
+
+
+class TestLevenshteinDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("book", "back", 2),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(short_text, short_text)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein_distance(a, b) >= abs(len(a) - len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=6))
+    def test_bounded_agrees_within_bound(self, a, b, bound):
+        exact = levenshtein_distance(a, b)
+        bounded = levenshtein_distance(a, b, max_distance=bound)
+        if exact <= bound:
+            assert bounded == exact
+        else:
+            assert bounded == bound + 1
+
+
+class TestLevenshteinSimilarity:
+    def test_equal_strings(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint_strings(self):
+        assert levenshtein_similarity("aaa", "bbb") == 0.0
+
+    def test_paper_threshold_example(self):
+        # One edit on a ten-char string -> 0.9 >= 0.8 threshold.
+        assert levenshtein_similarity("abcdefghij", "abcdefghix") == pytest.approx(0.9)
+
+    @given(short_text, short_text)
+    def test_range(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+    @given(short_text, short_text)
+    def test_bounded_matches_exact_above_threshold(self, a, b):
+        threshold = 0.8
+        exact = levenshtein_similarity(a, b)
+        bounded = levenshtein_similarity_bounded(a, b, threshold)
+        if exact >= threshold:
+            assert bounded == pytest.approx(exact)
+        else:
+            assert bounded == 0.0
+
+
+class TestJaro:
+    def test_equal(self):
+        assert jaro_similarity("same", "same") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("martha", "marhta")
+        boosted = jaro_winkler_similarity("martha", "marhta")
+        assert boosted > plain
+
+    def test_winkler_prefix_weight_validated(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    @given(short_text, short_text)
+    def test_symmetry_and_range(self, a, b):
+        s = jaro_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(jaro_similarity(b, a))
+
+
+class TestSetSimilarities:
+    def test_jaccard_known(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_sets_equal(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_token_jaccard(self):
+        assert token_jaccard("a b c", "b c d") == pytest.approx(0.5)
+
+    def test_ngrams_padded(self):
+        grams = ngrams("ab", 3)
+        assert grams == ["##a", "#ab", "ab#", "b##"]
+
+    def test_ngrams_unpadded(self):
+        assert ngrams("abcd", 3, pad=False) == ["abc", "bcd"]
+
+    def test_ngrams_validation(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+    def test_ngram_jaccard_range(self):
+        assert 0.0 <= ngram_jaccard("hello", "hallo") <= 1.0
+
+
+class TestNumericAndCombined:
+    def test_numeric_similarity(self):
+        assert numeric_similarity(10, 10) == 1.0
+        assert numeric_similarity(0, 10, scale=10) == 0.0
+        assert numeric_similarity(0, 25, scale=10) == 0.0
+
+    def test_numeric_scale_validated(self):
+        with pytest.raises(ValueError):
+            numeric_similarity(1, 2, scale=0)
+
+    def test_weighted_average(self):
+        assert weighted_average([1.0, 0.0], [1, 3]) == pytest.approx(0.25)
+
+    def test_weighted_average_validation(self):
+        with pytest.raises(ValueError):
+            weighted_average([1.0], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_average([], [])
+        with pytest.raises(ValueError):
+            weighted_average([1.0], [0])

@@ -1,0 +1,60 @@
+"""Property: an associative/commutative combiner never changes results.
+
+The classic combiner contract — for aggregations like the BDM count,
+running the combiner per map task must leave the reduce output
+untouched while (weakly) shrinking the shuffle.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.job import LambdaJob
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.types import make_partitions
+
+
+def count_job(with_combiner: bool) -> LambdaJob:
+    def map_fn(key, value, emit, ctx):
+        emit(value % 7, 1)
+
+    def reduce_fn(key, values, emit, ctx):
+        emit(key, sum(values))
+
+    return LambdaJob(
+        map_fn,
+        reduce_fn,
+        combine_fn=(lambda k, vs: [(k, sum(vs))]) if with_combiner else None,
+        name="count",
+    )
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=1000), max_size=80),
+    m=st.integers(min_value=1, max_value=5),
+    r=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_combiner_preserves_output_and_shrinks_shuffle(values, m, r):
+    if not values:
+        return
+    partitions = make_partitions(values, m)
+    plain = LocalRuntime().run(count_job(False), partitions, r)
+    combined = LocalRuntime().run(count_job(True), partitions, r)
+    assert dict(kv.as_tuple() for kv in plain.output) == dict(
+        kv.as_tuple() for kv in combined.output
+    )
+    assert combined.map_output_records() <= plain.map_output_records()
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    m=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_combined_map_output_bounded_by_distinct_keys(values, m):
+    partitions = make_partitions(values, m)
+    combined = LocalRuntime().run(count_job(True), partitions, 3)
+    distinct_keys = len({v % 7 for v in values})
+    assert combined.map_output_records() <= distinct_keys * m

@@ -1,0 +1,52 @@
+"""Counters: increments, merging, equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.counters import Counters, StandardCounter
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Counters().get("missing") == 0
+
+    def test_increment(self):
+        c = Counters()
+        c.increment("a")
+        c.increment("a", 4)
+        assert c.get("a") == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().increment("a", -1)
+
+    def test_merge(self):
+        a = Counters({"x": 1})
+        b = Counters({"x": 2, "y": 3})
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 3}
+
+    def test_merged_classmethod(self):
+        groups = [Counters({"x": i}) for i in range(1, 4)]
+        assert Counters.merged(groups).get("x") == 6
+
+    def test_getitem(self):
+        assert Counters({"a": 7})["a"] == 7
+
+    def test_iter_sorted(self):
+        c = Counters({"b": 2, "a": 1})
+        assert list(c) == [("a", 1), ("b", 2)]
+
+    def test_equality(self):
+        assert Counters({"a": 1}) == Counters({"a": 1})
+        assert Counters({"a": 1}) != Counters({"a": 2})
+        assert Counters() != object()
+
+    def test_standard_names_are_distinct(self):
+        names = [
+            getattr(StandardCounter, attr)
+            for attr in dir(StandardCounter)
+            if not attr.startswith("_")
+        ]
+        assert len(names) == len(set(names))

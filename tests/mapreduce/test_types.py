@@ -1,0 +1,80 @@
+"""KeyValue, Partition, make_partitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.types import KeyValue, Partition, make_partitions
+
+
+class TestKeyValue:
+    def test_unpacking(self):
+        k, v = KeyValue("a", 1)
+        assert (k, v) == ("a", 1)
+
+    def test_as_tuple(self):
+        assert KeyValue("a", 1).as_tuple() == ("a", 1)
+
+    def test_equality_and_hash(self):
+        assert KeyValue("a", 1) == KeyValue("a", 1)
+        assert hash(KeyValue("a", 1)) == hash(KeyValue("a", 1))
+        assert KeyValue("a", 1) != KeyValue("a", 2)
+
+
+class TestPartition:
+    def test_from_pairs(self):
+        p = Partition.from_pairs([("k", 1), ("k2", 2)], index=0)
+        assert len(p) == 2
+        assert p[0] == KeyValue("k", 1)
+
+    def test_from_values_uses_none_keys(self):
+        p = Partition.from_values([10, 20], index=1)
+        assert [record.key for record in p] == [None, None]
+        assert [record.value for record in p] == [10, 20]
+
+    def test_default_name(self):
+        assert Partition.from_values([], index=3).name == "part-00003"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Partition.from_values([], index=-1)
+
+    def test_iteration_order_is_stable(self):
+        p = Partition.from_values(list(range(5)), index=0)
+        assert [record.value for record in p] == list(range(5))
+
+
+class TestMakePartitions:
+    def test_even_split(self):
+        parts = make_partitions(list(range(9)), 3)
+        assert [len(p) for p in parts] == [3, 3, 3]
+
+    def test_uneven_split_front_loads_extras(self):
+        parts = make_partitions(list(range(10)), 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+
+    def test_more_partitions_than_values(self):
+        parts = make_partitions([1, 2], 5)
+        assert [len(p) for p in parts] == [1, 1, 0, 0, 0]
+
+    def test_preserves_order(self):
+        parts = make_partitions(list(range(7)), 2)
+        flattened = [record.value for p in parts for record in p]
+        assert flattened == list(range(7))
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            make_partitions([1], 0)
+
+    @given(
+        st.lists(st.integers(), max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_partition_sizes_differ_by_at_most_one(self, values, m):
+        parts = make_partitions(values, m)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == len(values)
+        assert max(sizes) - min(sizes) <= 1
+        assert [p.index for p in parts] == list(range(m))

@@ -1,0 +1,136 @@
+"""The command-line interface end to end (via main(argv))."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGenerate:
+    def test_products(self, tmp_path, capsys):
+        out = tmp_path / "p.csv"
+        assert main(["generate", "--kind", "products", "--num", "120",
+                     "--output", str(out)]) == 0
+        assert "120" in capsys.readouterr().out
+        rows = list(csv.reader(out.open()))
+        assert len(rows) == 121  # header + entities
+
+    def test_publications(self, tmp_path):
+        out = tmp_path / "p.csv"
+        assert main(["generate", "--kind", "publications", "--num", "50",
+                     "--output", str(out)]) == 0
+        assert out.exists()
+
+
+class TestDedup:
+    def _dataset(self, tmp_path):
+        data = tmp_path / "in.csv"
+        main(["generate", "--kind", "products", "--num", "400",
+              "--seed", "3", "--output", str(data)])
+        return data
+
+    @pytest.mark.parametrize("strategy", ["basic", "blocksplit", "pairrange"])
+    def test_dedup_strategies_agree(self, tmp_path, strategy, capsys):
+        data = self._dataset(tmp_path)
+        out = tmp_path / f"m-{strategy}.csv"
+        assert main(["dedup", "--input", str(data), "--output", str(out),
+                     "--strategy", strategy]) == 0
+        capsys.readouterr()
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["id1", "id2", "similarity"]
+        assert len(rows) > 1
+
+    def test_all_strategies_same_matches(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        contents = []
+        for strategy in ("basic", "blocksplit", "pairrange"):
+            out = tmp_path / f"m-{strategy}.csv"
+            main(["dedup", "--input", str(data), "--output", str(out),
+                  "--strategy", strategy])
+            contents.append(out.read_text())
+        capsys.readouterr()
+        assert contents[0] == contents[1] == contents[2]
+
+    def test_missing_keys_flag(self, tmp_path, capsys):
+        data = tmp_path / "in.csv"
+        data.write_text(
+            "_id,_source,title\n"
+            "a,R,alpha one\n"
+            "b,R,alpha one x\n"
+            "c,R,\n"
+        )
+        out = tmp_path / "m.csv"
+        assert main(["dedup", "--input", str(data), "--output", str(out),
+                     "--allow-missing-keys", "--threshold", "0.5"]) == 0
+        capsys.readouterr()
+        assert out.exists()
+
+
+class TestLink:
+    def test_link(self, tmp_path, capsys):
+        r_csv, s_csv = tmp_path / "r.csv", tmp_path / "s.csv"
+        main(["generate", "--num", "200", "--seed", "1", "--output", str(r_csv)])
+        main(["generate", "--num", "200", "--seed", "1", "--output", str(s_csv)])
+        out = tmp_path / "links.csv"
+        assert main(["link", "--input-r", str(r_csv), "--input-s", str(s_csv),
+                     "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "links" in captured
+        rows = list(csv.reader(out.open()))
+        # Identical seeds -> every record links to its own copy.
+        assert len(rows) - 1 >= 200
+
+    def test_link_rejects_basic(self, tmp_path, capsys):
+        r_csv = tmp_path / "r.csv"
+        main(["generate", "--num", "10", "--output", str(r_csv)])
+        out = tmp_path / "links.csv"
+        code = main(["link", "--input-r", str(r_csv), "--input-s", str(r_csv),
+                     "--output", str(out), "--strategy", "basic"])
+        assert code == 2
+
+
+class TestSimulate:
+    def test_ds1_table(self, capsys):
+        assert main(["simulate", "--dataset", "ds1", "--nodes", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "blocksplit" in out and "pairrange" in out and "basic" in out
+        assert "simulated time" in out
+
+    def test_explicit_m_r(self, capsys):
+        assert main(["simulate", "--dataset", "ds1", "--nodes", "2",
+                     "--map-tasks", "4", "--reduce-tasks", "16",
+                     "--strategies", "pairrange"]) == 0
+        out = capsys.readouterr().out
+        assert "m=4, r=16" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestRecommend:
+    def test_recommend_on_skewed_products(self, tmp_path, capsys):
+        data = tmp_path / "p.csv"
+        main(["generate", "--kind", "products", "--num", "500",
+              "--seed", "2", "--output", str(data)])
+        assert main(["recommend", "--input", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "recommended strategy:" in out
+        assert "gini_coefficient" in out
+
+    def test_sorted_flag_flips_to_pairrange(self, tmp_path, capsys):
+        data = tmp_path / "p.csv"
+        main(["generate", "--kind", "products", "--num", "500",
+              "--seed", "2", "--output", str(data)])
+        main(["recommend", "--input", str(data), "--sorted-input"])
+        out = capsys.readouterr().out
+        assert "recommended strategy: pairrange" in out
