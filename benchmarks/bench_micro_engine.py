@@ -1,15 +1,23 @@
 """Micro-benchmarks: the MapReduce engine itself.
 
 Throughput of the substrate the strategies run on — useful to spot
-regressions in the shuffle/grouping hot path.
+regressions in the shuffle/grouping hot path — plus the serial vs
+parallel backend comparison.  Pair comparison dominates the workflow
+runtime and parallelises across reduce tasks, so the parallel backend's
+speedup approaches the worker count on real multi-core hardware.
 """
 
 from __future__ import annotations
 
-from repro.core.workflow import ERWorkflow
+import os
+import time
+
+import pytest
+
 from repro.datasets.generators import generate_products
+from repro.engine import ERPipeline, ParallelBackend
 from repro.er.blocking import PrefixBlocking
-from repro.er.matching import RecordingMatcher
+from repro.er.matching import RecordingMatcher, ThresholdMatcher
 from repro.mapreduce.job import LambdaJob
 from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.types import make_partitions
@@ -40,11 +48,11 @@ def test_engine_blocksplit_workflow_end_to_end(benchmark):
     blocking = PrefixBlocking("title")
 
     def run():
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             "blocksplit", blocking, RecordingMatcher(),
             num_map_tasks=4, num_reduce_tasks=8,
         )
-        return workflow.run(entities)
+        return pipeline.run(entities)
 
     result = benchmark(run)
     assert result.total_comparisons() > 0
@@ -55,11 +63,79 @@ def test_engine_pairrange_workflow_end_to_end(benchmark):
     blocking = PrefixBlocking("title")
 
     def run():
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             "pairrange", blocking, RecordingMatcher(),
             num_map_tasks=4, num_reduce_tasks=8,
         )
-        return workflow.run(entities)
+        return pipeline.run(entities)
 
     result = benchmark(run)
     assert result.total_comparisons() > 0
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel backend
+# ---------------------------------------------------------------------------
+
+#: Entities for the backend comparison: enough that pair comparison
+#: (real edit-distance matching) dominates scheduling overhead.
+_SPEEDUP_ENTITIES = 1_000
+_SPEEDUP_WORKERS = 4
+
+
+def _timed_run(backend) -> tuple[float, object]:
+    entities = generate_products(_SPEEDUP_ENTITIES, seed=31)
+    pipeline = ERPipeline(
+        "blocksplit",
+        PrefixBlocking("title"),
+        ThresholdMatcher("title", 0.8),
+        num_map_tasks=8,
+        num_reduce_tasks=16,
+        backend=backend,
+    )
+    start = time.perf_counter()
+    result = pipeline.run(entities)
+    return time.perf_counter() - start, result
+
+
+def test_engine_parallel_backend_matches_serial_benchmark(benchmark):
+    entities = generate_products(1_500, seed=31)
+    blocking = PrefixBlocking("title")
+
+    def run():
+        pipeline = ERPipeline(
+            "blocksplit", blocking, RecordingMatcher(),
+            num_map_tasks=4, num_reduce_tasks=8,
+            backend=ParallelBackend(max_workers=_SPEEDUP_WORKERS),
+        )
+        return pipeline.run(entities)
+
+    result = benchmark(run)
+    assert result.total_comparisons() > 0
+
+
+def test_engine_parallel_backend_speedup():
+    """Wall-clock: parallel backend vs serial on the matching-bound
+    workflow.  The speedup assertion needs real cores; on smaller
+    machines the numbers are still printed for inspection."""
+    serial_time, serial_result = _timed_run("serial")
+    parallel_time, parallel_result = _timed_run(
+        ParallelBackend(max_workers=_SPEEDUP_WORKERS, executor="process")
+    )
+    assert parallel_result.matches == serial_result.matches
+    speedup = serial_time / parallel_time
+    print(
+        f"\nserial {serial_time:.2f}s, parallel({_SPEEDUP_WORKERS}) "
+        f"{parallel_time:.2f}s -> speedup {speedup:.2f}x "
+        f"({serial_result.total_comparisons():,} comparisons, "
+        f"{os.cpu_count()} cpus)"
+    )
+    if (os.cpu_count() or 1) < _SPEEDUP_WORKERS:
+        pytest.skip(
+            f"speedup assertion needs >= {_SPEEDUP_WORKERS} cpus, "
+            f"have {os.cpu_count()}"
+        )
+    assert speedup > 1.2, (
+        f"parallel backend should beat serial on >= {_SPEEDUP_WORKERS} "
+        f"cores, got {speedup:.2f}x"
+    )

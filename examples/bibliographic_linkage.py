@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from repro import ERWorkflow, PrefixBlocking, ThresholdMatcher
+from repro import ERPipeline, PrefixBlocking, ThresholdMatcher
 from repro.analysis import WorkloadStats, format_table
 from repro.datasets import generate_publications
 from repro.er import Entity
@@ -51,13 +51,13 @@ def main() -> None:
 
     results = {}
     for name in ("blocksplit", "pairrange"):
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             name,
             blocking,
             ThresholdMatcher("title", 0.8),
             num_reduce_tasks=6,
         )
-        result = workflow.run_two_source(
+        result = pipeline.run(
             r_source, s_source, num_r_partitions=2, num_s_partitions=3
         )
         results[name] = result

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 
 from repro import (
-    ERWorkflow,
+    ERPipeline,
     MultiPassERWorkflow,
     PrefixBlocking,
     ThresholdMatcher,
@@ -44,7 +44,7 @@ def main() -> None:
     matcher = lambda: ThresholdMatcher("title", 0.8)  # noqa: E731
 
     # -- single pass: title prefix only ----------------------------------
-    single = ERWorkflow(
+    single = ERPipeline(
         "pairrange", PrefixBlocking("title", 3), matcher(),
         num_map_tasks=4, num_reduce_tasks=8,
     ).run(entities)

@@ -11,7 +11,7 @@ Run:  python examples/quality_evaluation.py
 
 from __future__ import annotations
 
-from repro import ERWorkflow, PrefixBlocking, ThresholdMatcher
+from repro import ERPipeline, PrefixBlocking, ThresholdMatcher
 from repro.analysis import format_table
 from repro.analysis.evaluation import (
     evaluate_matches,
@@ -36,7 +36,7 @@ def main() -> None:
 
     # Blocking diagnostics: which gold pairs survive blocking at all?
     recorder = RecordingMatcher()
-    ERWorkflow(
+    ERPipeline(
         "pairrange", blocking, recorder, num_map_tasks=4, num_reduce_tasks=8
     ).run(entities)
     candidates = set(recorder.compared)
@@ -49,14 +49,14 @@ def main() -> None:
 
     rows = []
     for threshold in THRESHOLDS:
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             "pairrange",
             blocking,
             ThresholdMatcher("title", threshold),
             num_map_tasks=4,
             num_reduce_tasks=8,
         )
-        result = workflow.run(entities)
+        result = pipeline.run(entities)
         quality = evaluate_matches(result.matches.pair_ids, gold)
         rows.append(
             [

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ERWorkflow, PrefixBlocking, ThresholdMatcher, generate_products
+from repro import ERPipeline, PrefixBlocking, ThresholdMatcher, generate_products
 from repro.analysis import WorkloadStats, format_table
 
 
@@ -25,10 +25,10 @@ def main() -> None:
     matcher = ThresholdMatcher("title", threshold=0.8)
 
     # 3. The workflow: m=4 map tasks, r=8 reduce tasks, BlockSplit.
-    workflow = ERWorkflow(
+    pipeline = ERPipeline(
         "blocksplit", blocking, matcher, num_map_tasks=4, num_reduce_tasks=8
     )
-    result = workflow.run(entities)
+    result = pipeline.run(entities)
 
     # 4. Results.
     print(f"blocks: {result.bdm.num_blocks}, "

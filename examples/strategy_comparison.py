@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro import (
     ClusterSpec,
-    ERWorkflow,
+    ERPipeline,
     PrefixBlocking,
     ThresholdMatcher,
     analytic_bdm,
@@ -37,14 +37,14 @@ def main() -> None:
     rows = []
     reference = None
     for name in ("basic", "blocksplit", "pairrange"):
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             name,
             blocking,
             ThresholdMatcher("title", 0.8),
             num_map_tasks=MAP_TASKS,
             num_reduce_tasks=REDUCE_TASKS,
         )
-        result = workflow.run(entities)
+        result = pipeline.run(entities)
         if reference is None:
             reference = result.matches
         assert result.matches == reference, "strategies must agree on matches"

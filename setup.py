@@ -1,6 +1,8 @@
-"""Legacy setup shim: enables `pip install -e .` on environments whose
-pip/setuptools lack PEP 660 editable-wheel support (no `wheel` package,
-offline)."""
+"""Legacy setup shim: enables `python setup.py develop` editable
+installs on environments whose pip/setuptools lack PEP 660
+editable-wheel support (no `wheel` package, offline) — `pip install
+-e .` needs the PEP 517 path there and won't work.  All metadata
+lives in pyproject.toml."""
 
 from setuptools import setup
 

@@ -8,15 +8,26 @@ synthetic stand-ins for the paper's datasets.
 
 Quick start::
 
-    from repro import ERWorkflow, PrefixBlocking, generate_products
+    from repro import ERPipeline, PrefixBlocking, generate_products
 
     entities = generate_products(2_000)
-    workflow = ERWorkflow(
+    pipeline = ERPipeline(
         "blocksplit", PrefixBlocking("title"),
         num_map_tasks=4, num_reduce_tasks=8,
     )
-    result = workflow.run(entities)
+    result = pipeline.run(entities)
     print(len(result.matches), "duplicate pairs")
+
+    # Same matches, multi-core execution:
+    fast = pipeline.with_backend("parallel", max_workers=4).run(entities)
+    assert fast.matches == result.matches
+
+    # Two sources (R × S linkage) use the same entry point:
+    links = pipeline.run(r_entities, s_entities)
+
+    # Analytic planning + cluster simulation, no execution at all:
+    planned = pipeline.with_backend("planned").run(entities)
+    print(planned.execution_time, "simulated seconds")
 """
 
 from .analysis import (
@@ -47,6 +58,7 @@ from .core import (
     PairRangeStrategy,
     STRATEGIES,
     StrategyPlan,
+    register_strategy,
     analytic_bdm,
     compute_bdm,
     get_strategy,
@@ -73,6 +85,18 @@ from .datasets import (
     save_entities_csv,
     zipf_block_sizes,
 )
+from .engine import (
+    BACKENDS,
+    ERPipeline,
+    ExecutionBackend,
+    ParallelBackend,
+    ParallelRuntime,
+    PipelineResult,
+    PlannedBackend,
+    SerialBackend,
+    get_backend,
+    register_backend,
+)
 from .er import (
     AttributeBlocking,
     BlockingFunction,
@@ -87,7 +111,7 @@ from .er import (
 )
 from .mapreduce import LocalRuntime, MapReduceJob, Partition, make_partitions
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SimulatedRun",
@@ -118,6 +142,17 @@ __all__ = [
     "PairRangeStrategy",
     "STRATEGIES",
     "StrategyPlan",
+    "register_strategy",
+    "BACKENDS",
+    "ERPipeline",
+    "ExecutionBackend",
+    "ParallelBackend",
+    "ParallelRuntime",
+    "PipelineResult",
+    "PlannedBackend",
+    "SerialBackend",
+    "get_backend",
+    "register_backend",
     "analytic_bdm",
     "compute_bdm",
     "get_strategy",

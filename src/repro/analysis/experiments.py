@@ -16,7 +16,8 @@ from ..cluster.costmodel import CostModel
 from ..cluster.simulation import ClusterSpec
 from ..core.bdm import BlockDistributionMatrix
 from ..core.planning import StrategyPlan
-from ..core.workflow import analytic_bdm_from_block_sizes, simulate_strategy
+from ..core.bdm import analytic_bdm_from_block_sizes
+from ..engine.simulate import simulate_strategy
 from ..datasets.partitioning import distribute_block_sizes
 from ..datasets.skew import exponential_block_sizes, pair_count
 from .metrics import WorkloadStats, time_per_pairs

@@ -8,9 +8,11 @@ Five subcommands cover the library's main entry points::
     repro-er simulate  --dataset ds1 --nodes 10 --reduce-tasks 100
     repro-er recommend --input products.csv
 
-``dedup``/``link`` run the real two-job workflow; ``simulate`` uses the
-analytic planners + cluster simulator and therefore handles DS2 scale
-in seconds; ``recommend`` profiles a file's blocking skew and picks a
+``dedup``/``link`` run the real two-job workflow through
+:class:`~repro.engine.ERPipeline` — ``--backend parallel`` fans the
+map/reduce tasks out over a worker pool; ``simulate`` uses the analytic
+planners + cluster simulator and therefore handles DS2 scale in
+seconds; ``recommend`` profiles a file's blocking skew and picks a
 strategy using the paper's findings.
 """
 
@@ -27,7 +29,7 @@ from .analysis.metrics import WorkloadStats
 from .analysis.reporting import format_table
 from .core.missing_keys import resolve_with_missing_keys
 from .core.statistics import bdm_statistics, recommend_strategy
-from .core.workflow import ERWorkflow
+from .engine.pipeline import ERPipeline
 from .datasets.generators import (
     DS1_PROFILE,
     DS2_PROFILE,
@@ -38,6 +40,13 @@ from .datasets.loaders import load_entities_csv, save_entities_csv
 from .datasets.skew import zipf_block_sizes
 from .er.blocking import PrefixBlocking
 from .er.matching import MatchResult, ThresholdMatcher
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--threshold", type=float, default=0.8)
         sub.add_argument("-m", "--map-tasks", type=int, default=4)
         sub.add_argument("-r", "--reduce-tasks", type=int, default=8)
+        sub.add_argument("--backend", choices=["serial", "parallel"],
+                         default="serial",
+                         help="execution backend (parallel = worker pool)")
+        sub.add_argument("--workers", type=_positive_int, default=None,
+                         help="pool size for --backend parallel "
+                              "(default: all cores)")
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate strategies on a cluster (analytic planners)"
@@ -103,6 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--sorted-input", action="store_true",
                            help="the file is sorted by the blocking key")
     return parser
+
+
+def _backend(args: argparse.Namespace):
+    """Resolve the --backend/--workers flags to a backend spec."""
+    from .engine.backend import get_backend
+
+    if args.backend == "parallel":
+        return get_backend("parallel", max_workers=args.workers)
+    if args.workers is not None:
+        raise SystemExit(
+            f"repro-er {args.command}: error: --workers requires "
+            "--backend parallel"
+        )
+    return get_backend(args.backend)
 
 
 def _write_matches(matches: MatchResult, path: str) -> None:
@@ -134,17 +163,19 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             matcher_factory=lambda: ThresholdMatcher(args.attribute, args.threshold),
             num_map_tasks=args.map_tasks,
             num_reduce_tasks=args.reduce_tasks,
+            backend=_backend(args),
         )
         print(f"{len(entities)} entities, {len(matches)} duplicate pairs")
     else:
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             args.strategy,
             blocking,
             ThresholdMatcher(args.attribute, args.threshold),
             num_map_tasks=args.map_tasks,
             num_reduce_tasks=args.reduce_tasks,
+            backend=_backend(args),
         )
-        result = workflow.run(entities)
+        result = pipeline.run(entities)
         matches = result.matches
         stats = WorkloadStats.from_workloads(result.reduce_comparisons())
         print(
@@ -163,13 +194,14 @@ def cmd_link(args: argparse.Namespace) -> int:
         print("error: two-source matching requires blocksplit or pairrange",
               file=sys.stderr)
         return 2
-    workflow = ERWorkflow(
+    pipeline = ERPipeline(
         args.strategy,
         PrefixBlocking(args.attribute, args.prefix_length),
         ThresholdMatcher(args.attribute, args.threshold),
         num_reduce_tasks=args.reduce_tasks,
+        backend=_backend(args),
     )
-    result = workflow.run_two_source(
+    result = pipeline.run(
         r_entities,
         s_entities,
         num_r_partitions=max(1, args.map_tasks // 2),
@@ -218,7 +250,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_recommend(args: argparse.Namespace) -> int:
-    from .core.workflow import analytic_bdm
+    from .core.bdm import analytic_bdm
     from .mapreduce.types import make_partitions
 
     entities = load_entities_csv(args.input)

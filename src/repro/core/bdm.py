@@ -217,6 +217,39 @@ class BdmJob(MapReduceJob):
         emit(None, (key.block_key, key.partition_index, sum(values)))
 
 
+def analytic_bdm(
+    partitions: Sequence[Sequence[Entity]] | Sequence[Partition],
+    blocking: BlockingFunction,
+) -> BlockDistributionMatrix:
+    """Compute the BDM directly (what Job 1 would output), for planning."""
+    counts: dict[tuple, int] = {}
+    for index, partition in enumerate(partitions):
+        records = (
+            (record.value for record in partition)
+            if isinstance(partition, Partition)
+            else iter(partition)
+        )
+        for entity in records:
+            key = blocking.key_for(entity)
+            if key is None:
+                continue
+            counts[(key, index)] = counts.get((key, index), 0) + 1
+    return BlockDistributionMatrix.from_counts(counts, num_partitions=len(partitions))
+
+
+def analytic_bdm_from_block_sizes(
+    block_partition_sizes: Sequence[Sequence[int]],
+) -> BlockDistributionMatrix:
+    """Build a BDM straight from a ``b × m`` size matrix.
+
+    Benchmarks use this to study block-size distributions without
+    generating entities at all; block keys are synthesized as
+    ``"b<k>"``.
+    """
+    keys = [f"b{k}" for k in range(len(block_partition_sizes))]
+    return BlockDistributionMatrix(keys, block_partition_sizes)
+
+
 def compute_bdm(
     runtime: LocalRuntime,
     partitions: Sequence[Partition],

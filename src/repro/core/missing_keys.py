@@ -22,7 +22,8 @@ from typing import Sequence
 from ..er.blocking import BlockingFunction, ConstantBlocking
 from ..er.entity import Entity
 from ..er.matching import Matcher, MatchResult, ThresholdMatcher
-from .workflow import ERWorkflow
+from ..engine.backend import ExecutionBackend
+from ..engine.pipeline import ERPipeline
 
 
 def split_by_key(
@@ -44,6 +45,7 @@ def resolve_with_missing_keys(
     matcher_factory=None,
     num_map_tasks: int = 2,
     num_reduce_tasks: int = 3,
+    backend: ExecutionBackend | str = "serial",
 ) -> MatchResult:
     """One-source dedup where some entities lack a blocking key.
 
@@ -57,25 +59,27 @@ def resolve_with_missing_keys(
     result = MatchResult()
 
     if len(keyed) >= 2:
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             strategy,
             blocking,
             factory(),
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
+            backend=backend,
         )
-        result.merge(workflow.run(keyed).matches)
+        result.merge(pipeline.run(keyed).matches)
 
     constant = ConstantBlocking()
     if keyed and keyless:
-        cross = ERWorkflow(
+        cross = ERPipeline(
             strategy,
             constant,
             factory(),
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
+            backend=backend,
         )
-        cross_result = cross.run_two_source(
+        cross_result = cross.run(
             keyed,
             keyless,
             num_r_partitions=max(1, num_map_tasks // 2),
@@ -84,12 +88,13 @@ def resolve_with_missing_keys(
         result.merge(_strip_source_retagging(cross_result.matches, keyed, keyless))
 
     if len(keyless) >= 2:
-        within = ERWorkflow(
+        within = ERPipeline(
             strategy,
             constant,
             factory(),
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
+            backend=backend,
         )
         result.merge(within.run(keyless).matches)
     return result
@@ -103,6 +108,7 @@ def link_with_missing_keys(
     strategy: str = "blocksplit",
     matcher_factory=None,
     num_reduce_tasks: int = 3,
+    backend: ExecutionBackend | str = "serial",
 ) -> MatchResult:
     """Two-source linkage with keyless entities (Appendix I's union).
 
@@ -122,13 +128,14 @@ def link_with_missing_keys(
     for r_leg, s_leg, leg_blocking in legs:
         if not r_leg or not s_leg:
             continue
-        workflow = ERWorkflow(
+        pipeline = ERPipeline(
             strategy,
             leg_blocking,
             factory(),
             num_reduce_tasks=num_reduce_tasks,
+            backend=backend,
         )
-        leg_result = workflow.run_two_source(r_leg, s_leg)
+        leg_result = pipeline.run(r_leg, s_leg, num_r_partitions=1, num_s_partitions=1)
         result.merge(leg_result.matches)
     return result
 
@@ -138,7 +145,7 @@ def _strip_source_retagging(
 ) -> MatchResult:
     """Map the cross leg's temporary R:/S: tags back to original sources.
 
-    ``run_two_source`` re-tags its inputs as R and S; for the one-source
+    Two-source runs re-tag their inputs as R and S; for the one-source
     decomposition both legs are really the same source, so we rewrite
     the qualified ids back to the entities' true source tags.
     """

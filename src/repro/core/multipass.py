@@ -22,7 +22,9 @@ from typing import Sequence
 from ..er.blocking import BlockingFunction, CallableBlocking, MultiPassBlocking
 from ..er.entity import Entity
 from ..er.matching import Matcher, MatchResult, ThresholdMatcher
-from .workflow import ERWorkflow, ERWorkflowResult
+from ..engine.backend import ExecutionBackend
+from ..engine.pipeline import ERPipeline
+from ..engine.result import PipelineResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,7 +32,7 @@ class MultiPassResult:
     """Outcome of a multi-pass ER run."""
 
     matches: MatchResult
-    pass_results: tuple[ERWorkflowResult, ...]
+    pass_results: tuple[PipelineResult, ...]
     total_comparisons: int
     redundant_comparisons: int
 
@@ -57,6 +59,7 @@ class MultiPassERWorkflow:
         *,
         num_map_tasks: int = 2,
         num_reduce_tasks: int = 3,
+        backend: ExecutionBackend | str = "serial",
     ):
         self.strategy = strategy
         self.blocking = blocking
@@ -65,21 +68,23 @@ class MultiPassERWorkflow:
         )
         self.num_map_tasks = num_map_tasks
         self.num_reduce_tasks = num_reduce_tasks
+        self.backend = backend
 
     def run(self, entities: Sequence[Entity]) -> MultiPassResult:
         matches = MatchResult()
-        pass_results: list[ERWorkflowResult] = []
+        pass_results: list[PipelineResult] = []
         total_comparisons = 0
         candidate_union: set[tuple[object, object]] = set()
         for index, blocking_pass in enumerate(self.blocking.passes):
-            workflow = ERWorkflow(
+            pipeline = ERPipeline(
                 self.strategy,
                 _tagged(blocking_pass, index),
                 self._matcher_factory(),
                 num_map_tasks=self.num_map_tasks,
                 num_reduce_tasks=self.num_reduce_tasks,
+                backend=self.backend,
             )
-            result = workflow.run(list(entities))
+            result = pipeline.run(list(entities))
             pass_results.append(result)
             matches.merge(result.matches)
             total_comparisons += result.total_comparisons()

@@ -1,15 +1,22 @@
 """Common strategy interface and registry.
 
-A :class:`LoadBalancingStrategy` bundles the pieces the workflow needs:
+A :class:`LoadBalancingStrategy` bundles the pieces the pipeline needs:
 whether Job 1 (BDM) is required, how to build the matching job, and how
 to produce the analytic :class:`~repro.core.planning.StrategyPlan`.
+
+Strategies self-register via the :func:`register_strategy` decorator;
+:func:`get_strategy` resolves a name, class or ready instance, so
+callers can pass configured instances (``ERPipeline(PairRangeStrategy(),
+…)``) or plain registry names (``ERPipeline("pairrange", …)``)
+interchangeably.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Any, Sequence, TypeVar
 
+from ..er.blocking import BlockingFunction
 from ..er.matching import Matcher
 from ..mapreduce.job import MapReduceJob
 from .basic import BasicMatchJob
@@ -41,11 +48,18 @@ class LoadBalancingStrategy(ABC):
     @abstractmethod
     def build_job(
         self,
-        bdm: BlockDistributionMatrix,
+        bdm: BlockDistributionMatrix | None,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        blocking: BlockingFunction | None = None,
     ) -> MapReduceJob:
-        """The matching job (Job 2) for the one-source case."""
+        """The matching job (Job 2) for the one-source case.
+
+        ``blocking`` is the workflow's blocking function; strategies
+        that consume raw (un-annotated) input — currently only Basic —
+        use it to derive keys in their map phase, the rest ignore it.
+        """
 
     @abstractmethod
     def plan(
@@ -83,25 +97,55 @@ class LoadBalancingStrategy(ABC):
         return f"{type(self).__name__}()"
 
 
+#: Registry of available strategies by name.
+STRATEGIES: dict[str, type[LoadBalancingStrategy]] = {}
+
+_S = TypeVar("_S", bound=type[LoadBalancingStrategy])
+
+
+def register_strategy(cls: _S) -> _S:
+    """Class decorator adding a strategy to the registry under ``cls.name``.
+
+    Third-party strategies register the same way the built-ins do::
+
+        @register_strategy
+        class MyStrategy(LoadBalancingStrategy):
+            name = "mine"
+            ...
+    """
+    if not cls.name or cls.name == LoadBalancingStrategy.name:
+        raise ValueError(f"{cls.__name__} must define a distinct `name`")
+    existing = STRATEGIES.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"strategy name {cls.name!r} already registered by "
+            f"{existing.__name__}"
+        )
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+@register_strategy
 class BasicStrategy(LoadBalancingStrategy):
     """Section III's baseline — no skew handling."""
 
     name = "basic"
     requires_bdm = False
 
-    def build_job(self, bdm, matcher, num_reduce_tasks):
-        return BasicMatchJob(matcher)
+    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
+        return BasicMatchJob(matcher, blocking=blocking)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_basic(bdm, num_reduce_tasks, map_input_records=map_input_records)
 
 
+@register_strategy
 class BlockSplitStrategy(LoadBalancingStrategy):
     """Section IV's block-based load balancing."""
 
     name = "blocksplit"
 
-    def build_job(self, bdm, matcher, num_reduce_tasks):
+    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
         return BlockSplitJob(bdm, matcher, num_reduce_tasks)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
@@ -118,12 +162,13 @@ class BlockSplitStrategy(LoadBalancingStrategy):
         )
 
 
+@register_strategy
 class PairRangeStrategy(LoadBalancingStrategy):
     """Section V's pair-based load balancing."""
 
     name = "pairrange"
 
-    def build_job(self, bdm, matcher, num_reduce_tasks):
+    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
         return PairRangeJob(bdm, matcher, num_reduce_tasks)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
@@ -140,17 +185,28 @@ class PairRangeStrategy(LoadBalancingStrategy):
         )
 
 
-#: Registry of available strategies by name.
-STRATEGIES: dict[str, type[LoadBalancingStrategy]] = {
-    cls.name: cls
-    for cls in (BasicStrategy, BlockSplitStrategy, PairRangeStrategy)
-}
+def get_strategy(
+    strategy: LoadBalancingStrategy | type[LoadBalancingStrategy] | str,
+    **options: Any,
+) -> LoadBalancingStrategy:
+    """Resolve a strategy name, class or instance to a ready instance.
 
-
-def get_strategy(name: str) -> LoadBalancingStrategy:
-    """Instantiate a strategy by registry name."""
+    ``options`` are forwarded to the strategy constructor when a name
+    or class is given; passing options alongside an already-built
+    instance is an error.
+    """
+    if isinstance(strategy, LoadBalancingStrategy):
+        if options:
+            raise TypeError(
+                "cannot apply constructor options to an existing "
+                f"strategy instance {strategy!r}"
+            )
+        return strategy
+    if isinstance(strategy, type) and issubclass(strategy, LoadBalancingStrategy):
+        return strategy(**options)
     try:
-        return STRATEGIES[name]()
+        cls = STRATEGIES[strategy]
     except KeyError:
         known = ", ".join(sorted(STRATEGIES))
-        raise KeyError(f"unknown strategy {name!r}; known: {known}") from None
+        raise KeyError(f"unknown strategy {strategy!r}; known: {known}") from None
+    return cls(**options)

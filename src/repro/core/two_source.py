@@ -20,7 +20,13 @@ from ..mapreduce.counters import StandardCounter
 from ..mapreduce.job import MapReduceJob, TaskContext
 from ..mapreduce.runtime import JobResult, LocalRuntime
 from ..mapreduce.types import Partition
-from .bdm import ANNOTATED_DIR, BdmJob, BlockDistributionMatrix, compute_bdm
+from .bdm import (
+    ANNOTATED_DIR,
+    BdmJob,
+    BlockDistributionMatrix,
+    analytic_bdm,
+    compute_bdm,
+)
 from .enumeration import DualPairEnumeration, PairRangeSpec
 from .keys import DualBlockSplitKey, DualPairRangeKey
 from .match_tasks import MatchTask
@@ -152,6 +158,26 @@ def compute_dual_bdm(
         use_combiner=use_combiner,
     )
     return DualSourceBDM(bdm, sources), job_result, annotated
+
+
+def analytic_dual_bdm(
+    partitions: Sequence[Partition],
+    blocking: BlockingFunction,
+) -> DualSourceBDM:
+    """Compute the two-source BDM directly (no MR execution), for planning.
+
+    Mirrors :func:`compute_dual_bdm`: partitions must be
+    source-homogeneous and the source map is derived from the entities.
+    """
+    sources: list[str] = []
+    for partition in partitions:
+        tags = {record.value.source for record in partition}
+        if len(tags) > 1:
+            raise ValueError(
+                f"partition {partition.index} mixes sources {sorted(tags)}"
+            )
+        sources.append(tags.pop() if tags else SOURCE_R)
+    return DualSourceBDM(analytic_bdm(partitions, blocking), sources)
 
 
 # ---------------------------------------------------------------------------

@@ -1,138 +1,61 @@
-"""The end-to-end ER workflow (Figure 2) and its simulation glue.
+"""Deprecated entry point — use :class:`repro.engine.ERPipeline`.
 
-``ERWorkflow`` wires everything together: input partitioning, Job 1
-(BDM computation + annotated side output), Job 2 (the chosen strategy's
-matching job) and result collection.  The Basic strategy runs as a
-single job, exactly as in the paper.
+This module used to hold the end-to-end workflow, the analytic BDM
+builders and the simulation glue.  That machinery now lives in the
+``repro.engine`` package (pluggable execution backends) and
+``repro.core.bdm`` (analytic BDM construction); everything importable
+from here before is re-exported so existing code keeps working.
 
-The module also converts executed job results or analytic plans into
-cluster-simulator task lists, which is how the execution-time figures
-are regenerated.
+``ERWorkflow`` remains as a thin shim over ``ERPipeline`` with the old
+``run``/``run_two_source`` split and the old defaults (serial backend,
+one partition per source in the two-source case).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Sequence
 
-from ..cluster.costmodel import CostModel
-from ..cluster.simulation import (
-    ClusterSimulator,
-    ClusterSpec,
-    map_task_specs,
-    reduce_task_specs,
+from ..engine.pipeline import ERPipeline
+from ..engine.result import PipelineResult
+from ..engine.simulate import (
+    simulate_executed_workflow,
+    simulate_planned_workflow,
+    simulate_strategy,
 )
-from ..cluster.timeline import WorkflowTimeline
-from ..er.blocking import BlockingFunction
 from ..er.entity import Entity
-from ..er.matching import Matcher, MatchResult, ThresholdMatcher
-from ..mapreduce.counters import StandardCounter
-from ..mapreduce.runtime import JobResult, LocalRuntime
-from ..mapreduce.types import Partition, make_partitions
-from .bdm import BlockDistributionMatrix, compute_bdm
-from .planning import BdmJobPlan, StrategyPlan, plan_bdm_job
-from .strategy import LoadBalancingStrategy, get_strategy
-from .two_source import DualSourceBDM, compute_dual_bdm
+from .bdm import analytic_bdm, analytic_bdm_from_block_sizes
+
+__all__ = [
+    "ERWorkflow",
+    "ERWorkflowResult",
+    "analytic_bdm",
+    "analytic_bdm_from_block_sizes",
+    "simulate_executed_workflow",
+    "simulate_planned_workflow",
+    "simulate_strategy",
+]
+
+#: Former result type; pipeline results are a strict superset.
+ERWorkflowResult = PipelineResult
 
 
-@dataclass(frozen=True, slots=True)
-class ERWorkflowResult:
-    """Everything one workflow run produced."""
+class ERWorkflow(ERPipeline):
+    """Deprecated alias for :class:`~repro.engine.ERPipeline`.
 
-    strategy: str
-    matches: MatchResult
-    bdm: BlockDistributionMatrix | DualSourceBDM | None
-    job1: JobResult | None
-    job2: JobResult
-
-    def reduce_comparisons(self) -> list[int]:
-        """Pairs actually compared per reduce task of Job 2."""
-        return self.job2.reduce_counter(StandardCounter.PAIR_COMPARISONS)
-
-    def total_comparisons(self) -> int:
-        return sum(self.reduce_comparisons())
-
-    def map_output_kv(self) -> int:
-        """Total key-value pairs emitted by Job 2's map phase (Figure 12)."""
-        return self.job2.map_output_records()
-
-
-class ERWorkflow:
-    """Run blocking-based ER with a configurable load-balancing strategy.
-
-    Parameters
-    ----------
-    strategy:
-        Strategy instance or registry name (``"basic"``,
-        ``"blocksplit"``, ``"pairrange"``).
-    blocking:
-        Blocking key function.
-    matcher:
-        Pair matcher; defaults to the paper's edit-distance/0.8
-        threshold on ``title``.  Note the matcher is stateful
-        (comparison counters) — reuse across runs only if you reset it.
-    num_map_tasks / num_reduce_tasks:
-        The paper's ``m`` and ``r``.
+    Kept so pre-pipeline imports keep working; prefer ``ERPipeline``,
+    which unifies one- and two-source matching in a single ``run(r, s)``
+    and supports ``with_backend("parallel"| "planned")``.
     """
 
-    def __init__(
-        self,
-        strategy: LoadBalancingStrategy | str,
-        blocking: BlockingFunction,
-        matcher: Matcher | None = None,
-        *,
-        num_map_tasks: int = 2,
-        num_reduce_tasks: int = 3,
-        use_bdm_combiner: bool = True,
-    ):
-        if isinstance(strategy, str):
-            strategy = get_strategy(strategy)
-        self.strategy = strategy
-        self.blocking = blocking
-        self.matcher = matcher if matcher is not None else ThresholdMatcher()
-        self.num_map_tasks = num_map_tasks
-        self.num_reduce_tasks = num_reduce_tasks
-        self.use_bdm_combiner = use_bdm_combiner
-
-    # -- one source -----------------------------------------------------------
-
-    def run(
-        self, entities: Sequence[Entity] | Sequence[Partition]
-    ) -> ERWorkflowResult:
-        """Match one source against itself."""
-        partitions = self._as_partitions(entities)
-        runtime = LocalRuntime()
-        if not self.strategy.requires_bdm:
-            # Basic: single job over raw input; map derives the key.
-            from .basic import BasicMatchJob
-
-            job = BasicMatchJob(self.matcher, blocking=self.blocking)
-            job2 = runtime.run(job, partitions, self.num_reduce_tasks)
-            return ERWorkflowResult(
-                strategy=self.strategy.name,
-                matches=_collect_matches(job2),
-                bdm=None,
-                job1=None,
-                job2=job2,
-            )
-        bdm, job1, annotated = compute_bdm(
-            runtime,
-            partitions,
-            self.blocking,
-            num_reduce_tasks=self.num_reduce_tasks,
-            use_combiner=self.use_bdm_combiner,
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "ERWorkflow is deprecated; use repro.engine.ERPipeline "
+            "(same constructor, run(r, s=None), pluggable backends)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        job = self.strategy.build_job(bdm, self.matcher, self.num_reduce_tasks)
-        job2 = runtime.run(job, annotated, self.num_reduce_tasks)
-        return ERWorkflowResult(
-            strategy=self.strategy.name,
-            matches=_collect_matches(job2),
-            bdm=bdm,
-            job1=job1,
-            job2=job2,
-        )
-
-    # -- two sources ------------------------------------------------------------
+        super().__init__(*args, **kwargs)
 
     def run_two_source(
         self,
@@ -141,218 +64,11 @@ class ERWorkflow:
         *,
         num_r_partitions: int = 1,
         num_s_partitions: int = 1,
-    ) -> ERWorkflowResult:
-        """Match R against S (Appendix I).
-
-        Entities are re-tagged with their source; partitions are
-        source-homogeneous, R partitions first.
-        """
-        if self.strategy.requires_bdm is False:
-            raise ValueError(
-                "two-source matching requires a BDM-based strategy "
-                "(blocksplit or pairrange)"
-            )
-        tagged_r = [e if e.source == "R" else e.with_source("R") for e in r_entities]
-        tagged_s = [e if e.source == "S" else e.with_source("S") for e in s_entities]
-        r_parts = make_partitions(tagged_r, num_r_partitions)
-        s_parts = make_partitions(tagged_s, num_s_partitions)
-        partitions: list[Partition] = []
-        for part in r_parts + s_parts:
-            partitions.append(
-                Partition(list(part), index=len(partitions))
-            )
-        runtime = LocalRuntime()
-        bdm, job1, annotated = compute_dual_bdm(
-            runtime,
-            partitions,
-            self.blocking,
-            num_reduce_tasks=self.num_reduce_tasks,
-            use_combiner=self.use_bdm_combiner,
+    ) -> PipelineResult:
+        """Match R against S (Appendix I) — old-style entry point."""
+        return self.run(
+            r_entities,
+            s_entities,
+            num_r_partitions=num_r_partitions,
+            num_s_partitions=num_s_partitions,
         )
-        job = self.strategy.build_dual_job(bdm, self.matcher, self.num_reduce_tasks)
-        job2 = runtime.run(job, annotated, self.num_reduce_tasks)
-        return ERWorkflowResult(
-            strategy=self.strategy.name,
-            matches=_collect_matches(job2),
-            bdm=bdm,
-            job1=job1,
-            job2=job2,
-        )
-
-    # -- helpers --------------------------------------------------------------------
-
-    def _as_partitions(
-        self, entities: Sequence[Entity] | Sequence[Partition]
-    ) -> list[Partition]:
-        if entities and isinstance(entities[0], Partition):
-            return list(entities)  # type: ignore[arg-type]
-        return make_partitions(list(entities), self.num_map_tasks)
-
-
-def _collect_matches(job2: JobResult) -> MatchResult:
-    return MatchResult(record.value for record in job2.output)
-
-
-# ---------------------------------------------------------------------------
-# Analytic BDM construction (planner path — no MR execution)
-# ---------------------------------------------------------------------------
-
-
-def analytic_bdm(
-    partitions: Sequence[Sequence[Entity]] | Sequence[Partition],
-    blocking: BlockingFunction,
-) -> BlockDistributionMatrix:
-    """Compute the BDM directly (what Job 1 would output), for planning."""
-    counts: dict[tuple, int] = {}
-    for index, partition in enumerate(partitions):
-        records = (
-            (record.value for record in partition)
-            if isinstance(partition, Partition)
-            else iter(partition)
-        )
-        for entity in records:
-            key = blocking.key_for(entity)
-            if key is None:
-                continue
-            counts[(key, index)] = counts.get((key, index), 0) + 1
-    return BlockDistributionMatrix.from_counts(counts, num_partitions=len(partitions))
-
-
-def analytic_bdm_from_block_sizes(
-    block_partition_sizes: Sequence[Sequence[int]],
-) -> BlockDistributionMatrix:
-    """Build a BDM straight from a ``b × m`` size matrix.
-
-    Benchmarks use this to study block-size distributions without
-    generating entities at all; block keys are synthesized as
-    ``"b<k>"``.
-    """
-    keys = [f"b{k}" for k in range(len(block_partition_sizes))]
-    return BlockDistributionMatrix(keys, block_partition_sizes)
-
-
-# ---------------------------------------------------------------------------
-# Simulation glue
-# ---------------------------------------------------------------------------
-
-
-def simulate_executed_workflow(
-    result: ERWorkflowResult,
-    cluster: ClusterSpec,
-    cost_model: CostModel | None = None,
-    *,
-    avg_comparison_length: float | None = None,
-) -> WorkflowTimeline:
-    """Simulate cluster execution of an already-executed workflow,
-    using the real per-task counters."""
-    cost_model = cost_model if cost_model is not None else CostModel()
-    simulator = ClusterSimulator(cluster, cost_model)
-    jobs = []
-    for job_result in (result.job1, result.job2):
-        if job_result is None:
-            continue
-        maps = map_task_specs(
-            cost_model,
-            [t.input_records for t in job_result.map_tasks],
-            [t.output_records for t in job_result.map_tasks],
-            prefix=f"{job_result.job_name}-map",
-        )
-        reduces = reduce_task_specs(
-            cost_model,
-            [t.input_records for t in job_result.reduce_tasks],
-            [
-                t.counters.get(StandardCounter.PAIR_COMPARISONS)
-                for t in job_result.reduce_tasks
-            ],
-            avg_comparison_length=avg_comparison_length,
-            prefix=f"{job_result.job_name}-reduce",
-        )
-        jobs.append((job_result.job_name, maps, reduces))
-    return simulator.simulate_workflow(jobs)
-
-
-def simulate_planned_workflow(
-    plan: StrategyPlan,
-    cluster: ClusterSpec,
-    cost_model: CostModel | None = None,
-    *,
-    bdm_plan: BdmJobPlan | None = None,
-    avg_comparison_length: float | None = None,
-    comparison_noise_sigma: float = 0.0,
-    noise_seed: int = 11,
-) -> WorkflowTimeline:
-    """Simulate cluster execution from analytic plans (the scalable path).
-
-    ``bdm_plan`` adds Job 1 ahead of the matching job; pass ``None``
-    for the single-job Basic strategy.
-    """
-    cost_model = cost_model if cost_model is not None else CostModel()
-    simulator = ClusterSimulator(cluster, cost_model)
-    jobs = []
-    if bdm_plan is not None:
-        maps = map_task_specs(
-            cost_model,
-            list(bdm_plan.map_input_records),
-            list(bdm_plan.map_output_kv),
-            prefix="job1-map",
-        )
-        reduces = reduce_task_specs(
-            cost_model,
-            list(bdm_plan.reduce_input_kv),
-            [0] * bdm_plan.num_reduce_tasks,
-            prefix="job1-reduce",
-        )
-        jobs.append(("job1-bdm", maps, reduces))
-    maps = map_task_specs(
-        cost_model,
-        list(plan.map_input_records),
-        list(plan.map_output_kv),
-        prefix=f"{plan.strategy}-map",
-    )
-    reduces = reduce_task_specs(
-        cost_model,
-        list(plan.reduce_input_kv),
-        list(plan.reduce_comparisons),
-        avg_comparison_length=avg_comparison_length,
-        comparison_noise_sigma=comparison_noise_sigma,
-        noise_seed=noise_seed,
-        prefix=f"{plan.strategy}-reduce",
-    )
-    jobs.append((plan.strategy, maps, reduces))
-    return simulator.simulate_workflow(jobs)
-
-
-def simulate_strategy(
-    strategy_name: str,
-    bdm: BlockDistributionMatrix,
-    cluster: ClusterSpec,
-    *,
-    num_reduce_tasks: int,
-    cost_model: CostModel | None = None,
-    avg_comparison_length: float | None = None,
-    comparison_noise_sigma: float = 0.0,
-    noise_seed: int = 11,
-    raw_partition_sizes: Sequence[int] | None = None,
-    use_bdm_combiner: bool = True,
-) -> tuple[WorkflowTimeline, StrategyPlan]:
-    """One-call planner + simulator for the benchmark harness."""
-    strategy = get_strategy(strategy_name)
-    plan = strategy.plan(bdm, num_reduce_tasks)
-    bdm_plan = None
-    if strategy.requires_bdm:
-        bdm_plan = plan_bdm_job(
-            bdm,
-            num_reduce_tasks,
-            use_combiner=use_bdm_combiner,
-            raw_partition_sizes=raw_partition_sizes,
-        )
-    timeline = simulate_planned_workflow(
-        plan,
-        cluster,
-        cost_model,
-        bdm_plan=bdm_plan,
-        avg_comparison_length=avg_comparison_length,
-        comparison_noise_sigma=comparison_noise_sigma,
-        noise_seed=noise_seed,
-    )
-    return timeline, plan

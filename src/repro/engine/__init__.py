@@ -1,0 +1,57 @@
+"""Unified pipeline API over pluggable execution backends.
+
+``ERPipeline`` is the single entry point for the paper's two-job
+workflow (Job 1 BDM computation, Job 2 load-balanced matching): one- and
+two-source matching share one ``run(r, s=None)`` code path, and the
+*how* of execution is delegated to an :class:`ExecutionBackend`:
+
+=============  ==========================================================
+backend        what it does
+=============  ==========================================================
+``serial``     deterministic in-process execution (the reference path)
+``parallel``   map/reduce tasks fan out over a process or thread pool
+``planned``    no execution — analytic planners + cluster simulation,
+               which is what makes DS2-scale figures tractable
+=============  ==========================================================
+
+All backends return a :class:`PipelineResult`; executing backends fill
+``matches``/``job1``/``job2``, and every backend fills the analytic
+``plan`` (and a simulated ``timeline`` when a cluster is configured).
+Backends self-register via :func:`register_backend`, exactly like
+strategies do via ``@register_strategy``.
+"""
+
+from .backend import (
+    BACKENDS,
+    ExecutionBackend,
+    PipelineRequest,
+    get_backend,
+    register_backend,
+)
+from .parallel import ParallelBackend, ParallelRuntime
+from .pipeline import ERPipeline
+from .planned import PlannedBackend
+from .result import PipelineResult
+from .serial import SerialBackend
+from .simulate import (
+    simulate_executed_workflow,
+    simulate_planned_workflow,
+    simulate_strategy,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ERPipeline",
+    "ExecutionBackend",
+    "ParallelBackend",
+    "ParallelRuntime",
+    "PipelineRequest",
+    "PipelineResult",
+    "PlannedBackend",
+    "SerialBackend",
+    "get_backend",
+    "register_backend",
+    "simulate_executed_workflow",
+    "simulate_planned_workflow",
+    "simulate_strategy",
+]

@@ -1,0 +1,124 @@
+"""The execution-backend contract and registry.
+
+A backend receives a fully-resolved :class:`PipelineRequest` — strategy
+instance, blocking function, matcher, input partitions — and returns a
+:class:`~repro.engine.result.PipelineResult`.  How the work happens
+(in-process, on a worker pool, or analytically via the planners and the
+cluster simulator) is entirely the backend's business; ``ERPipeline``
+never branches on the backend kind.
+
+Backends self-register with :func:`register_backend`, mirroring the
+strategy registry, so third-party backends (a real Hadoop bridge, an
+async runner, …) plug in without touching the pipeline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from ..cluster.costmodel import CostModel
+from ..cluster.simulation import ClusterSpec
+from ..core.strategy import LoadBalancingStrategy
+from ..er.blocking import BlockingFunction
+from ..er.matching import Matcher
+from ..mapreduce.types import Partition
+from .result import PipelineResult
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineRequest:
+    """One resolved unit of pipeline work handed to a backend.
+
+    ``partitions`` are the m input splits (source-homogeneous and
+    R-before-S when ``dual``).  ``cluster``/``cost_model`` are optional
+    for executing backends (they enable the simulated timeline) and
+    default to a small reference cluster for the planned backend.
+    """
+
+    strategy: LoadBalancingStrategy
+    blocking: BlockingFunction
+    matcher: Matcher
+    partitions: tuple[Partition, ...]
+    num_reduce_tasks: int
+    dual: bool = False
+    use_bdm_combiner: bool = True
+    cluster: ClusterSpec | None = None
+    cost_model: CostModel | None = None
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.partitions:
+            raise ValueError("at least one input partition is required")
+        if self.num_reduce_tasks <= 0:
+            raise ValueError(
+                f"num_reduce_tasks must be positive, got {self.num_reduce_tasks}"
+            )
+
+    @property
+    def raw_partition_sizes(self) -> tuple[int, ...]:
+        return tuple(len(p) for p in self.partitions)
+
+
+class ExecutionBackend(ABC):
+    """Executes (or plans) the two-job ER workflow for one request."""
+
+    #: Registry key and display name.
+    name: str = "backend"
+
+    #: Whether :meth:`execute` actually runs the matching jobs (and thus
+    #: produces matches), as opposed to analytic planning only.
+    executes: bool = True
+
+    @abstractmethod
+    def execute(self, request: PipelineRequest) -> PipelineResult:
+        """Run one pipeline request to completion."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: Registry of available backends by name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+_B = TypeVar("_B", bound=type[ExecutionBackend])
+
+
+def register_backend(cls: _B) -> _B:
+    """Class decorator adding a backend to the registry under ``cls.name``."""
+    if not cls.name or cls.name == ExecutionBackend.name:
+        raise ValueError(f"{cls.__name__} must define a distinct `name`")
+    existing = BACKENDS.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"backend name {cls.name!r} already registered by {existing.__name__}"
+        )
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def get_backend(
+    backend: ExecutionBackend | type[ExecutionBackend] | str,
+    **options: Any,
+) -> ExecutionBackend:
+    """Resolve a backend name, class or instance to a ready instance.
+
+    ``options`` are forwarded to the backend constructor when a name or
+    class is given (e.g. ``get_backend("parallel", max_workers=4)``).
+    """
+    if isinstance(backend, ExecutionBackend):
+        if options:
+            raise TypeError(
+                "cannot apply constructor options to an existing "
+                f"backend instance {backend!r}"
+            )
+        return backend
+    if isinstance(backend, type) and issubclass(backend, ExecutionBackend):
+        return backend(**options)
+    try:
+        cls = BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise KeyError(f"unknown backend {backend!r}; known: {known}") from None
+    return cls(**options)

@@ -1,0 +1,126 @@
+"""Shared machinery for backends that really run the MapReduce jobs.
+
+The two-job workflow (Figure 2) is identical for serial and parallel
+execution — only the runtime that schedules the task units differs, so
+subclasses supply :meth:`ExecutingBackendBase.make_runtime` and nothing
+else.  One- and two-source matching share this single code path, and
+the Basic strategy is routed through ``strategy.build_job`` like every
+other strategy (the blocking function travels with the request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.bdm import analytic_bdm, compute_bdm
+from ..core.planning import BdmJobPlan, StrategyPlan, plan_bdm_job
+from ..core.two_source import analytic_dual_bdm, compute_dual_bdm
+from ..er.matching import MatchResult
+from ..mapreduce.runtime import LocalRuntime
+from .backend import ExecutionBackend, PipelineRequest
+from .result import PipelineResult
+from .simulate import simulate_executed_workflow
+
+
+def analytic_plans(
+    request: PipelineRequest, bdm=None
+) -> tuple[StrategyPlan | None, BdmJobPlan | None]:
+    """The request's analytic workload plans (Job 2 and, when the
+    strategy needs it, Job 1).
+
+    ``bdm`` is reused when an executing backend already computed it;
+    otherwise it is derived analytically from the input partitions.
+    Degenerate inputs with no blocked entities at all have no plannable
+    workload and yield ``(None, None)``.
+    """
+    strategy = request.strategy
+    r = request.num_reduce_tasks
+    if bdm is None:
+        bdm = (
+            analytic_dual_bdm(request.partitions, request.blocking)
+            if request.dual
+            else analytic_bdm(request.partitions, request.blocking)
+        )
+    if bdm.num_blocks == 0:
+        return None, None
+    if request.dual:
+        plan = strategy.plan_dual(bdm, r)
+    else:
+        plan = strategy.plan(bdm, r)
+    bdm_plan = None
+    if strategy.requires_bdm:
+        bdm_plan = plan_bdm_job(
+            bdm,
+            r,
+            use_combiner=request.use_bdm_combiner,
+            raw_partition_sizes=request.raw_partition_sizes,
+        )
+    return plan, bdm_plan
+
+
+class ExecutingBackendBase(ExecutionBackend):
+    """Runs Job 1 (when needed) and Job 2 on a runtime subclasses pick."""
+
+    executes = True
+
+    def make_runtime(self) -> LocalRuntime:
+        raise NotImplementedError
+
+    def execute(self, request: PipelineRequest) -> PipelineResult:
+        runtime = self.make_runtime()
+        try:
+            return self._execute_on(runtime, request)
+        finally:
+            runtime.close()
+
+    def _execute_on(self, runtime: LocalRuntime, request: PipelineRequest) -> PipelineResult:
+        strategy = request.strategy
+        r = request.num_reduce_tasks
+        if request.dual:
+            bdm, job1, annotated = compute_dual_bdm(
+                runtime,
+                request.partitions,
+                request.blocking,
+                num_reduce_tasks=r,
+                use_combiner=request.use_bdm_combiner,
+            )
+            job = strategy.build_dual_job(bdm, request.matcher, r)
+            job2 = runtime.run(job, annotated, r, properties=request.properties)
+        elif strategy.requires_bdm:
+            bdm, job1, annotated = compute_bdm(
+                runtime,
+                request.partitions,
+                request.blocking,
+                num_reduce_tasks=r,
+                use_combiner=request.use_bdm_combiner,
+            )
+            job = strategy.build_job(
+                bdm, request.matcher, r, blocking=request.blocking
+            )
+            job2 = runtime.run(job, annotated, r, properties=request.properties)
+        else:
+            bdm, job1 = None, None
+            job = strategy.build_job(
+                None, request.matcher, r, blocking=request.blocking
+            )
+            job2 = runtime.run(
+                job, request.partitions, r, properties=request.properties
+            )
+
+        plan, bdm_plan = analytic_plans(request, bdm)
+        result = PipelineResult(
+            strategy=strategy.name,
+            backend=self.name,
+            matches=MatchResult(record.value for record in job2.output),
+            bdm=bdm,
+            job1=job1,
+            job2=job2,
+            plan=plan,
+            bdm_plan=bdm_plan,
+        )
+        if request.cluster is not None:
+            timeline = simulate_executed_workflow(
+                result, request.cluster, request.cost_model
+            )
+            result = replace(result, timeline=timeline)
+        return result

@@ -1,0 +1,214 @@
+"""``ERPipeline`` — the one front door to the ER workflow.
+
+One- and two-source matching share a single entry point::
+
+    pipeline = ERPipeline("blocksplit", PrefixBlocking("title"),
+                          num_map_tasks=4, num_reduce_tasks=8)
+    dedup = pipeline.run(entities)                 # R × R
+    links = pipeline.run(r_entities, s_entities)   # R × S (Appendix I)
+
+and the execution backend is swappable without touching anything else::
+
+    fast = pipeline.with_backend("parallel", max_workers=8).run(entities)
+    plan = pipeline.with_backend("planned").run(entities)
+
+``with_backend`` / ``with_cluster`` return configured copies (the
+pipeline itself is cheap, reusable configuration; matchers are stateful
+and shared across copies, as before).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..cluster.costmodel import CostModel
+from ..cluster.simulation import ClusterSpec
+from ..er.blocking import BlockingFunction
+from ..er.entity import Entity
+from ..er.matching import Matcher, ThresholdMatcher
+from ..mapreduce.types import Partition, make_partitions
+from ..core.strategy import LoadBalancingStrategy, get_strategy
+from ..core.two_source import SOURCE_R, SOURCE_S
+from .backend import ExecutionBackend, PipelineRequest, get_backend
+from .result import PipelineResult
+
+#: Distinguishes "not passed" from an explicit None in with_cluster.
+_UNSET: Any = object()
+
+
+class ERPipeline:
+    """Blocking-based ER with a configurable strategy and backend.
+
+    Parameters
+    ----------
+    strategy:
+        Strategy instance, class, or registry name (``"basic"``,
+        ``"blocksplit"``, ``"pairrange"``).
+    blocking:
+        Blocking key function.
+    matcher:
+        Pair matcher; defaults to the paper's edit-distance/0.8
+        threshold on ``title``.  Note the matcher is stateful
+        (comparison counters) — reuse across runs only if you reset it.
+    num_map_tasks / num_reduce_tasks:
+        The paper's ``m`` and ``r``.
+    backend:
+        Backend instance or registry name (``"serial"``, ``"parallel"``,
+        ``"planned"``); defaults to serial execution.
+    cluster / cost_model:
+        Optional simulated-cluster shape: executing backends attach a
+        simulated timeline to their result, the planned backend uses it
+        as the simulation target.
+    """
+
+    def __init__(
+        self,
+        strategy: LoadBalancingStrategy | type[LoadBalancingStrategy] | str,
+        blocking: BlockingFunction,
+        matcher: Matcher | None = None,
+        *,
+        num_map_tasks: int = 2,
+        num_reduce_tasks: int = 3,
+        use_bdm_combiner: bool = True,
+        backend: ExecutionBackend | type[ExecutionBackend] | str = "serial",
+        cluster: ClusterSpec | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.strategy = get_strategy(strategy)
+        self.blocking = blocking
+        self.matcher = matcher if matcher is not None else ThresholdMatcher()
+        self.num_map_tasks = num_map_tasks
+        self.num_reduce_tasks = num_reduce_tasks
+        self.use_bdm_combiner = use_bdm_combiner
+        self.backend = get_backend(backend)
+        self.cluster = cluster
+        self.cost_model = cost_model
+
+    # -- fluent configuration ----------------------------------------------
+
+    def with_backend(
+        self,
+        backend: ExecutionBackend | type[ExecutionBackend] | str,
+        **options: Any,
+    ) -> "ERPipeline":
+        """A copy of this pipeline running on a different backend."""
+        return self._copy(backend=get_backend(backend, **options))
+
+    def with_cluster(
+        self,
+        cluster: ClusterSpec,
+        cost_model: CostModel | None = _UNSET,  # type: ignore[assignment]
+    ) -> "ERPipeline":
+        """A copy of this pipeline simulating against ``cluster``.
+
+        A cost model configured at construction time is kept unless one
+        is explicitly passed here.
+        """
+        if cost_model is _UNSET:
+            return self._copy(cluster=cluster)
+        return self._copy(cluster=cluster, cost_model=cost_model)
+
+    def _copy(self, **overrides: Any) -> "ERPipeline":
+        settings: dict[str, Any] = dict(
+            strategy=self.strategy,
+            blocking=self.blocking,
+            matcher=self.matcher,
+            num_map_tasks=self.num_map_tasks,
+            num_reduce_tasks=self.num_reduce_tasks,
+            use_bdm_combiner=self.use_bdm_combiner,
+            backend=self.backend,
+            cluster=self.cluster,
+            cost_model=self.cost_model,
+        )
+        settings.update(overrides)
+        strategy = settings.pop("strategy")
+        blocking = settings.pop("blocking")
+        matcher = settings.pop("matcher")
+        return ERPipeline(strategy, blocking, matcher, **settings)
+
+    # -- running ------------------------------------------------------------
+
+    def run(
+        self,
+        r: Sequence[Entity] | Sequence[Partition],
+        s: Sequence[Entity] | None = None,
+        *,
+        num_r_partitions: int | None = None,
+        num_s_partitions: int | None = None,
+    ) -> PipelineResult:
+        """Match one source against itself, or R against S.
+
+        With ``s=None``, ``r`` may be entities (split into
+        ``num_map_tasks`` partitions) or ready-made partitions.  With
+        two sources, entities are re-tagged R/S and placed in
+        source-homogeneous partitions, R partitions first;
+        ``num_r_partitions``/``num_s_partitions`` default to half of
+        ``num_map_tasks`` each.
+        """
+        if s is None:
+            partitions = self._as_partitions(r)
+            dual = False
+        else:
+            partitions = self._dual_partitions(
+                r, s, num_r_partitions, num_s_partitions
+            )
+            dual = True
+        request = PipelineRequest(
+            strategy=self.strategy,
+            blocking=self.blocking,
+            matcher=self.matcher,
+            partitions=tuple(partitions),
+            num_reduce_tasks=self.num_reduce_tasks,
+            dual=dual,
+            use_bdm_combiner=self.use_bdm_combiner,
+            cluster=self.cluster,
+            cost_model=self.cost_model,
+        )
+        return self.backend.execute(request)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _as_partitions(
+        self, entities: Sequence[Entity] | Sequence[Partition]
+    ) -> list[Partition]:
+        if entities and isinstance(entities[0], Partition):
+            return list(entities)  # type: ignore[arg-type]
+        return make_partitions(list(entities), self.num_map_tasks)
+
+    def _dual_partitions(
+        self,
+        r_entities: Sequence[Entity],
+        s_entities: Sequence[Entity],
+        num_r_partitions: int | None,
+        num_s_partitions: int | None,
+    ) -> list[Partition]:
+        if self.strategy.requires_bdm is False:
+            raise ValueError(
+                "two-source matching requires a BDM-based strategy "
+                "(blocksplit or pairrange)"
+            )
+        if num_r_partitions is None:
+            num_r_partitions = max(1, self.num_map_tasks // 2)
+        if num_s_partitions is None:
+            num_s_partitions = max(1, self.num_map_tasks // 2)
+        tagged_r = [
+            e if e.source == SOURCE_R else e.with_source(SOURCE_R)
+            for e in r_entities
+        ]
+        tagged_s = [
+            e if e.source == SOURCE_S else e.with_source(SOURCE_S)
+            for e in s_entities
+        ]
+        r_parts = make_partitions(tagged_r, num_r_partitions)
+        s_parts = make_partitions(tagged_s, num_s_partitions)
+        partitions: list[Partition] = []
+        for part in r_parts + s_parts:
+            partitions.append(Partition(list(part), index=len(partitions)))
+        return partitions
+
+    def __repr__(self) -> str:
+        return (
+            f"ERPipeline(strategy={self.strategy.name!r}, "
+            f"backend={self.backend.name!r}, m={self.num_map_tasks}, "
+            f"r={self.num_reduce_tasks})"
+        )

@@ -1,0 +1,82 @@
+"""The unified result of one pipeline run, whatever the backend.
+
+Executing backends (serial, parallel) fill the match/job fields;
+the planned backend leaves them ``None``.  The analytic ``plan`` is
+present for every backend, so workload accessors such as
+:meth:`PipelineResult.reduce_comparisons` work uniformly — callers can
+swap ``"serial"`` for ``"planned"`` without touching downstream code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..mapreduce.counters import StandardCounter
+
+if TYPE_CHECKING:  # imports for annotations only — keeps this module cycle-free
+    from ..cluster.timeline import WorkflowTimeline
+    from ..core.bdm import BlockDistributionMatrix
+    from ..core.planning import BdmJobPlan, StrategyPlan
+    from ..core.two_source import DualSourceBDM
+    from ..er.matching import MatchResult
+    from ..mapreduce.runtime import JobResult
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineResult:
+    """Everything one pipeline run produced.
+
+    ``strategy`` and ``backend`` are the registry names used;
+    ``bdm`` is the executed Job 1 output (executing backends) or the
+    analytically derived matrix (planned backend) — ``None`` only for
+    the BDM-free Basic strategy on an executing backend.
+    """
+
+    strategy: str
+    backend: str
+    matches: "MatchResult | None"
+    bdm: "BlockDistributionMatrix | DualSourceBDM | None"
+    job1: "JobResult | None"
+    job2: "JobResult | None"
+    plan: "StrategyPlan | None" = None
+    bdm_plan: "BdmJobPlan | None" = None
+    timeline: "WorkflowTimeline | None" = None
+
+    # -- execution-mode probes ---------------------------------------------
+
+    @property
+    def executed(self) -> bool:
+        """Whether matching actually ran (vs. analytic planning only)."""
+        return self.job2 is not None
+
+    @property
+    def execution_time(self) -> float | None:
+        """Simulated wall-clock seconds, when a cluster was configured."""
+        return self.timeline.execution_time if self.timeline is not None else None
+
+    # -- workload accessors (uniform across backends) ----------------------
+
+    def reduce_comparisons(self) -> list[int]:
+        """Pairs compared per reduce task of Job 2 (measured or planned).
+
+        A planned run over input with no blocked entities has no
+        plannable workload (``plan is None``): report it as zero work,
+        matching what the executing backends measure on the same input.
+        """
+        if self.job2 is not None:
+            return self.job2.reduce_counter(StandardCounter.PAIR_COMPARISONS)
+        if self.plan is not None:
+            return list(self.plan.reduce_comparisons)
+        return []
+
+    def total_comparisons(self) -> int:
+        return sum(self.reduce_comparisons())
+
+    def map_output_kv(self) -> int:
+        """Total key-value pairs emitted by Job 2's map phase (Figure 12)."""
+        if self.job2 is not None:
+            return self.job2.map_output_records()
+        if self.plan is not None:
+            return self.plan.total_map_output_kv
+        return 0

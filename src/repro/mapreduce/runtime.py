@@ -1,16 +1,25 @@
 """The local MapReduce runtime.
 
 Executes a :class:`~repro.mapreduce.job.MapReduceJob` over a list of
-input partitions exactly as a (single-threaded, deterministic) Hadoop
-would: one map task per input partition, a full partition/sort/group
-shuffle, then one reduce task per configured reduce index.  The runtime
-records rich per-task statistics which the cluster simulator turns into
+input partitions exactly as a (deterministic) Hadoop would: one map
+task per input partition, a full partition/sort/group shuffle, then one
+reduce task per configured reduce index.  The runtime records rich
+per-task statistics which the cluster simulator turns into
 execution-time estimates.
+
+Task execution is factored into self-contained, schedulable units —
+:func:`execute_map_task` and :func:`execute_reduce_task` — that take
+only picklable arguments and return their results (including side
+outputs) instead of mutating shared state.  :class:`LocalRuntime` runs
+them in task-index order in-process; the engine package's parallel
+runtime ships the same units to worker pools.  Either way the merged
+:class:`JobResult` is byte-for-byte identical because results are
+always combined in task-index order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from .counters import Counters, StandardCounter
@@ -18,6 +27,20 @@ from .dfs import DistributedFileSystem
 from .job import JobConfig, MapReduceJob, TaskContext
 from .shuffle import group_bucket, partition_map_output, sort_bucket
 from .types import KeyValue, Partition
+
+
+@dataclass(frozen=True, slots=True)
+class SideRecord:
+    """One side-output record a map task produced.
+
+    Side outputs are collected inside the task unit and applied to the
+    DFS by whoever scheduled the task — this is what lets map tasks run
+    in worker processes that do not share the driver's file system.
+    """
+
+    directory: str
+    key: Any
+    value: Any
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +52,7 @@ class MapTaskResult:
     output_records: int
     counters: Counters
     output: tuple[KeyValue, ...]
+    side_records: tuple[SideRecord, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +103,118 @@ class JobResult:
         return self.counters.get(StandardCounter.MAP_OUTPUT_RECORDS)
 
 
+# ---------------------------------------------------------------------------
+# Schedulable task units
+# ---------------------------------------------------------------------------
+
+
+def execute_map_task(
+    job: MapReduceJob, config: JobConfig, partition: Partition
+) -> MapTaskResult:
+    """Run one map task and return its output, counters and side records.
+
+    Pure with respect to the caller: no shared file system or counters
+    are touched, so the unit can execute in any process.
+    """
+    side_records: list[SideRecord] = []
+
+    def side_writer(directory: str, key: Any, value: Any) -> None:
+        side_records.append(SideRecord(directory, key, value))
+        context.counters.increment(StandardCounter.SIDE_OUTPUT_RECORDS)
+
+    context = TaskContext(
+        config, partition_index=partition.index, side_writer=side_writer
+    )
+    output: list[KeyValue] = []
+
+    def emit(key: Any, value: Any) -> None:
+        output.append(KeyValue(key, value))
+
+    job.configure_map(context)
+    for record in partition:
+        job.map(record.key, record.value, emit, context)
+        context.counters.increment(StandardCounter.MAP_INPUT_RECORDS)
+
+    output = _run_combiner(job, context, output)
+    context.counters.increment(StandardCounter.MAP_OUTPUT_RECORDS, len(output))
+    return MapTaskResult(
+        partition_index=partition.index,
+        input_records=len(partition),
+        output_records=len(output),
+        counters=context.counters,
+        output=tuple(output),
+        side_records=tuple(side_records),
+    )
+
+
+def _run_combiner(
+    job: MapReduceJob, context: TaskContext, output: list[KeyValue]
+) -> list[KeyValue]:
+    """Apply the job's combiner to one map task's output, if defined.
+
+    Groups by the full key (sorted by the sort projection first) and
+    replaces each group by whatever the combiner returns.  Jobs
+    without a combiner pass through untouched.
+    """
+    if type(job).combine is MapReduceJob.combine:
+        return output
+
+    sorted_output = sort_bucket(job, output)
+    combined: list[KeyValue] = []
+    i = 0
+    n = len(sorted_output)
+    while i < n:
+        j = i
+        key = sorted_output[i].key
+        values: list[Any] = []
+        while j < n and sorted_output[j].key == key:
+            values.append(sorted_output[j].value)
+            j += 1
+        context.counters.increment(StandardCounter.COMBINE_INPUT_RECORDS, j - i)
+        replacement = job.combine(key, values)
+        if replacement is None:
+            combined.extend(sorted_output[i:j])
+            context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS, j - i)
+        else:
+            for out_key, out_value in replacement:
+                combined.append(KeyValue(out_key, out_value))
+                context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS)
+        i = j
+    return combined
+
+
+def execute_reduce_task(
+    job: MapReduceJob,
+    config: JobConfig,
+    reduce_index: int,
+    bucket: list[KeyValue],
+) -> ReduceTaskResult:
+    """Run one reduce task over its shuffled bucket."""
+    context = TaskContext(config, reduce_index=reduce_index)
+    output: list[KeyValue] = []
+
+    def emit(key: Any, value: Any) -> None:
+        output.append(KeyValue(key, value))
+
+    job.configure_reduce(context)
+    groups = group_bucket(job, sort_bucket(job, bucket))
+    for group in groups:
+        job.reduce(group.key, group.values, emit, context)
+        context.counters.increment(StandardCounter.REDUCE_INPUT_GROUPS)
+        context.counters.increment(
+            StandardCounter.REDUCE_INPUT_RECORDS, len(group.values)
+        )
+    context.counters.increment(StandardCounter.REDUCE_OUTPUT_RECORDS, len(output))
+    return ReduceTaskResult(
+        reduce_index=reduce_index,
+        input_records=len(bucket),
+        input_groups=len(groups),
+        output_records=len(output),
+        counters=context.counters,
+        output=tuple(output),
+    )
+
+
 class LocalRuntime:
     """Deterministic in-process job executor.
 
@@ -91,6 +227,9 @@ class LocalRuntime:
 
     def __init__(self, dfs: DistributedFileSystem | None = None):
         self.dfs = dfs if dfs is not None else DistributedFileSystem()
+
+    def close(self) -> None:
+        """Release scheduling resources (no-op for in-process execution)."""
 
     # -- public API --------------------------------------------------------
 
@@ -120,13 +259,11 @@ class LocalRuntime:
             properties=dict(properties or {}),
         )
 
-        map_results = [self._run_map_task(job, config, part) for part in partitions]
+        map_results = self._execute_map_tasks(job, config, partitions)
+        self._apply_side_records(map_results)
         map_outputs = [result.output for result in map_results]
         buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
-        reduce_results = [
-            self._run_reduce_task(job, config, reduce_index, bucket)
-            for reduce_index, bucket in enumerate(buckets)
-        ]
+        reduce_results = self._execute_reduce_tasks(job, config, buckets)
 
         counters = Counters.merged(
             [r.counters for r in map_results] + [r.counters for r in reduce_results]
@@ -139,107 +276,39 @@ class LocalRuntime:
             counters=counters,
         )
 
-    # -- task execution ------------------------------------------------------
+    # -- scheduling (overridden by parallel runtimes) ----------------------
 
-    def _run_map_task(
-        self, job: MapReduceJob, config: JobConfig, partition: Partition
-    ) -> MapTaskResult:
-        side_files: dict[str, str] = {}
-
-        def side_writer(directory: str, key: Any, value: Any) -> None:
-            path = side_files.get(directory)
-            if path is None:
-                path = DistributedFileSystem.task_path(directory, partition.index)
-                self.dfs.create(path)
-                side_files[directory] = path
-            self.dfs.append(path, key, value)
-            context.counters.increment(StandardCounter.SIDE_OUTPUT_RECORDS)
-
-        context = TaskContext(
-            config, partition_index=partition.index, side_writer=side_writer
-        )
-        output: list[KeyValue] = []
-
-        def emit(key: Any, value: Any) -> None:
-            output.append(KeyValue(key, value))
-
-        job.configure_map(context)
-        for record in partition:
-            job.map(record.key, record.value, emit, context)
-            context.counters.increment(StandardCounter.MAP_INPUT_RECORDS)
-
-        output = self._run_combiner(job, context, output)
-        context.counters.increment(StandardCounter.MAP_OUTPUT_RECORDS, len(output))
-        return MapTaskResult(
-            partition_index=partition.index,
-            input_records=len(partition),
-            output_records=len(output),
-            counters=context.counters,
-            output=tuple(output),
-        )
-
-    def _run_combiner(
-        self, job: MapReduceJob, context: TaskContext, output: list[KeyValue]
-    ) -> list[KeyValue]:
-        """Apply the job's combiner to one map task's output, if defined.
-
-        Groups by the full key (sorted by the sort projection first) and
-        replaces each group by whatever the combiner returns.  Jobs
-        without a combiner pass through untouched.
-        """
-        if type(job).combine is MapReduceJob.combine:
-            return output
-
-        sorted_output = sort_bucket(job, output)
-        combined: list[KeyValue] = []
-        i = 0
-        n = len(sorted_output)
-        while i < n:
-            j = i
-            key = sorted_output[i].key
-            values: list[Any] = []
-            while j < n and sorted_output[j].key == key:
-                values.append(sorted_output[j].value)
-                j += 1
-            context.counters.increment(StandardCounter.COMBINE_INPUT_RECORDS, j - i)
-            replacement = job.combine(key, values)
-            if replacement is None:
-                combined.extend(sorted_output[i:j])
-                context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS, j - i)
-            else:
-                for out_key, out_value in replacement:
-                    combined.append(KeyValue(out_key, out_value))
-                    context.counters.increment(StandardCounter.COMBINE_OUTPUT_RECORDS)
-            i = j
-        return combined
-
-    def _run_reduce_task(
+    def _execute_map_tasks(
         self,
         job: MapReduceJob,
         config: JobConfig,
-        reduce_index: int,
-        bucket: list[KeyValue],
-    ) -> ReduceTaskResult:
-        context = TaskContext(config, reduce_index=reduce_index)
-        output: list[KeyValue] = []
+        partitions: Sequence[Partition],
+    ) -> list[MapTaskResult]:
+        return [execute_map_task(job, config, part) for part in partitions]
 
-        def emit(key: Any, value: Any) -> None:
-            output.append(KeyValue(key, value))
+    def _execute_reduce_tasks(
+        self,
+        job: MapReduceJob,
+        config: JobConfig,
+        buckets: Sequence[list[KeyValue]],
+    ) -> list[ReduceTaskResult]:
+        return [
+            execute_reduce_task(job, config, reduce_index, bucket)
+            for reduce_index, bucket in enumerate(buckets)
+        ]
 
-        job.configure_reduce(context)
-        groups = group_bucket(job, sort_bucket(job, bucket))
-        for group in groups:
-            job.reduce(group.key, group.values, emit, context)
-            context.counters.increment(StandardCounter.REDUCE_INPUT_GROUPS)
-            context.counters.increment(
-                StandardCounter.REDUCE_INPUT_RECORDS, len(group.values)
-            )
-        context.counters.increment(StandardCounter.REDUCE_OUTPUT_RECORDS, len(output))
-        return ReduceTaskResult(
-            reduce_index=reduce_index,
-            input_records=len(bucket),
-            input_groups=len(groups),
-            output_records=len(output),
-            counters=context.counters,
-            output=tuple(output),
-        )
+    # -- side outputs -------------------------------------------------------
+
+    def _apply_side_records(self, map_results: Sequence[MapTaskResult]) -> None:
+        """Materialise side outputs in the driver's DFS, in task order."""
+        for result in map_results:
+            paths: dict[str, str] = {}
+            for record in result.side_records:
+                path = paths.get(record.directory)
+                if path is None:
+                    path = DistributedFileSystem.task_path(
+                        record.directory, result.partition_index
+                    )
+                    self.dfs.create(path)
+                    paths[record.directory] = path
+                self.dfs.append(path, record.key, record.value)

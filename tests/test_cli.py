@@ -43,6 +43,17 @@ class TestDedup:
         assert rows[0] == ["id1", "id2", "similarity"]
         assert len(rows) > 1
 
+    def test_parallel_backend_same_matches(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        serial_out = tmp_path / "serial.csv"
+        parallel_out = tmp_path / "parallel.csv"
+        assert main(["dedup", "--input", str(data), "--output", str(serial_out),
+                     "--backend", "serial"]) == 0
+        assert main(["dedup", "--input", str(data), "--output", str(parallel_out),
+                     "--backend", "parallel", "--workers", "4"]) == 0
+        capsys.readouterr()
+        assert serial_out.read_text() == parallel_out.read_text()
+
     def test_all_strategies_same_matches(self, tmp_path, capsys):
         data = self._dataset(tmp_path)
         contents = []
