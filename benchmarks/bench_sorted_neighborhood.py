@@ -15,7 +15,7 @@ import random
 from repro.analysis.metrics import WorkloadStats
 from repro.analysis.reporting import format_table
 from repro.core.sorted_neighborhood import sorted_neighborhood
-from repro.core.workflow import ERWorkflow
+from repro.engine import ERPipeline
 from repro.datasets.generators import generate_products
 from repro.er.blocking import PrefixBlocking
 from repro.er.matching import ThresholdMatcher
@@ -32,7 +32,7 @@ def comparison_rows():
     blocking = PrefixBlocking("title", 3)
 
     # Ground truth: matches found by exhaustive in-block comparison.
-    truth_workflow = ERWorkflow(
+    truth_workflow = ERPipeline(
         "pairrange", blocking, ThresholdMatcher("title", 0.8),
         num_map_tasks=4, num_reduce_tasks=REDUCE_TASKS,
     )
@@ -41,7 +41,7 @@ def comparison_rows():
     rows = []
     for name in ("basic", "blocksplit", "pairrange"):
         matcher = ThresholdMatcher("title", 0.8)
-        workflow = ERWorkflow(
+        workflow = ERPipeline(
             name, blocking, matcher, num_map_tasks=4, num_reduce_tasks=REDUCE_TASKS
         )
         result = workflow.run(entities)

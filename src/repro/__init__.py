@@ -109,9 +109,22 @@ from .er import (
     ThresholdMatcher,
     levenshtein_similarity,
 )
-from .mapreduce import LocalRuntime, MapReduceJob, Partition, make_partitions
+from .io import (
+    CsvShardSource,
+    GeneratorSource,
+    InMemorySource,
+    RecordSource,
+    ShardBlockStats,
+)
+from .mapreduce import (
+    ExternalShuffle,
+    LocalRuntime,
+    MapReduceJob,
+    Partition,
+    make_partitions,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SimulatedRun",
@@ -186,6 +199,12 @@ __all__ = [
     "PrefixBlocking",
     "ThresholdMatcher",
     "levenshtein_similarity",
+    "CsvShardSource",
+    "GeneratorSource",
+    "InMemorySource",
+    "RecordSource",
+    "ShardBlockStats",
+    "ExternalShuffle",
     "LocalRuntime",
     "MapReduceJob",
     "Partition",

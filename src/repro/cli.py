@@ -10,10 +10,13 @@ Five subcommands cover the library's main entry points::
 
 ``dedup``/``link`` run the real two-job workflow through
 :class:`~repro.engine.ERPipeline` — ``--backend parallel`` fans the
-map/reduce tasks out over a worker pool; ``simulate`` uses the analytic
-planners + cluster simulator and therefore handles DS2 scale in
-seconds; ``recommend`` profiles a file's blocking skew and picks a
-strategy using the paper's findings.
+map/reduce tasks out over a worker pool, ``--input-format csv-shards``
+streams the input through the :mod:`repro.io` record-source layer, and
+``--memory-budget`` bounds shuffle buffering by spilling sorted run
+files to disk; ``simulate`` uses the analytic planners + cluster
+simulator and therefore handles DS2 scale in seconds; ``recommend``
+profiles a file's blocking skew (streaming, with ``csv-shards``) and
+picks a strategy using the paper's findings.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from .datasets.loaders import load_entities_csv, save_entities_csv
 from .datasets.skew import zipf_block_sizes
 from .er.blocking import PrefixBlocking
 from .er.matching import MatchResult, ThresholdMatcher
+from .io.sources import CsvShardSource
 
 
 def _positive_int(text: str) -> int:
@@ -73,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--allow-missing-keys", action="store_true",
                              help="apply the Section III Cartesian fallback "
                                   "for entities without a blocking key")
+            sub.add_argument("--input-format", choices=["memory", "csv-shards"],
+                             default="memory",
+                             help="memory = load the CSV up front; "
+                                  "csv-shards = stream it as --shards "
+                                  "contiguous shards (RecordSource layer)")
+            sub.add_argument("--shards", type=_positive_int, default=None,
+                             help="shard count for --input-format csv-shards "
+                                  "(default: --map-tasks)")
         else:
             sub.add_argument("--input-r", required=True)
             sub.add_argument("--input-s", required=True)
@@ -90,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--workers", type=_positive_int, default=None,
                          help="pool size for --backend parallel "
                               "(default: all cores)")
+        sub.add_argument("--memory-budget", type=_positive_int, default=None,
+                         help="max map-output records buffered in memory "
+                              "during the shuffle; the rest spills through "
+                              "sorted run files on disk (same results)")
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate strategies on a cluster (analytic planners)"
@@ -117,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("-r", "--reduce-tasks", type=int, default=8)
     recommend.add_argument("--sorted-input", action="store_true",
                            help="the file is sorted by the blocking key")
+    recommend.add_argument("--input-format", choices=["memory", "csv-shards"],
+                           default="memory",
+                           help="csv-shards computes the skew profile in one "
+                                "streaming pass (no materialization)")
+    recommend.add_argument("--shards", type=_positive_int, default=None,
+                           help="shard count for --input-format csv-shards "
+                                "(default: --map-tasks)")
     return parser
 
 
@@ -153,9 +176,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_dedup(args: argparse.Namespace) -> int:
-    entities = load_entities_csv(args.input)
     blocking = PrefixBlocking(args.attribute, args.prefix_length)
+    if args.input_format == "csv-shards":
+        shards = args.shards if args.shards is not None else args.map_tasks
+        record_input: CsvShardSource | list = CsvShardSource(
+            args.input, num_shards=shards
+        )
+        num_entities = sum(record_input.shard_sizes())
+        input_note = f"{num_entities} entities ({shards} csv shards)"
+    else:
+        record_input = load_entities_csv(args.input)
+        num_entities = len(record_input)
+        input_note = f"{num_entities} entities"
     if args.allow_missing_keys:
+        entities = (
+            list(record_input.iter_records())
+            if isinstance(record_input, CsvShardSource)
+            else record_input
+        )
         matches = resolve_with_missing_keys(
             entities,
             blocking,
@@ -164,8 +202,9 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             num_map_tasks=args.map_tasks,
             num_reduce_tasks=args.reduce_tasks,
             backend=_backend(args),
+            memory_budget=args.memory_budget,
         )
-        print(f"{len(entities)} entities, {len(matches)} duplicate pairs")
+        print(f"{input_note}, {len(matches)} duplicate pairs")
     else:
         pipeline = ERPipeline(
             args.strategy,
@@ -174,12 +213,13 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             num_map_tasks=args.map_tasks,
             num_reduce_tasks=args.reduce_tasks,
             backend=_backend(args),
+            memory_budget=args.memory_budget,
         )
-        result = pipeline.run(entities)
+        result = pipeline.run(record_input)
         matches = result.matches
         stats = WorkloadStats.from_workloads(result.reduce_comparisons())
         print(
-            f"{len(entities)} entities, {result.total_comparisons():,} comparisons "
+            f"{input_note}, {result.total_comparisons():,} comparisons "
             f"(imbalance {stats.imbalance:.2f}), {len(matches)} duplicate pairs"
         )
     _write_matches(matches, args.output)
@@ -200,6 +240,7 @@ def cmd_link(args: argparse.Namespace) -> int:
         ThresholdMatcher(args.attribute, args.threshold),
         num_reduce_tasks=args.reduce_tasks,
         backend=_backend(args),
+        memory_budget=args.memory_budget,
     )
     result = pipeline.run(
         r_entities,
@@ -253,9 +294,16 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     from .core.bdm import analytic_bdm
     from .mapreduce.types import make_partitions
 
-    entities = load_entities_csv(args.input)
     blocking = PrefixBlocking(args.attribute, args.prefix_length)
-    bdm = analytic_bdm(make_partitions(entities, args.map_tasks), blocking)
+    if args.input_format == "csv-shards":
+        shards = args.shards if args.shards is not None else args.map_tasks
+        source = CsvShardSource(args.input, num_shards=shards)
+        # One streaming pass yields the shard-level block counts the
+        # whole skew profile (and strategy planning) derives from.
+        bdm = source.block_statistics(blocking).to_bdm()
+    else:
+        entities = load_entities_csv(args.input)
+        bdm = analytic_bdm(make_partitions(entities, args.map_tasks), blocking)
     stats = bdm_statistics(bdm)
     rows = [[name, round(value, 4)] for name, value in stats.as_dict().items()]
     print(format_table(["statistic", "value"], rows,

@@ -13,7 +13,7 @@ task, so that Job 2 can consume the identical partitioning.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..er.blocking import BlockingFunction, BlockKey
 from ..er.entity import Entity
@@ -237,6 +237,24 @@ def analytic_bdm(
     return BlockDistributionMatrix.from_counts(counts, num_partitions=len(partitions))
 
 
+def analytic_bdm_from_counts(
+    counts: Mapping[tuple[BlockKey, int], int],
+    num_partitions: int,
+) -> BlockDistributionMatrix:
+    """Build a BDM from shard-level ``(block key, shard index) → count``
+    statistics.
+
+    This is the contract between the streaming input layer
+    (:meth:`repro.io.RecordSource.block_statistics`) and the planners:
+    a :class:`~repro.io.RecordSource` reports per-shard block counts
+    without materializing any records, and those counts *are* what Job 1
+    would have produced — one shard per input partition.  The resulting
+    matrix is identical to :func:`analytic_bdm` over the materialized
+    partitions.
+    """
+    return BlockDistributionMatrix.from_counts(dict(counts), num_partitions)
+
+
 def analytic_bdm_from_block_sizes(
     block_partition_sizes: Sequence[Sequence[int]],
 ) -> BlockDistributionMatrix:
@@ -257,16 +275,22 @@ def compute_bdm(
     *,
     num_reduce_tasks: int,
     use_combiner: bool = True,
+    memory_budget: int | None = None,
 ) -> tuple[BlockDistributionMatrix, JobResult, list[Partition]]:
     """Run Job 1 and return the BDM, the job result, and the annotated
     partitions Job 2 must consume.
 
     ``partitions`` hold raw entities as values.  The returned annotated
     partitions hold ``(blocking key, entity)`` records, partitioned
-    identically to the input.
+    identically to the input.  ``memory_budget`` caps the number of map
+    output records buffered in memory during the shuffle (spilling the
+    rest through sorted run files, see
+    :class:`~repro.mapreduce.ExternalShuffle`).
     """
     job = BdmJob(blocking, use_combiner=use_combiner)
-    result = runtime.run(job, partitions, num_reduce_tasks)
+    result = runtime.run(
+        job, partitions, num_reduce_tasks, memory_budget=memory_budget
+    )
     triples = [record.value for record in result.output]
     bdm = BlockDistributionMatrix.from_blocks(triples, num_partitions=len(partitions))
     # A partition whose entities all lack blocking keys writes no side

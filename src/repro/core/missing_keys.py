@@ -46,6 +46,7 @@ def resolve_with_missing_keys(
     num_map_tasks: int = 2,
     num_reduce_tasks: int = 3,
     backend: ExecutionBackend | str = "serial",
+    memory_budget: int | None = None,
 ) -> MatchResult:
     """One-source dedup where some entities lack a blocking key.
 
@@ -66,6 +67,7 @@ def resolve_with_missing_keys(
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
             backend=backend,
+            memory_budget=memory_budget,
         )
         result.merge(pipeline.run(keyed).matches)
 
@@ -78,6 +80,7 @@ def resolve_with_missing_keys(
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
             backend=backend,
+            memory_budget=memory_budget,
         )
         cross_result = cross.run(
             keyed,
@@ -95,6 +98,7 @@ def resolve_with_missing_keys(
             num_map_tasks=num_map_tasks,
             num_reduce_tasks=num_reduce_tasks,
             backend=backend,
+            memory_budget=memory_budget,
         )
         result.merge(within.run(keyless).matches)
     return result
@@ -109,6 +113,7 @@ def link_with_missing_keys(
     matcher_factory=None,
     num_reduce_tasks: int = 3,
     backend: ExecutionBackend | str = "serial",
+    memory_budget: int | None = None,
 ) -> MatchResult:
     """Two-source linkage with keyless entities (Appendix I's union).
 
@@ -134,6 +139,7 @@ def link_with_missing_keys(
             factory(),
             num_reduce_tasks=num_reduce_tasks,
             backend=backend,
+            memory_budget=memory_budget,
         )
         leg_result = pipeline.run(r_leg, s_leg, num_r_partitions=1, num_s_partitions=1)
         result.merge(leg_result.matches)

@@ -10,8 +10,9 @@ simple decision rule derived from its findings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from .bdm import BlockDistributionMatrix
+from .bdm import BlockDistributionMatrix, analytic_bdm_from_counts
 from .enumeration import block_pair_count
 from .planning import plan_basic
 
@@ -86,6 +87,20 @@ def _gini(sorted_sizes: list[int]) -> float:
     # Standard formula for ascending-sorted values.
     weighted = sum((i + 1) * size for i, size in enumerate(sorted_sizes))
     return (2 * weighted) / (n * total) - (n + 1) / n
+
+
+def bdm_statistics_from_counts(
+    counts: Mapping[tuple[object, int], int], num_shards: int
+) -> BdmStatistics:
+    """Skew profile straight from shard-level block counts.
+
+    This is how a streaming input (:class:`~repro.io.RecordSource`)
+    feeds the diagnostics without materializing records: its
+    ``block_statistics`` pass yields exactly the ``(block key, shard)``
+    counts Job 1 would compute, and every statistic here (as well as
+    BlockSplit/PairRange pair enumeration) derives from them.
+    """
+    return bdm_statistics(analytic_bdm_from_counts(counts, num_shards))
 
 
 @dataclass(frozen=True, slots=True)

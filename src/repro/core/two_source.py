@@ -136,6 +136,7 @@ def compute_dual_bdm(
     *,
     num_reduce_tasks: int,
     use_combiner: bool = True,
+    memory_budget: int | None = None,
 ) -> tuple[DualSourceBDM, JobResult, list[Partition]]:
     """Job 1 for two sources.
 
@@ -156,6 +157,7 @@ def compute_dual_bdm(
         blocking,
         num_reduce_tasks=num_reduce_tasks,
         use_combiner=use_combiner,
+        memory_budget=memory_budget,
     )
     return DualSourceBDM(bdm, sources), job_result, annotated
 

@@ -8,7 +8,10 @@ from here before is re-exported so existing code keeps working.
 
 ``ERWorkflow`` remains as a thin shim over ``ERPipeline`` with the old
 ``run``/``run_two_source`` split and the old defaults (serial backend,
-one partition per source in the two-source case).
+one partition per source in the two-source case).  Constructing it
+emits a single :class:`DeprecationWarning` pointing at the migration
+notes in ``docs/api.md``; no other code path in this repository —
+backends, benchmarks, examples — imports through this shim anymore.
 """
 
 from __future__ import annotations
@@ -51,7 +54,8 @@ class ERWorkflow(ERPipeline):
     def __init__(self, *args, **kwargs):
         warnings.warn(
             "ERWorkflow is deprecated; use repro.engine.ERPipeline "
-            "(same constructor, run(r, s=None), pluggable backends)",
+            "(same constructor, run(r, s=None), pluggable backends) — "
+            "see docs/api.md for the migration notes",
             DeprecationWarning,
             stacklevel=2,
         )

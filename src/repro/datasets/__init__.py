@@ -14,7 +14,12 @@ from .generators import (
     generate_products,
     generate_publications,
 )
-from .loaders import iter_entity_batches, load_entities_csv, save_entities_csv
+from .loaders import (
+    iter_entities_csv,
+    iter_entity_batches,
+    load_entities_csv,
+    save_entities_csv,
+)
 from .partitioning import (
     distribute_block_sizes,
     order_entities,
@@ -39,6 +44,7 @@ __all__ = [
     "PublicationGenerator",
     "generate_products",
     "generate_publications",
+    "iter_entities_csv",
     "iter_entity_batches",
     "load_entities_csv",
     "save_entities_csv",

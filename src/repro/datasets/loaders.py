@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from ..er.entity import Entity
 
@@ -45,15 +45,20 @@ def save_entities_csv(entities: Sequence[Entity], path: str | Path) -> None:
             writer.writerow(row)
 
 
-def load_entities_csv(path: str | Path, *, source: str | None = None) -> list[Entity]:
-    """Read entities from CSV written by :func:`save_entities_csv`
-    (or any CSV with an ``_id`` column).
+def iter_entities_csv(
+    path: str | Path, *, source: str | None = None
+) -> Iterator[Entity]:
+    """Stream entities from CSV written by :func:`save_entities_csv`
+    (or any CSV with an ``_id`` column), one row at a time.
 
-    ``source`` overrides the stored source tag for every entity —
-    convenient when loading the S side of a two-source match task.
+    This is the streaming substrate of
+    :class:`~repro.io.CsvShardSource`: the file is never materialized as
+    a whole, so shard-level statistics and partition construction work
+    on inputs larger than memory.  ``source`` overrides the stored
+    source tag for every entity — convenient when loading the S side of
+    a two-source match task.
     """
     path = Path(path)
-    entities: list[Entity] = []
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         try:
@@ -83,8 +88,12 @@ def load_entities_csv(path: str | Path, *, source: str | None = None) -> list[En
             entity_source = source
             if entity_source is None:
                 entity_source = row[source_index] if source_index is not None else "R"
-            entities.append(Entity(row[id_index], attributes, entity_source))
-    return entities
+            yield Entity(row[id_index], attributes, entity_source)
+
+
+def load_entities_csv(path: str | Path, *, source: str | None = None) -> list[Entity]:
+    """Read a whole CSV of entities into memory (see :func:`iter_entities_csv`)."""
+    return list(iter_entities_csv(path, source=source))
 
 
 def iter_entity_batches(

@@ -19,6 +19,12 @@ All backends return a :class:`PipelineResult`; executing backends fill
 ``plan`` (and a simulated ``timeline`` when a cluster is configured).
 Backends self-register via :func:`register_backend`, exactly like
 strategies do via ``@register_strategy``.
+
+Inputs may be entity lists, ready-made partitions, or a streaming
+:class:`~repro.io.RecordSource` (CSV shards, generators); a
+``memory_budget`` makes the shuffle spill sorted run files to disk
+instead of buffering all map output.  See ``docs/api.md`` for the guide
+with runnable examples and ``docs/architecture.md`` for the dataflow.
 """
 
 from .backend import (

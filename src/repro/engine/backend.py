@@ -23,6 +23,7 @@ from ..cluster.simulation import ClusterSpec
 from ..core.strategy import LoadBalancingStrategy
 from ..er.blocking import BlockingFunction
 from ..er.matching import Matcher
+from ..io.sources import RecordSource
 from ..mapreduce.types import Partition
 from .result import PipelineResult
 
@@ -32,9 +33,15 @@ class PipelineRequest:
     """One resolved unit of pipeline work handed to a backend.
 
     ``partitions`` are the m input splits (source-homogeneous and
-    R-before-S when ``dual``).  ``cluster``/``cost_model`` are optional
-    for executing backends (they enable the simulated timeline) and
-    default to a small reference cluster for the planned backend.
+    R-before-S when ``dual``).  When the pipeline was fed a streaming
+    :class:`~repro.io.RecordSource`, ``source`` carries it: the planned
+    backend consumes only its shard-level block statistics (and
+    ``partitions`` may be empty), while executing backends materialize
+    shards into partitions.  ``memory_budget`` caps shuffle buffering
+    for executing backends (records held in memory before spilling).
+    ``cluster``/``cost_model`` are optional for executing backends (they
+    enable the simulated timeline) and default to a small reference
+    cluster for the planned backend.
     """
 
     strategy: LoadBalancingStrategy
@@ -46,19 +53,37 @@ class PipelineRequest:
     use_bdm_combiner: bool = True
     cluster: ClusterSpec | None = None
     cost_model: CostModel | None = None
+    source: RecordSource | None = None
+    memory_budget: int | None = None
     properties: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if not self.partitions:
+        if not self.partitions and self.source is None:
             raise ValueError("at least one input partition is required")
+        if self.dual and not self.partitions:
+            # Two-source matching needs source-homogeneous, R-before-S
+            # partitions; a bare record source cannot express that.
+            # ERPipeline.run always materializes dual inputs.
+            raise ValueError(
+                "two-source matching requires materialized partitions "
+                "(a streaming source alone is not supported for dual=True)"
+            )
         if self.num_reduce_tasks <= 0:
             raise ValueError(
                 f"num_reduce_tasks must be positive, got {self.num_reduce_tasks}"
             )
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ValueError(
+                f"memory_budget must be positive, got {self.memory_budget}"
+            )
 
     @property
     def raw_partition_sizes(self) -> tuple[int, ...]:
-        return tuple(len(p) for p in self.partitions)
+        """Record count per input split (streamed when only a source is set)."""
+        if self.partitions:
+            return tuple(len(p) for p in self.partitions)
+        assert self.source is not None  # guaranteed by __post_init__
+        return self.source.shard_sizes()
 
 
 class ExecutionBackend(ABC):

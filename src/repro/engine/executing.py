@@ -23,15 +23,22 @@ from .simulate import simulate_executed_workflow
 
 
 def analytic_plans(
-    request: PipelineRequest, bdm=None
+    request: PipelineRequest,
+    bdm=None,
+    *,
+    raw_partition_sizes: tuple[int, ...] | None = None,
 ) -> tuple[StrategyPlan | None, BdmJobPlan | None]:
     """The request's analytic workload plans (Job 2 and, when the
     strategy needs it, Job 1).
 
     ``bdm`` is reused when an executing backend already computed it;
     otherwise it is derived analytically from the input partitions.
-    Degenerate inputs with no blocked entities at all have no plannable
-    workload and yield ``(None, None)``.
+    ``raw_partition_sizes`` likewise short-circuits the request's
+    property when the caller already knows the split sizes (the planned
+    backend gets them from the same streaming pass as the BDM, so a
+    record source is not streamed twice).  Degenerate inputs with no
+    blocked entities at all have no plannable workload and yield
+    ``(None, None)``.
     """
     strategy = request.strategy
     r = request.num_reduce_tasks
@@ -49,11 +56,13 @@ def analytic_plans(
         plan = strategy.plan(bdm, r)
     bdm_plan = None
     if strategy.requires_bdm:
+        if raw_partition_sizes is None:
+            raw_partition_sizes = request.raw_partition_sizes
         bdm_plan = plan_bdm_job(
             bdm,
             r,
             use_combiner=request.use_bdm_combiner,
-            raw_partition_sizes=request.raw_partition_sizes,
+            raw_partition_sizes=raw_partition_sizes,
         )
     return plan, bdm_plan
 
@@ -67,6 +76,12 @@ class ExecutingBackendBase(ExecutionBackend):
         raise NotImplementedError
 
     def execute(self, request: PipelineRequest) -> PipelineResult:
+        if not request.partitions and request.source is not None:
+            # A streaming-only request: materialize the shards (one at a
+            # time) — executing backends need the records in memory.
+            request = replace(
+                request, partitions=tuple(request.source.as_partitions())
+            )
         runtime = self.make_runtime()
         try:
             return self._execute_on(runtime, request)
@@ -76,6 +91,7 @@ class ExecutingBackendBase(ExecutionBackend):
     def _execute_on(self, runtime: LocalRuntime, request: PipelineRequest) -> PipelineResult:
         strategy = request.strategy
         r = request.num_reduce_tasks
+        budget = request.memory_budget
         if request.dual:
             bdm, job1, annotated = compute_dual_bdm(
                 runtime,
@@ -83,9 +99,13 @@ class ExecutingBackendBase(ExecutionBackend):
                 request.blocking,
                 num_reduce_tasks=r,
                 use_combiner=request.use_bdm_combiner,
+                memory_budget=budget,
             )
             job = strategy.build_dual_job(bdm, request.matcher, r)
-            job2 = runtime.run(job, annotated, r, properties=request.properties)
+            job2 = runtime.run(
+                job, annotated, r,
+                properties=request.properties, memory_budget=budget,
+            )
         elif strategy.requires_bdm:
             bdm, job1, annotated = compute_bdm(
                 runtime,
@@ -93,18 +113,23 @@ class ExecutingBackendBase(ExecutionBackend):
                 request.blocking,
                 num_reduce_tasks=r,
                 use_combiner=request.use_bdm_combiner,
+                memory_budget=budget,
             )
             job = strategy.build_job(
                 bdm, request.matcher, r, blocking=request.blocking
             )
-            job2 = runtime.run(job, annotated, r, properties=request.properties)
+            job2 = runtime.run(
+                job, annotated, r,
+                properties=request.properties, memory_budget=budget,
+            )
         else:
             bdm, job1 = None, None
             job = strategy.build_job(
                 None, request.matcher, r, blocking=request.blocking
             )
             job2 = runtime.run(
-                job, request.partitions, r, properties=request.properties
+                job, request.partitions, r,
+                properties=request.properties, memory_budget=budget,
             )
 
         plan, bdm_plan = analytic_plans(request, bdm)

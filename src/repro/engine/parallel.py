@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
@@ -99,11 +100,10 @@ class ParallelRuntime(LocalRuntime):
         job: MapReduceJob,
         config: JobConfig,
         partitions: Sequence[Partition],
+        sink=None,
     ) -> list[MapTaskResult]:
-        return self._fan_out(
-            job,
-            [(execute_map_task, (job, config, part)) for part in partitions],
-        )
+        calls = ((execute_map_task, (job, config, part)) for part in partitions)
+        return self._fan_out(job, calls, count=len(partitions), sink=sink)
 
     def _execute_reduce_tasks(
         self,
@@ -111,22 +111,40 @@ class ParallelRuntime(LocalRuntime):
         config: JobConfig,
         buckets: Sequence[list[KeyValue]],
     ) -> list[ReduceTaskResult]:
-        return self._fan_out(
-            job,
-            [
-                (execute_reduce_task, (job, config, index, bucket))
-                for index, bucket in enumerate(buckets)
-            ],
+        # Buckets are fetched lazily, one per submission: under a memory
+        # budget they are spill-file views (ExternalShuffle.buckets()),
+        # and windowed submission keeps at most ~max_workers of them
+        # re-materialized in the driver at a time.
+        calls = (
+            (execute_reduce_task, (job, config, index, buckets[index]))
+            for index in range(len(buckets))
         )
+        return self._fan_out(job, calls, count=len(buckets))
 
-    def _fan_out(self, job: MapReduceJob, calls: list) -> list:
-        if len(calls) == 1 or self.max_workers == 1:
-            return [fn(*args) for fn, args in calls]
+    def _fan_out(self, job: MapReduceJob, calls, *, count: int, sink=None) -> list:
+        """Run the task units, collecting in submission (task-index)
+        order: determinism does not depend on completion order.
+
+        ``calls`` may be a lazy iterable; arguments are only built at
+        submission time, and at most ``max_workers`` submissions are in
+        flight — so neither task inputs (reduce buckets) nor uncollected
+        results accumulate unboundedly in the driver.  ``sink`` is
+        applied to each result as the driver obtains it — the external
+        shuffle drains map outputs that way.
+        """
+        drain = sink if sink is not None else (lambda result: result)
+        if count == 1 or self.max_workers == 1:
+            return [drain(fn(*args)) for fn, args in calls]
         pool = self._pool_for(job)
-        futures = [pool.submit(fn, *args) for fn, args in calls]
-        # Collect in submission (task-index) order: determinism does
-        # not depend on completion order.
-        return [future.result() for future in futures]
+        results: list = []
+        pending: deque = deque()
+        for fn, args in calls:
+            while len(pending) >= self.max_workers:
+                results.append(drain(pending.popleft().result()))
+            pending.append(pool.submit(fn, *args))
+        while pending:
+            results.append(drain(pending.popleft().result()))
+        return results
 
     def _pool_for(self, job: MapReduceJob) -> Executor:
         """The pool matching the job's executor kind.

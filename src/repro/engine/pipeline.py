@@ -26,6 +26,7 @@ from ..cluster.simulation import ClusterSpec
 from ..er.blocking import BlockingFunction
 from ..er.entity import Entity
 from ..er.matching import Matcher, ThresholdMatcher
+from ..io.sources import RecordSource
 from ..mapreduce.types import Partition, make_partitions
 from ..core.strategy import LoadBalancingStrategy, get_strategy
 from ..core.two_source import SOURCE_R, SOURCE_S
@@ -59,6 +60,11 @@ class ERPipeline:
         Optional simulated-cluster shape: executing backends attach a
         simulated timeline to their result, the planned backend uses it
         as the simulation target.
+    memory_budget:
+        Optional cap on the number of map output records the shuffle
+        buffers in memory; beyond it, records spill through sorted run
+        files on disk (:class:`~repro.mapreduce.ExternalShuffle`).
+        Matches and counters are byte-identical either way.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class ERPipeline:
         backend: ExecutionBackend | type[ExecutionBackend] | str = "serial",
         cluster: ClusterSpec | None = None,
         cost_model: CostModel | None = None,
+        memory_budget: int | None = None,
     ):
         self.strategy = get_strategy(strategy)
         self.blocking = blocking
@@ -83,6 +90,7 @@ class ERPipeline:
         self.backend = get_backend(backend)
         self.cluster = cluster
         self.cost_model = cost_model
+        self.memory_budget = memory_budget
 
     # -- fluent configuration ----------------------------------------------
 
@@ -119,6 +127,7 @@ class ERPipeline:
             backend=self.backend,
             cluster=self.cluster,
             cost_model=self.cost_model,
+            memory_budget=self.memory_budget,
         )
         settings.update(overrides)
         strategy = settings.pop("strategy")
@@ -130,8 +139,8 @@ class ERPipeline:
 
     def run(
         self,
-        r: Sequence[Entity] | Sequence[Partition],
-        s: Sequence[Entity] | None = None,
+        r: Sequence[Entity] | Sequence[Partition] | RecordSource,
+        s: Sequence[Entity] | RecordSource | None = None,
         *,
         num_r_partitions: int | None = None,
         num_s_partitions: int | None = None,
@@ -139,30 +148,52 @@ class ERPipeline:
         """Match one source against itself, or R against S.
 
         With ``s=None``, ``r`` may be entities (split into
-        ``num_map_tasks`` partitions) or ready-made partitions.  With
-        two sources, entities are re-tagged R/S and placed in
-        source-homogeneous partitions, R partitions first;
-        ``num_r_partitions``/``num_s_partitions`` default to half of
+        ``num_map_tasks`` partitions), ready-made partitions, or a
+        streaming :class:`~repro.io.RecordSource` (whose shard count
+        overrides ``num_map_tasks``; executing backends materialize the
+        shards one at a time, the planned backend only streams the
+        source's block statistics).  With two sources, entities are
+        re-tagged R/S and placed in source-homogeneous partitions, R
+        partitions first; ``num_r_partitions``/``num_s_partitions``
+        default to the source's shard count (record sources) or half of
         ``num_map_tasks`` each.
         """
+        source: RecordSource | None = None
         if s is None:
-            partitions = self._as_partitions(r)
+            if isinstance(r, RecordSource):
+                # Backends own materialization: executing backends turn
+                # the shards into partitions (one at a time), the
+                # planned backend streams statistics only.
+                source = r
+                partitions: tuple[Partition, ...] = ()
+            else:
+                partitions = tuple(self._as_partitions(r))
             dual = False
         else:
-            partitions = self._dual_partitions(
-                r, s, num_r_partitions, num_s_partitions
+            if isinstance(r, RecordSource):
+                if num_r_partitions is None:
+                    num_r_partitions = r.num_shards
+                r = list(r.iter_records())
+            if isinstance(s, RecordSource):
+                if num_s_partitions is None:
+                    num_s_partitions = s.num_shards
+                s = list(s.iter_records())
+            partitions = tuple(
+                self._dual_partitions(r, s, num_r_partitions, num_s_partitions)
             )
             dual = True
         request = PipelineRequest(
             strategy=self.strategy,
             blocking=self.blocking,
             matcher=self.matcher,
-            partitions=tuple(partitions),
+            partitions=partitions,
             num_reduce_tasks=self.num_reduce_tasks,
             dual=dual,
             use_bdm_combiner=self.use_bdm_combiner,
             cluster=self.cluster,
             cost_model=self.cost_model,
+            source=source,
+            memory_budget=self.memory_budget,
         )
         return self.backend.execute(request)
 

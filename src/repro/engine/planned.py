@@ -7,6 +7,11 @@ path — ~10⁹ comparisons are *planned* in milliseconds rather than
 executed — behind the very same ``run()`` signature as the executing
 backends.  The returned result has ``matches=None`` and carries the
 plan and timeline instead.
+
+Streaming inputs compose naturally: a request carrying only a
+:class:`~repro.io.RecordSource` is planned from the source's shard-level
+block statistics (one streaming pass), so no record is ever
+materialized on this path.
 """
 
 from __future__ import annotations
@@ -48,12 +53,20 @@ class PlannedBackend(ExecutionBackend):
         self.noise_seed = noise_seed
 
     def execute(self, request: PipelineRequest) -> PipelineResult:
-        bdm = (
-            analytic_dual_bdm(request.partitions, request.blocking)
-            if request.dual
-            else analytic_bdm(request.partitions, request.blocking)
+        raw_sizes = None
+        if request.dual:
+            bdm = analytic_dual_bdm(request.partitions, request.blocking)
+        elif not request.partitions and request.source is not None:
+            # Streaming path: one statistics pass yields both the BDM
+            # and the split sizes — the source is never streamed again.
+            stats = request.source.block_statistics(request.blocking)
+            bdm = stats.to_bdm()
+            raw_sizes = stats.shard_records
+        else:
+            bdm = analytic_bdm(request.partitions, request.blocking)
+        plan, bdm_plan = analytic_plans(
+            request, bdm, raw_partition_sizes=raw_sizes
         )
-        plan, bdm_plan = analytic_plans(request, bdm)
         timeline = None
         if plan is not None:
             cluster = request.cluster or self.cluster or DEFAULT_CLUSTER

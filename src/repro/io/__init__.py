@@ -1,0 +1,29 @@
+"""Streaming input layer: sharded record sources and their statistics.
+
+This package decouples *input representation* from *execution backend*
+(see ``docs/architecture.md``): a :class:`RecordSource` presents any
+input — an in-memory list, CSV shards on disk, or arbitrary generators
+— as an ordered sequence of shards, and reports per-shard block counts
+in one streaming pass.  ``ERPipeline.run()`` accepts a source wherever
+it accepts an entity list; executing backends materialize shards one at
+a time, while the planned backend consumes only the streamed statistics
+and never materializes records at all.
+"""
+
+from .sources import (
+    CsvShardSource,
+    GeneratorSource,
+    InMemorySource,
+    RecordSource,
+    shard_bounds,
+)
+from .stats import ShardBlockStats
+
+__all__ = [
+    "CsvShardSource",
+    "GeneratorSource",
+    "InMemorySource",
+    "RecordSource",
+    "ShardBlockStats",
+    "shard_bounds",
+]

@@ -1,0 +1,286 @@
+"""Sharded record sources — the input layer behind ``ERPipeline``.
+
+A :class:`RecordSource` abstracts *where the records live* away from
+*how they are matched*: it exposes the input as an ordered list of
+shards (one shard per map task, mirroring how a DFS splits a file into
+input splits) that can be iterated repeatedly, and it can report
+shard-level block statistics in a single streaming pass without holding
+records in memory.  The executing backends materialize shards one at a
+time into :class:`~repro.mapreduce.types.Partition` objects; the
+planned backend never materializes at all — it plans BlockSplit and
+PairRange straight from the streamed statistics.
+
+Three implementations cover the common cases:
+
+:class:`InMemorySource`
+    Wraps a list of entities; shard boundaries follow the same
+    contiguous near-equal rule as
+    :func:`~repro.mapreduce.types.make_partitions`, so results are
+    byte-identical to passing the list directly.
+:class:`CsvShardSource`
+    Streams one CSV file split into ``num_shards`` contiguous row
+    ranges, or a list of CSV files with one shard per file.  Rows are
+    parsed lazily; no full materialization ever happens inside the
+    source.
+:class:`GeneratorSource`
+    One zero-argument callable per shard, each returning a fresh
+    iterable of entities — the bridge to databases, message queues, or
+    synthetic generators.
+
+Sources must be *re-iterable* and *deterministic*: the paper's workflow
+reads the same partitioning twice (Job 1 and Job 2 in Section III-A),
+so two passes over a shard must yield the same records in the same
+order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..datasets.loaders import iter_entities_csv
+from ..er.blocking import BlockingFunction
+from ..er.entity import Entity
+
+# shard_bounds is the single splitting rule shared with make_partitions
+# (re-exported here because sources are its natural call site).
+from ..mapreduce.types import Partition, shard_bounds
+from .stats import ShardBlockStats
+
+
+class RecordSource(ABC):
+    """An input of entities exposed as an ordered list of shards.
+
+    Subclasses implement :attr:`num_shards` and :meth:`iter_shard`;
+    everything else — whole-input iteration, partition materialization,
+    and the streaming block-statistics pass — derives from those two.
+    """
+
+    @property
+    @abstractmethod
+    def num_shards(self) -> int:
+        """Number of shards (map tasks) this source splits into."""
+
+    @abstractmethod
+    def iter_shard(self, index: int) -> Iterator[Entity]:
+        """Stream the records of shard ``index`` in stable order."""
+
+    # -- derived API --------------------------------------------------------
+
+    def iter_shards(self) -> Iterator[Iterator[Entity]]:
+        """Stream every shard in shard order.
+
+        Consumers must exhaust each yielded shard before advancing to
+        the next (as with :func:`itertools.groupby`): sources backed by
+        one sequential stream serve consecutive shards from a single
+        pass, which is what keeps a full sweep O(n).  All bulk helpers
+        below follow that contract.
+        """
+        for index in range(self.num_shards):
+            yield self.iter_shard(index)
+
+    def iter_records(self) -> Iterator[Entity]:
+        """Stream all records, shard by shard."""
+        for shard in self.iter_shards():
+            yield from shard
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Record count per shard (one streaming pass, nothing retained)."""
+        return tuple(sum(1 for _ in shard) for shard in self.iter_shards())
+
+    def as_partitions(self) -> list[Partition]:
+        """Materialize the shards as runtime input partitions.
+
+        Shards are loaded one at a time; shard ``i`` becomes the
+        partition with index ``i``, exactly as
+        :func:`~repro.mapreduce.types.make_partitions` would split the
+        concatenated records.
+        """
+        return [
+            Partition.from_values(list(shard), index=index)
+            for index, shard in enumerate(self.iter_shards())
+        ]
+
+    def block_statistics(self, blocking: BlockingFunction) -> ShardBlockStats:
+        """Per-shard block counts from one streaming pass.
+
+        This is the source-side equivalent of the paper's Job 1: it
+        yields the ``(block key, shard)`` counts the BDM is built from
+        — see :meth:`ShardBlockStats.to_bdm` — while holding no records.
+        """
+        counts: dict[tuple[object, int], int] = {}
+        shard_records: list[int] = []
+        missing = 0
+        for index, shard in enumerate(self.iter_shards()):
+            seen = 0
+            for entity in shard:
+                seen += 1
+                key = blocking.key_for(entity)
+                if key is None:
+                    missing += 1
+                    continue
+                counts[(key, index)] = counts.get((key, index), 0) + 1
+            shard_records.append(seen)
+        return ShardBlockStats(
+            block_counts=counts,
+            shard_records=tuple(shard_records),
+            missing_key_records=missing,
+        )
+
+    def _check_shard_index(self, index: int) -> None:
+        if not 0 <= index < self.num_shards:
+            raise IndexError(
+                f"shard index {index} outside [0, {self.num_shards})"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shards={self.num_shards})"
+
+
+class InMemorySource(RecordSource):
+    """A list of entities split into contiguous near-equal shards.
+
+    ``InMemorySource(entities, num_shards=m)`` partitions exactly like
+    ``make_partitions(entities, m)``, so a pipeline run over this source
+    is byte-identical to ``pipeline.run(entities)``.
+    """
+
+    def __init__(self, entities: Sequence[Entity], num_shards: int = 1):
+        self._entities = tuple(entities)
+        self._bounds = shard_bounds(len(self._entities), num_shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._bounds)
+
+    def iter_shard(self, index: int) -> Iterator[Entity]:
+        self._check_shard_index(index)
+        start, stop = self._bounds[index]
+        return iter(self._entities[start:stop])
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        return tuple(stop - start for start, stop in self._bounds)
+
+
+class CsvShardSource(RecordSource):
+    """CSV-backed shards, streamed row by row.
+
+    Two layouts are supported:
+
+    * ``CsvShardSource(path, num_shards=m)`` — a single CSV split into
+      ``m`` contiguous row ranges.  The row count is established by one
+      counting pass on first use and cached; a full sweep over all
+      shards (``iter_shards`` and everything built on it) parses the
+      file exactly once, serving consecutive shards from one stream.
+    * ``CsvShardSource([p0, p1, ...])`` — pre-sharded input, one file
+      per shard in list order (the layout a distributed export
+      produces).
+
+    ``source`` overrides every entity's source tag, as in
+    :func:`~repro.datasets.loaders.load_entities_csv`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | Sequence[str | Path],
+        num_shards: int | None = None,
+        *,
+        source: str | None = None,
+    ):
+        self._source_tag = source
+        if isinstance(path, (str, Path)):
+            self._paths: list[Path] | None = None
+            self._path = Path(path)
+            self._num_shards = num_shards if num_shards is not None else 1
+            if self._num_shards <= 0:
+                raise ValueError(
+                    f"num_shards must be positive, got {self._num_shards}"
+                )
+            self._bounds: list[tuple[int, int]] | None = None
+        else:
+            paths = [Path(p) for p in path]
+            if not paths:
+                raise ValueError("at least one shard file is required")
+            if num_shards is not None and num_shards != len(paths):
+                raise ValueError(
+                    f"num_shards={num_shards} contradicts the "
+                    f"{len(paths)} shard files given"
+                )
+            self._paths = paths
+            self._path = None  # type: ignore[assignment]
+            self._num_shards = len(paths)
+            self._bounds = None
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def iter_shard(self, index: int) -> Iterator[Entity]:
+        """Stream one shard in isolation.
+
+        For the single-file layout this skips to the shard's row range
+        (O(start) parses); prefer :meth:`iter_shards` for full sweeps,
+        which parses the file once for all shards.
+        """
+        self._check_shard_index(index)
+        if self._paths is not None:
+            return iter_entities_csv(self._paths[index], source=self._source_tag)
+        start, stop = self._shard_bounds()[index]
+        return islice(
+            iter_entities_csv(self._path, source=self._source_tag), start, stop
+        )
+
+    def iter_shards(self) -> Iterator[Iterator[Entity]]:
+        if self._paths is not None:
+            yield from super().iter_shards()
+            return
+        # Single-file layout: one parse serves every shard — consecutive
+        # islice views over a shared stream (consumers exhaust each
+        # shard before the next, per the base-class contract).
+        stream = iter_entities_csv(self._path, source=self._source_tag)
+        for start, stop in self._shard_bounds():
+            yield islice(stream, stop - start)
+
+    def shard_sizes(self) -> tuple[int, ...]:
+        if self._paths is not None:
+            return super().shard_sizes()
+        return tuple(stop - start for start, stop in self._shard_bounds())
+
+    def _shard_bounds(self) -> list[tuple[int, int]]:
+        """Row-range boundaries for the single-file layout (cached)."""
+        if self._bounds is None:
+            count = sum(
+                1 for _ in iter_entities_csv(self._path, source=self._source_tag)
+            )
+            self._bounds = shard_bounds(count, self._num_shards)
+        return self._bounds
+
+    def __repr__(self) -> str:
+        if self._paths is not None:
+            return f"CsvShardSource(files={len(self._paths)})"
+        return f"CsvShardSource({str(self._path)!r}, shards={self._num_shards})"
+
+
+class GeneratorSource(RecordSource):
+    """One generator factory per shard.
+
+    Each factory is a zero-argument callable returning a *fresh*
+    iterable of entities; the source calls it anew for every pass, so
+    factories must be re-invocable and deterministic (the workflow reads
+    each shard more than once).
+    """
+
+    def __init__(self, shard_factories: Sequence[Callable[[], Iterable[Entity]]]):
+        if not shard_factories:
+            raise ValueError("at least one shard factory is required")
+        self._factories = list(shard_factories)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._factories)
+
+    def iter_shard(self, index: int) -> Iterator[Entity]:
+        self._check_shard_index(index)
+        return iter(self._factories[index]())

@@ -1,0 +1,77 @@
+"""Shard-level block statistics — the streaming stand-in for Job 1.
+
+A :class:`~repro.io.sources.RecordSource` can report, per shard, how
+many of its records fall into each block *without* holding any records
+in memory.  Those ``(block key, shard index) → count`` triples are
+precisely what the paper's Job 1 (Algorithm 3) computes, so a single
+streaming pass yields the full block distribution matrix: the planned
+backend and the ``recommend`` CLI run BlockSplit/PairRange enumeration
+over inputs that were never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from ..core.bdm import BlockDistributionMatrix, analytic_bdm_from_counts
+from ..er.blocking import BlockKey
+
+
+@dataclass(frozen=True)
+class ShardBlockStats:
+    """One streaming pass's worth of per-shard block counts.
+
+    ``block_counts`` maps ``(block key, shard index)`` to the number of
+    records of that block observed in that shard; ``shard_records``
+    holds the raw record count per shard (including records without a
+    blocking key, which Job 1 would skip); ``missing_key_records`` is
+    the total of those skipped records.
+    """
+
+    block_counts: Mapping[tuple[BlockKey, int], int]
+    shard_records: tuple[int, ...]
+    missing_key_records: int = 0
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so stats objects are safe to share.
+        object.__setattr__(
+            self, "block_counts", MappingProxyType(dict(self.block_counts))
+        )
+        for (key, shard), count in self.block_counts.items():
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"block {key!r} reports shard {shard}, outside "
+                    f"[0, {self.num_shards})"
+                )
+            if count <= 0:
+                raise ValueError(f"non-positive count for block {key!r}")
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_records)
+
+    @property
+    def num_blocks(self) -> int:
+        return len({key for key, _ in self.block_counts})
+
+    def total_records(self) -> int:
+        return sum(self.shard_records)
+
+    def keyed_records(self) -> int:
+        return sum(self.block_counts.values())
+
+    def to_bdm(self) -> BlockDistributionMatrix:
+        """The block distribution matrix these counts define.
+
+        Identical to running :func:`~repro.core.bdm.analytic_bdm` over
+        the materialized shards — one shard per input partition.
+        """
+        return analytic_bdm_from_counts(self.block_counts, self.num_shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardBlockStats(shards={self.num_shards}, "
+            f"blocks={self.num_blocks}, records={self.total_records()})"
+        )

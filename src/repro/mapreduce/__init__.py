@@ -10,16 +10,18 @@ distributed file system.
 
 from .counters import Counters, StandardCounter
 from .dfs import DfsError, DistributedFileSystem
+from .external_shuffle import ExternalShuffle
 from .job import Emitter, JobConfig, LambdaJob, MapReduceJob, TaskContext, stable_hash
 from .runtime import JobResult, LocalRuntime, MapTaskResult, ReduceTaskResult
 from .shuffle import group_bucket, partition_map_output, shuffle, sort_bucket
-from .types import KeyValue, Partition, ReduceGroup, make_partitions
+from .types import KeyValue, Partition, ReduceGroup, make_partitions, shard_bounds
 
 __all__ = [
     "Counters",
     "StandardCounter",
     "DfsError",
     "DistributedFileSystem",
+    "ExternalShuffle",
     "Emitter",
     "JobConfig",
     "LambdaJob",
@@ -38,4 +40,5 @@ __all__ = [
     "Partition",
     "ReduceGroup",
     "make_partitions",
+    "shard_bounds",
 ]

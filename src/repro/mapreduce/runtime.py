@@ -19,11 +19,12 @@ always combined in task-index order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
 
 from .counters import Counters, StandardCounter
 from .dfs import DistributedFileSystem
+from .external_shuffle import ExternalShuffle
 from .job import JobConfig, MapReduceJob, TaskContext
 from .shuffle import group_bucket, partition_map_output, sort_bucket
 from .types import KeyValue, Partition
@@ -240,11 +241,20 @@ class LocalRuntime:
         num_reduce_tasks: int,
         *,
         properties: dict[str, Any] | None = None,
+        memory_budget: int | None = None,
     ) -> JobResult:
         """Run ``job`` over ``partitions`` with ``num_reduce_tasks`` reducers.
 
         The number of map tasks is the number of input partitions, as in
         the paper (one map task per input split; splitting disabled).
+
+        ``memory_budget`` caps the number of map output records the
+        shuffle holds in memory; the rest streams through sorted run
+        files on disk (:class:`~repro.mapreduce.ExternalShuffle`).
+        Matches, reduce outputs and counters are byte-identical to the
+        in-memory path, but per-map-task raw ``output`` tuples are not
+        retained on the returned :class:`MapTaskResult`\\ s (their
+        statistics are).
         """
         if not partitions:
             raise ValueError("at least one input partition is required")
@@ -259,11 +269,29 @@ class LocalRuntime:
             properties=dict(properties or {}),
         )
 
-        map_results = self._execute_map_tasks(job, config, partitions)
-        self._apply_side_records(map_results)
-        map_outputs = [result.output for result in map_results]
-        buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
-        reduce_results = self._execute_reduce_tasks(job, config, buckets)
+        if memory_budget is not None:
+            with ExternalShuffle(job, num_reduce_tasks, memory_budget) as spill:
+                # Each map task's output is routed into the shuffle (and
+                # dropped from the result) as soon as the task completes,
+                # so peak memory is one task's output + the spill buffer
+                # — never the whole map stage.
+                def drain(result: MapTaskResult) -> MapTaskResult:
+                    spill.add_records(result.output)
+                    return replace(result, output=())
+
+                map_results = self._execute_map_tasks(
+                    job, config, partitions, sink=drain
+                )
+                self._apply_side_records(map_results)
+                reduce_results = self._execute_reduce_tasks(
+                    job, config, spill.buckets()
+                )
+        else:
+            map_results = self._execute_map_tasks(job, config, partitions)
+            self._apply_side_records(map_results)
+            map_outputs = [result.output for result in map_results]
+            buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
+            reduce_results = self._execute_reduce_tasks(job, config, buckets)
 
         counters = Counters.merged(
             [r.counters for r in map_results] + [r.counters for r in reduce_results]
@@ -283,8 +311,20 @@ class LocalRuntime:
         job: MapReduceJob,
         config: JobConfig,
         partitions: Sequence[Partition],
+        sink: "Callable[[MapTaskResult], MapTaskResult] | None" = None,
     ) -> list[MapTaskResult]:
-        return [execute_map_task(job, config, part) for part in partitions]
+        """Run the map tasks in task-index order.
+
+        ``sink`` (when given) is applied to each result as soon as it is
+        available, in task-index order — the external shuffle uses it to
+        consume outputs incrementally instead of holding the whole map
+        stage in memory.
+        """
+        results: list[MapTaskResult] = []
+        for part in partitions:
+            result = execute_map_task(job, config, part)
+            results.append(sink(result) if sink is not None else result)
+        return results
 
     def _execute_reduce_tasks(
         self,

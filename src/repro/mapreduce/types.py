@@ -88,20 +88,34 @@ class Partition(Sequence[KeyValue]):
         return f"Partition(index={self.index}, records={len(self._records)})"
 
 
+def shard_bounds(num_records: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges splitting ``num_records`` into
+    ``num_shards`` near-equal shards (sizes differ by at most one).
+
+    This is *the* splitting rule: :func:`make_partitions` and the
+    streaming sources in :mod:`repro.io` both build on it, which is what
+    makes sharded and in-memory inputs byte-identical.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    base, extra = divmod(num_records, num_shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
 def make_partitions(values: Sequence[Any], num_partitions: int) -> list[Partition]:
     """Split ``values`` into ``num_partitions`` contiguous, near-equal partitions.
 
     Mirrors how a DFS splits an input file into fixed-size splits: record
-    order is preserved and partition sizes differ by at most one.
+    order is preserved and partition sizes differ by at most one (the
+    :func:`shard_bounds` rule).
     """
-    if num_partitions <= 0:
-        raise ValueError(f"num_partitions must be positive, got {num_partitions}")
-    n = len(values)
-    base, extra = divmod(n, num_partitions)
-    partitions: list[Partition] = []
-    start = 0
-    for i in range(num_partitions):
-        size = base + (1 if i < extra else 0)
-        partitions.append(Partition.from_values(values[start:start + size], index=i))
-        start += size
-    return partitions
+    return [
+        Partition.from_values(values[start:stop], index=i)
+        for i, (start, stop) in enumerate(shard_bounds(len(values), num_partitions))
+    ]

@@ -1,0 +1,235 @@
+"""The streaming input layer: source equivalence and statistics.
+
+The contract under test is the acceptance bar of the io subsystem:
+whatever the input representation — in-memory list, CSV shards, or
+generators — and whatever the shuffle buffering — unbounded or a tiny
+spill budget — every registered strategy must produce byte-identical
+matches and counters to the in-memory serial reference path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bdm import analytic_bdm
+from repro.core.statistics import bdm_statistics, bdm_statistics_from_counts
+from repro.core.strategy import STRATEGIES
+from repro.datasets.generators import generate_products
+from repro.datasets.loaders import save_entities_csv
+from repro.engine import ERPipeline
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+from repro.io import (
+    CsvShardSource,
+    GeneratorSource,
+    InMemorySource,
+    RecordSource,
+    shard_bounds,
+)
+from repro.mapreduce.types import make_partitions
+
+NUM_ENTITIES = 260
+NUM_SHARDS = 4
+BLOCKING = PrefixBlocking("title")
+
+
+@pytest.fixture(scope="module")
+def entities():
+    return generate_products(NUM_ENTITIES, seed=71)
+
+
+@pytest.fixture(scope="module")
+def csv_path(entities, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "entities.csv"
+    save_entities_csv(entities, path)
+    return path
+
+
+def _pipeline(strategy, **kwargs):
+    return ERPipeline(
+        strategy,
+        BLOCKING,
+        ThresholdMatcher("title", 0.8),
+        num_map_tasks=NUM_SHARDS,
+        num_reduce_tasks=5,
+        **kwargs,
+    )
+
+
+def _sources(entities, csv_path) -> dict[str, RecordSource]:
+    bounds = shard_bounds(len(entities), NUM_SHARDS)
+    return {
+        "in-memory": InMemorySource(entities, num_shards=NUM_SHARDS),
+        "csv-shards": CsvShardSource(csv_path, num_shards=NUM_SHARDS),
+        "generator": GeneratorSource(
+            [
+                (lambda lo=lo, hi=hi: iter(entities[lo:hi]))
+                for lo, hi in bounds
+            ]
+        ),
+    }
+
+
+class TestShardBounds:
+    def test_matches_make_partitions(self, entities):
+        bounds = shard_bounds(len(entities), NUM_SHARDS)
+        partitions = make_partitions(entities, NUM_SHARDS)
+        assert [hi - lo for lo, hi in bounds] == [len(p) for p in partitions]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            shard_bounds(10, 0)
+
+
+class TestSourceEquivalence:
+    """Identical matches and counters for every registered strategy."""
+
+    def test_every_source_matches_in_memory_reference(self, entities, csv_path):
+        for strategy in sorted(STRATEGIES):
+            reference = _pipeline(strategy).run(entities)
+            for name, source in _sources(entities, csv_path).items():
+                result = _pipeline(strategy).run(source)
+                assert result.matches == reference.matches, (strategy, name)
+                assert result.job2.counters == reference.job2.counters, (
+                    strategy,
+                    name,
+                )
+                if reference.job1 is not None:
+                    assert result.job1.counters == reference.job1.counters, (
+                        strategy,
+                        name,
+                    )
+
+    def test_partitions_identical_to_make_partitions(self, entities, csv_path):
+        expected = make_partitions(entities, NUM_SHARDS)
+        for name, source in _sources(entities, csv_path).items():
+            partitions = source.as_partitions()
+            assert [len(p) for p in partitions] == [len(p) for p in expected], name
+            got = [record.value for part in partitions for record in part]
+            want = [record.value for part in expected for record in part]
+            assert [e.entity_id for e in got] == [e.entity_id for e in want], name
+
+    def test_memory_budget_is_equivalent(self, entities):
+        reference = _pipeline("blocksplit").run(entities)
+        budgeted = _pipeline("blocksplit", memory_budget=8).run(entities)
+        assert budgeted.matches == reference.matches
+        assert budgeted.job1.counters == reference.job1.counters
+        assert budgeted.job2.counters == reference.job2.counters
+        # The memory win: raw per-map-task outputs are not retained.
+        assert all(task.output == () for task in budgeted.job2.map_tasks)
+        assert all(task.output_records > 0 for task in budgeted.job2.map_tasks)
+
+    def test_memory_budget_with_source_and_parallel_backend(
+        self, entities, csv_path
+    ):
+        reference = _pipeline("pairrange").run(entities)
+        result = _pipeline(
+            "pairrange", memory_budget=16, backend="parallel"
+        ).run(CsvShardSource(csv_path, num_shards=NUM_SHARDS))
+        assert result.matches == reference.matches
+        assert result.job2.counters == reference.job2.counters
+
+
+class TestRequestValidation:
+    def test_dual_with_bare_source_rejected(self, entities, csv_path):
+        from repro.core.strategy import get_strategy
+        from repro.engine.backend import PipelineRequest
+
+        with pytest.raises(ValueError, match="two-source"):
+            PipelineRequest(
+                strategy=get_strategy("blocksplit"),
+                blocking=BLOCKING,
+                matcher=ThresholdMatcher("title", 0.8),
+                partitions=(),
+                num_reduce_tasks=4,
+                dual=True,
+                source=CsvShardSource(csv_path, num_shards=2),
+            )
+
+
+class TestPlannedStreaming:
+    def test_planned_backend_streams_statistics(self, entities, csv_path):
+        planned_mem = _pipeline("blocksplit", backend="planned").run(entities)
+        planned_src = _pipeline("blocksplit", backend="planned").run(
+            CsvShardSource(csv_path, num_shards=NUM_SHARDS)
+        )
+        assert planned_src.matches is None
+        assert planned_src.reduce_comparisons() == planned_mem.reduce_comparisons()
+        assert planned_src.map_output_kv() == planned_mem.map_output_kv()
+        assert planned_src.bdm.pairs() == planned_mem.bdm.pairs()
+
+    def test_planned_source_run_never_materializes(self, entities, csv_path):
+        source = CsvShardSource(csv_path, num_shards=NUM_SHARDS)
+        forbidden = RecordSource.as_partitions.__get__(source)
+
+        def explode():  # pragma: no cover - only runs on regression
+            raise AssertionError("planned backend materialized the source")
+
+        source.as_partitions = explode  # type: ignore[method-assign]
+        result = _pipeline("pairrange", backend="planned").run(source)
+        assert result.plan is not None
+        source.as_partitions = forbidden  # restore
+
+
+class TestBlockStatistics:
+    def test_stats_reproduce_the_analytic_bdm(self, entities, csv_path):
+        expected = analytic_bdm(make_partitions(entities, NUM_SHARDS), BLOCKING)
+        for name, source in _sources(entities, csv_path).items():
+            stats = source.block_statistics(BLOCKING)
+            bdm = stats.to_bdm()
+            assert bdm.block_sizes() == expected.block_sizes(), name
+            assert bdm.pairs() == expected.pairs(), name
+            assert stats.total_records() == len(entities), name
+            assert bdm_statistics_from_counts(
+                stats.block_counts, stats.num_shards
+            ) == bdm_statistics(expected), name
+
+    def test_shard_sizes_stream(self, entities, csv_path):
+        for name, source in _sources(entities, csv_path).items():
+            assert sum(source.shard_sizes()) == len(entities), name
+            assert len(source.shard_sizes()) == NUM_SHARDS, name
+
+
+class TestCsvShardSource:
+    def test_one_file_per_shard_layout(self, entities, tmp_path):
+        bounds = shard_bounds(len(entities), 3)
+        paths = []
+        for i, (lo, hi) in enumerate(bounds):
+            path = tmp_path / f"shard-{i}.csv"
+            save_entities_csv(entities[lo:hi], path)
+            paths.append(path)
+        source = CsvShardSource(paths)
+        assert source.num_shards == 3
+        ids = [e.entity_id for e in source.iter_records()]
+        assert ids == [e.entity_id for e in entities]
+
+    def test_shard_count_validation(self, csv_path):
+        with pytest.raises(ValueError, match="positive"):
+            CsvShardSource(csv_path, num_shards=0)
+        with pytest.raises(ValueError, match="contradicts"):
+            CsvShardSource([csv_path], num_shards=2)
+        with pytest.raises(ValueError, match="at least one"):
+            CsvShardSource([])
+
+    def test_shard_index_bounds(self, csv_path):
+        source = CsvShardSource(csv_path, num_shards=2)
+        with pytest.raises(IndexError):
+            source.iter_shard(2)
+
+
+class TestGeneratorSource:
+    def test_factories_are_reinvoked_per_pass(self, entities):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return iter(entities[:10])
+
+        source = GeneratorSource([factory])
+        list(source.iter_shard(0))
+        list(source.iter_shard(0))
+        assert len(calls) == 2
+
+    def test_requires_a_factory(self):
+        with pytest.raises(ValueError, match="at least one"):
+            GeneratorSource([])
