@@ -14,7 +14,7 @@ from repro.cluster.simulation import ClusterSpec
 from repro.core.planning import plan_bdm_job, plan_blocksplit
 from repro.core.workflow import simulate_planned_workflow
 
-from .conftest import ds1_block_sizes, publish
+from conftest import ds1_block_sizes, publish
 
 
 def combiner_rows():

@@ -13,7 +13,7 @@ from repro.analysis.metrics import WorkloadStats
 from repro.analysis.reporting import format_table
 from repro.core.match_tasks import assign_greedy, generate_match_tasks
 
-from .conftest import ds1_block_sizes, publish
+from conftest import ds1_block_sizes, publish
 
 REDUCE_TASKS = 100
 

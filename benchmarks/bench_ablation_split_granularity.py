@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.analysis.experiments import bdm_for_block_sizes, simulate_run
 from repro.analysis.reporting import format_table
 
-from .conftest import ds1_block_sizes, publish
+from conftest import ds1_block_sizes, publish
 
 MAP_TASKS = [2, 5, 10, 20, 40]
 REDUCE_TASKS = 100

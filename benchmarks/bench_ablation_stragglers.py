@@ -15,7 +15,7 @@ from repro.analysis.experiments import bdm_for_block_sizes, simulate_run
 from repro.analysis.reporting import format_table
 from repro.cluster.costmodel import lognormal_speed_factors
 
-from .conftest import ALL_STRATEGIES, ds1_block_sizes, publish
+from conftest import ALL_STRATEGIES, ds1_block_sizes, publish
 
 NODES = 10
 REDUCE_TASKS = 100

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.analysis.experiments import dataset_statistics
 from repro.analysis.reporting import format_table
 
-from .conftest import ds1_block_sizes, ds2_block_sizes, publish
+from conftest import ds1_block_sizes, ds2_block_sizes, publish
 
 
 def figure8_rows():

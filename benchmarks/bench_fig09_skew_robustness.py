@@ -18,7 +18,7 @@ from repro.analysis.experiments import sweep_skew
 from repro.analysis.reporting import format_series
 from repro.datasets.generators import DS1_PROFILE
 
-from .conftest import ALL_STRATEGIES, NOISE_SIGMA, publish
+from conftest import ALL_STRATEGIES, NOISE_SIGMA, publish
 
 SKEWS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.analysis.experiments import bdm_for_block_sizes, sweep_reduce_tasks
 from repro.analysis.reporting import format_series
 
-from .conftest import ALL_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
+from conftest import ALL_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
 
 REDUCE_TASKS = [20, 40, 60, 80, 100, 120, 140, 160]
 

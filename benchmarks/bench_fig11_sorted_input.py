@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.analysis.experiments import sweep_input_order
 from repro.analysis.reporting import format_series
 
-from .conftest import BALANCED_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
+from conftest import BALANCED_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
 
 REDUCE_TASKS = [20, 40, 60, 80, 100, 120, 140, 160]
 

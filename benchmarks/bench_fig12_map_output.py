@@ -19,7 +19,7 @@ from repro.analysis.reporting import format_series
 from repro.core.match_tasks import generate_match_tasks
 from repro.core.planning import plan_basic, plan_blocksplit, plan_pairrange
 
-from .conftest import ds1_block_sizes, publish
+from conftest import ds1_block_sizes, publish
 
 REDUCE_TASKS = [20, 40, 60, 80, 100, 120, 140, 160]
 PLANNERS = {

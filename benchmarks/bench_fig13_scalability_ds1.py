@@ -19,7 +19,7 @@ from repro.analysis.experiments import sweep_nodes
 from repro.analysis.metrics import speedup
 from repro.analysis.reporting import format_series
 
-from .conftest import ALL_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
+from conftest import ALL_STRATEGIES, NOISE_SIGMA, ds1_block_sizes, publish
 
 NODES = [1, 2, 5, 10, 20, 40, 100]
 

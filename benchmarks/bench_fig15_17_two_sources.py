@@ -25,7 +25,7 @@ from repro.core.workflow import simulate_planned_workflow
 from repro.datasets.partitioning import distribute_block_sizes
 from repro.datasets.skew import zipf_block_sizes
 
-from .conftest import NOISE_SIGMA, publish
+from conftest import NOISE_SIGMA, publish
 
 R_ENTITIES = 60_000
 S_ENTITIES = 90_000

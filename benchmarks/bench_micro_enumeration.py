@@ -11,7 +11,7 @@ from repro.core.enumeration import PairEnumeration, PairRangeSpec
 from repro.core.match_tasks import plan_block_split
 from repro.core.planning import plan_basic, plan_blocksplit, plan_pairrange
 
-from .conftest import ds1_block_sizes
+from conftest import ds1_block_sizes
 
 
 def _ds1_bdm():

@@ -14,7 +14,9 @@ from repro.er.similarity import (
     jaro_winkler_similarity,
     levenshtein_similarity,
     levenshtein_similarity_bounded,
+    levenshtein_similarity_bounded_reference,
     ngram_jaccard,
+    similarity_at_least,
 )
 
 
@@ -48,6 +50,26 @@ def test_levenshtein_bounded_faster_on_dissimilar(benchmark):
 
     total = benchmark(run)
     assert total == 0.0
+
+
+def test_levenshtein_reference_kernel_throughput(benchmark):
+    """The pre-PR-3 two-row DP — the baseline the bit-parallel kernel
+    is measured against (see benchmarks/perf_harness.py)."""
+    pairs = _title_pairs()
+
+    def run():
+        return sum(
+            levenshtein_similarity_bounded_reference(a, b, 0.8) for a, b in pairs
+        )
+
+    total = benchmark(run)
+    assert total >= 0
+
+
+def test_similarity_at_least_throughput(benchmark):
+    """The boolean fast path: length filter + bounded kernel, no score."""
+    pairs = _title_pairs()
+    benchmark(lambda: sum(similarity_at_least(a, b, 0.8) for a, b in pairs))
 
 
 def test_jaro_winkler_throughput(benchmark):

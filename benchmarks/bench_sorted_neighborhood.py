@@ -20,7 +20,7 @@ from repro.datasets.generators import generate_products
 from repro.er.blocking import PrefixBlocking
 from repro.er.matching import ThresholdMatcher
 
-from .conftest import publish
+from conftest import publish
 
 NUM_ENTITIES = 4_000
 WINDOW = 20

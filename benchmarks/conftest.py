@@ -11,6 +11,8 @@ DS1/DS2 experiments run in seconds.
 from __future__ import annotations
 
 import functools
+import os
+import random
 from pathlib import Path
 
 import pytest
@@ -19,6 +21,31 @@ from repro.datasets.generators import DS1_PROFILE, DS2_PROFILE
 from repro.datasets.skew import zipf_block_sizes
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: One seed for every bench RNG: results (and the BENCH_*.json files
+#: derived from them) must be comparable run to run and machine to
+#: machine, so nothing may depend on interpreter hash or wall clock.
+BENCH_SEED = 20260727
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_environment():
+    """Seed all RNGs and report the machine shape before any bench runs.
+
+    The CPU count is printed (run pytest with ``-s`` to see it) so the
+    numbers archived in ``benchmarks/results/`` and ``BENCH_*.json``
+    can be attributed to the machine that produced them — a 1-core CI
+    runner and a 64-core workstation are not comparable.
+    """
+    random.seed(BENCH_SEED)
+    try:  # numpy is optional; seed it only if the env has it
+        import numpy
+
+        numpy.random.seed(BENCH_SEED % (2**32))
+    except ImportError:
+        pass
+    print(f"\n[bench] cpu_count={os.cpu_count()} seed={BENCH_SEED}")
+    yield
 
 #: Strategy display order used throughout the figures.
 ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]

@@ -1,0 +1,462 @@
+"""The repo's perf trajectory harness: measured before/after hot-path numbers.
+
+Runs the comparison hot path both ways — the legacy configuration
+(reference two-row DP kernel, per-pair attribute extraction, tuple
+shuffle keys) against the optimised one (Myers bit-parallel kernel,
+prepared matchers with LRU memoisation, packed-int keys) — plus the
+fig-13/fig-14 analytic scalability sweeps, and writes everything to a
+``BENCH_<n>.json`` at the repo root.  Each PR that claims a hot-path
+win appends a new ``BENCH_<n>.json``; diffing them is the perf
+trajectory this repository tracks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py             # full run
+    PYTHONPATH=src python benchmarks/perf_harness.py --small     # CI smoke
+    PYTHONPATH=src python benchmarks/perf_harness.py --assert-speedups
+
+The exit status reflects *functional* health only: non-zero when the
+legacy and optimised configurations disagree on matches or counters
+(they must be byte-identical), never because a timing regressed —
+except under ``--assert-speedups``, which additionally enforces the
+PR's headline targets (≥3× similarity microbench, ≥1.5× end-to-end)
+for local verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datasets.generators import generate_products  # noqa: E402
+from repro.datasets.skew import zipf_block_sizes  # noqa: E402
+from repro.engine import ERPipeline  # noqa: E402
+from repro.er.blocking import PrefixBlocking  # noqa: E402
+from repro.er.entity import Entity  # noqa: E402
+from repro.er.matching import ThresholdMatcher  # noqa: E402
+from repro.er.similarity import (  # noqa: E402
+    levenshtein_similarity,
+    levenshtein_similarity_bounded,
+    levenshtein_similarity_bounded_reference,
+    similarity_at_least,
+)
+from repro.mapreduce.shuffle import shuffle_bucket  # noqa: E402
+from repro.mapreduce.types import KeyValue, packed_keys  # noqa: E402
+
+BENCH_NUMBER = 3
+SEED = 20260727
+THRESHOLD = 0.8
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+# ---------------------------------------------------------------------------
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (noise-resistant)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def section(title: str) -> None:
+    print(f"\n{'-' * 64}\n{title}\n{'-' * 64}")
+
+
+# ---------------------------------------------------------------------------
+# Micro: similarity kernels
+# ---------------------------------------------------------------------------
+
+
+def title_pairs(n: int, seed: int = 3) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    words = ["panasonic", "lumix", "camera", "digital", "zoom", "kit",
+             "sony", "alpha", "lens", "black", "silver", "battery"]
+    pairs = []
+    for _ in range(n):
+        a = " ".join(rng.choices(words, k=4))
+        if rng.random() < 0.5:
+            # Near-duplicate: perturb a few characters.
+            chars = list(a)
+            for _ in range(rng.randrange(1, 5)):
+                chars[rng.randrange(len(chars))] = rng.choice("abcdexyz ")
+            b = "".join(chars)
+        else:
+            b = " ".join(rng.choices(words, k=4))
+        pairs.append((a, b))
+    return pairs
+
+
+def bench_micro_similarity(small: bool) -> dict:
+    pairs = title_pairs(120 if small else 400)
+    repeats = 2 if small else 5
+
+    def run_reference():
+        return sum(
+            levenshtein_similarity_bounded_reference(a, b, THRESHOLD)
+            for a, b in pairs
+        )
+
+    def run_kernel():
+        return sum(
+            levenshtein_similarity_bounded(a, b, THRESHOLD) for a, b in pairs
+        )
+
+    assert abs(run_reference() - run_kernel()) < 1e-12  # same scores
+    before = best_of(run_reference, repeats)
+    after = best_of(run_kernel, repeats)
+
+    def run_unbounded():
+        return sum(levenshtein_similarity(a, b) for a, b in pairs)
+
+    def run_boolean():
+        return sum(similarity_at_least(a, b, THRESHOLD) for a, b in pairs)
+
+    unbounded = best_of(run_unbounded, repeats)
+    boolean = best_of(run_boolean, repeats)
+    result = {
+        "pairs": len(pairs),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "unbounded_after_s": unbounded,
+        "similarity_at_least_s": boolean,
+    }
+    print(f"bounded similarity  before={before * 1e3:8.2f}ms  "
+          f"after={after * 1e3:8.2f}ms  speedup={result['speedup']:.2f}x")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Micro: prepared matcher (per-group extraction + memoisation)
+# ---------------------------------------------------------------------------
+
+
+def bench_micro_matcher(small: bool) -> dict:
+    # A skewed reduce group, the workload the prepared path targets:
+    # dirty catalogs repeat listings, so many entities carry *exactly*
+    # the same title (plus corrupted near-duplicates around them).
+    # Interning turns repeated-value comparisons into pointer checks
+    # and the LRU memo covers repeated near-duplicate pairs; the legacy
+    # path re-extracts and re-scores every single pair.
+    n = 80 if small else 250
+    rng = random.Random(SEED % 997)
+    base = [title for title, _b in title_pairs(max(12, n // 8), seed=5)]
+    titles = []
+    for i in range(n):
+        if rng.random() < 0.6:
+            titles.append(rng.choice(base))  # exact repeat
+        else:
+            chars = list(rng.choice(base))
+            chars[rng.randrange(len(chars))] = rng.choice("abcdxyz ")
+            titles.append("".join(chars))  # near-duplicate
+    entities = [Entity(f"e{i}", {"title": t}) for i, t in enumerate(titles)]
+    repeats = 2 if small else 5
+
+    def run_legacy():
+        matcher = ThresholdMatcher("title", THRESHOLD, prepared=False, memoize=0)
+        hits = 0
+        for i, e1 in enumerate(entities):
+            for e2 in entities[i + 1:]:
+                if matcher.match(e1, e2) is not None:
+                    hits += 1
+        return hits
+
+    def run_prepared():
+        matcher = ThresholdMatcher("title", THRESHOLD)
+        prepared = [matcher.prepare(e) for e in entities]
+        hits = 0
+        for i, p1 in enumerate(prepared):
+            for p2 in prepared[i + 1:]:
+                if matcher.match_prepared(p1, p2) is not None:
+                    hits += 1
+        return hits
+
+    assert run_legacy() == run_prepared()  # same matches
+    before = best_of(run_legacy, repeats)
+    after = best_of(run_prepared, repeats)
+    result = {
+        "entities": n,
+        "pairs": n * (n - 1) // 2,
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+    print(f"prepared matcher    before={before * 1e3:8.2f}ms  "
+          f"after={after * 1e3:8.2f}ms  speedup={result['speedup']:.2f}x")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Micro: packed-key shuffle
+# ---------------------------------------------------------------------------
+
+
+def bench_micro_shuffle(small: bool) -> dict:
+    from repro.core.bdm import analytic_bdm_from_block_sizes
+    from repro.core.keys import PairRangeKey
+    from repro.core.pairrange import PairRangeJob
+    from repro.mapreduce.external_shuffle import ExternalShuffle
+
+    # Bucket sizes matter: packing pays one encode per record to save
+    # ~log2(n) comparison walks per record, so it amortises on the
+    # tens-of-thousands-record buckets real reduce tasks see.
+    rng = random.Random(SEED)
+    num_blocks = 40 if small else 500
+    sizes = [[rng.randrange(1, 20) for _ in range(4)] for _ in range(num_blocks)]
+    bdm = analytic_bdm_from_block_sizes(sizes)
+    repeats = 3 if small else 8
+    num_reduce = 8
+
+    def build_bucket(job):
+        # Built once and shared by both runs: timsort is adaptive, so
+        # the packed and tuple paths must sort the *same* permutation.
+        bucket = []
+        enumeration = job.enumeration
+        for k, n in enumerate(enumeration.block_sizes):
+            for x in range(n):
+                for r_index in enumeration.relevant_ranges(k, x, job.spec):
+                    bucket.append(
+                        KeyValue(PairRangeKey(r_index, k, x), ("value", x))
+                    )
+        random.Random(SEED + 1).shuffle(bucket)
+        return bucket
+
+    shared_bucket: list = []
+
+    def run(enabled):
+        with packed_keys(enabled):
+            job = PairRangeJob(bdm, ThresholdMatcher(), num_reduce)
+        if not shared_bucket:
+            shared_bucket.extend(build_bucket(job))
+        bucket = shared_bucket
+
+        def sort_group():
+            return shuffle_bucket(job, bucket)
+
+        def spill_drain():
+            with ExternalShuffle(job, num_reduce, len(bucket) // 4) as spill:
+                spill.add_records(bucket)
+                return [len(b) for b in spill.buckets()]
+
+        in_memory = best_of(sort_group, repeats)
+        external = best_of(spill_drain, max(1, repeats // 2))
+        fingerprint = [(g.key, g.values) for g in sort_group()]
+        return in_memory, external, fingerprint
+
+    after, after_ext, fp_packed = run(True)
+    before, before_ext, fp_tuple = run(False)
+    assert fp_packed == fp_tuple  # byte-identical grouping
+    result = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "external_before_s": before_ext,
+        "external_after_s": after_ext,
+        "external_speedup": before_ext / after_ext,
+    }
+    print(f"packed-key shuffle  before={before * 1e3:8.2f}ms  "
+          f"after={after * 1e3:8.2f}ms  speedup={result['speedup']:.2f}x")
+    print(f"  + spill-to-disk   before={before_ext * 1e3:8.2f}ms  "
+          f"after={after_ext * 1e3:8.2f}ms  "
+          f"speedup={result['external_speedup']:.2f}x")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: full pipelines, legacy vs optimised configuration
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceSimilarity:
+    """Picklable pre-optimisation scoring function (see equivalence tests)."""
+
+    def __init__(self, threshold: float):
+        self.threshold = threshold
+
+    def __call__(self, a: str, b: str) -> float:
+        return levenshtein_similarity_bounded_reference(a, b, self.threshold)
+
+
+def _e2e_fingerprint(result) -> tuple:
+    return (
+        tuple((p.id1, p.id2, p.similarity) for p in result.matches),
+        result.job2.counters.as_dict(),
+        tuple(result.reduce_comparisons()),
+    )
+
+
+def bench_e2e(strategy: str, num_entities: int, small: bool) -> dict:
+    entities = generate_products(num_entities, seed=SEED % 1000)
+    m, r = (3, 5) if small else (4, 10)
+
+    def run(legacy: bool):
+        if legacy:
+            matcher = ThresholdMatcher(
+                "title", THRESHOLD, _ReferenceSimilarity(THRESHOLD),
+                prepared=False, memoize=0,
+            )
+        else:
+            matcher = ThresholdMatcher("title", THRESHOLD)
+        with packed_keys(not legacy):
+            pipeline = ERPipeline(
+                strategy,
+                PrefixBlocking("title"),
+                matcher,
+                num_map_tasks=m,
+                num_reduce_tasks=r,
+            )
+            return pipeline.run(entities)
+
+    start = time.perf_counter()
+    new_result = run(legacy=False)
+    after = time.perf_counter() - start
+    start = time.perf_counter()
+    old_result = run(legacy=True)
+    before = time.perf_counter() - start
+
+    functional_ok = _e2e_fingerprint(new_result) == _e2e_fingerprint(old_result)
+    result = {
+        "entities": num_entities,
+        "num_map_tasks": m,
+        "num_reduce_tasks": r,
+        "comparisons": new_result.total_comparisons(),
+        "matches": len(new_result.matches),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "functional_ok": functional_ok,
+    }
+    marker = "" if functional_ok else "  ** FUNCTIONAL MISMATCH **"
+    print(f"e2e {strategy:<11}     before={before:8.3f}s   "
+          f"after={after:8.3f}s   speedup={result['speedup']:.2f}x{marker}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures: the paper's scalability sweeps (analytic, full scale)
+# ---------------------------------------------------------------------------
+
+
+def bench_figures(small: bool) -> dict:
+    from repro.analysis.experiments import sweep_nodes
+    from repro.datasets.generators import DS1_PROFILE, DS2_PROFILE
+
+    strategies = ["basic", "blocksplit", "pairrange"]
+    figures = {}
+    for fig, profile, nodes in (
+        ("fig13_ds1", DS1_PROFILE, [1, 2, 5, 10] if small else [1, 2, 5, 10, 20, 40, 100]),
+        ("fig14_ds2", DS2_PROFILE, [10] if small else [10, 20, 40, 100]),
+    ):
+        sizes = zipf_block_sizes(
+            profile.num_entities, profile.num_blocks, profile.zipf_exponent
+        )
+        start = time.perf_counter()
+        results = sweep_nodes(
+            strategies, nodes, list(sizes), comparison_noise_sigma=0.25
+        )
+        elapsed = time.perf_counter() - start
+        times = {
+            name: [round(results[n][name].execution_time, 1) for n in nodes]
+            for name in strategies
+        }
+        figures[fig] = {
+            "nodes": nodes,
+            "execution_times_s": times,
+            "planning_wall_clock_s": elapsed,
+        }
+        print(f"{fig}: planned {len(nodes)} cluster sizes × "
+              f"{len(strategies)} strategies in {elapsed:.2f}s wall-clock")
+    return figures
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--small", action="store_true",
+                        help="CI smoke sizes (seconds, not minutes)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"output path (default: BENCH_{BENCH_NUMBER}.json)")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="skip the fig13/fig14 analytic sweeps")
+    parser.add_argument("--assert-speedups", action="store_true",
+                        help="fail if the headline speedup targets are missed")
+    args = parser.parse_args(argv)
+
+    random.seed(SEED)
+    output = args.output or REPO_ROOT / f"BENCH_{BENCH_NUMBER}.json"
+
+    machine = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "seed": SEED,
+        "mode": "small" if args.small else "full",
+    }
+    print(f"perf harness — bench {BENCH_NUMBER}  "
+          f"(cpus={machine['cpu_count']}, python={machine['python']}, "
+          f"mode={machine['mode']})")
+
+    report: dict = {"bench": BENCH_NUMBER, "machine": machine}
+
+    section("Micro kernels (before = legacy path, after = optimised path)")
+    report["micro_similarity"] = bench_micro_similarity(args.small)
+    report["micro_matcher"] = bench_micro_matcher(args.small)
+    report["micro_shuffle"] = bench_micro_shuffle(args.small)
+
+    section("End-to-end pipelines (serial backend, real matching)")
+    n = 400 if args.small else 2500
+    report["e2e"] = {
+        "blocksplit": bench_e2e("blocksplit", n, args.small),
+        "pairrange": bench_e2e("pairrange", n, args.small),
+    }
+
+    if not args.skip_figures:
+        section("Paper scalability figures (analytic planning, full scale)")
+        report["figures"] = bench_figures(args.small)
+
+    functional_ok = all(e["functional_ok"] for e in report["e2e"].values())
+    report["functional_ok"] = functional_ok
+
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output}")
+
+    if not functional_ok:
+        print("FUNCTIONAL ERROR: legacy and optimised paths disagree",
+              file=sys.stderr)
+        return 1
+    if args.assert_speedups:
+        micro = report["micro_similarity"]["speedup"]
+        e2e_best = max(e["speedup"] for e in report["e2e"].values())
+        if micro < 3.0:
+            print(f"SPEEDUP MISS: similarity microbench {micro:.2f}x < 3x",
+                  file=sys.stderr)
+            return 1
+        if e2e_best < 1.5:
+            print(f"SPEEDUP MISS: best end-to-end {e2e_best:.2f}x < 1.5x",
+                  file=sys.stderr)
+            return 1
+        print(f"speedup targets met: micro {micro:.2f}x (>=3x), "
+              f"e2e {e2e_best:.2f}x (>=1.5x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ from typing import Any, Sequence
 from ..er.blocking import BlockingFunction
 from ..er.entity import Entity
 from ..er.matching import Matcher
-from ..mapreduce.counters import StandardCounter
+from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext, stable_hash
 
 
@@ -54,13 +54,21 @@ class BasicMatchJob(MapReduceJob):
         self, key: Any, values: Sequence[Entity], emit, context: TaskContext
     ) -> None:
         # All-pairs comparison within the block, in the streaming-buffer
-        # style of the paper's pseudo-code.
-        buffer: list[Entity] = []
+        # style of the paper's pseudo-code.  Entities are prepared once
+        # per group; only `match_prepared` runs per pair.
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        comparisons = 0
+        matched = 0
+        buffer: list = []
         for e2 in values:
-            for e1 in buffer:
-                context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-                pair = self.matcher.match(e1, e2)
+            p2 = prepare(e2)
+            for p1 in buffer:
+                pair = match_prepared(p1, p2)
                 if pair is not None:
-                    context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                    matched += 1
                     emit(None, pair)
-            buffer.append(e2)
+            comparisons += len(buffer)
+            buffer.append(p2)
+        flush_pair_counters(context, comparisons, matched)

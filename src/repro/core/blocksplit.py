@@ -15,8 +15,9 @@ from typing import Any, Sequence
 from ..er.blocking import BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
-from ..mapreduce.counters import StandardCounter
+from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext
+from ..mapreduce.types import KeyCodec, PackedProjection, packed_keys_enabled
 from .bdm import BlockDistributionMatrix
 from .keys import BlockSplitKey
 from .match_tasks import MatchTaskAssignment, plan_block_split
@@ -32,7 +33,10 @@ class BlockSplitJob(MapReduceJob):
 
     * partition — on ``reduce_index`` only;
     * sort / group — on the full key, whose ``(block, i, j)`` component
-      identifies the match task (Algorithm 1's comments).
+      identifies the match task (Algorithm 1's comments).  Both
+      projections are packed into a single int per key (the key fields
+      are all bounded, so the packed ints compare exactly like the
+      tuples — see :class:`~repro.mapreduce.types.KeyCodec`).
     """
 
     name = "job2-blocksplit"
@@ -49,6 +53,17 @@ class BlockSplitJob(MapReduceJob):
         # The paper computes this in every map task's configure(); the
         # computation is deterministic, so hoisting it is equivalent.
         self.assignment: MatchTaskAssignment = plan_block_split(bdm, num_reduce_tasks)
+        if packed_keys_enabled():
+            codec = KeyCodec(
+                max(1, num_reduce_tasks),
+                max(1, bdm.num_blocks),
+                max(1, bdm.num_partitions),
+                max(1, bdm.num_partitions),
+            )
+            # Full-key sort and grouping (the packed form is bijective,
+            # so the groups are identical); the base-class sort_key /
+            # group_key read this projection.
+            self.packed_projection = PackedProjection.full_key(codec)
 
     # -- map phase ---------------------------------------------------------
 
@@ -72,8 +87,8 @@ class BlockSplitJob(MapReduceJob):
     def partition(self, key: BlockSplitKey, num_reduce_tasks: int) -> int:
         return key.reduce_index
 
-    # Full-key sort and grouping (reduce_index is constant per task and
-    # (block, i, j) determines it, so full key ≡ the paper's k.i.j).
+    # (reduce_index is constant per task and (block, i, j) determines
+    # it, so full key ≡ the paper's k.i.j.)
 
     # -- reduce phase ----------------------------------------------------------
 
@@ -91,11 +106,22 @@ class BlockSplitJob(MapReduceJob):
 
     def _match_self(self, values, emit, context: TaskContext) -> None:
         """Self-join: a whole block (``k.*``) or one sub-block (``k.i``)."""
-        buffer: list[Entity] = []
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        comparisons = 0
+        matched = 0
+        buffer: list = []
         for e2, _partition in values:
-            for e1 in buffer:
-                self._match(e1, e2, emit, context)
-            buffer.append(e2)
+            p2 = prepare(e2)
+            for p1 in buffer:
+                pair = match_prepared(p1, p2)
+                if pair is not None:
+                    matched += 1
+                    emit(None, pair)
+            comparisons += len(buffer)
+            buffer.append(p2)
+        flush_pair_counters(context, comparisons, matched)
 
     def _match_cross(self, values, emit, context: TaskContext) -> None:
         """Cartesian product of two sub-blocks (``k.i×j``).
@@ -104,22 +130,26 @@ class BlockSplitJob(MapReduceJob):
         first partition index delimits the buffered sub-block —
         Algorithm 1 lines 56-65.
         """
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
         iterator = iter(values)
         try:
             first_entity, first_partition = next(iterator)
         except StopIteration:
             return
-        buffer = [first_entity]
+        buffer = [prepare(first_entity)]
+        comparisons = 0
+        matched = 0
         for e2, partition in iterator:
             if partition == first_partition:
-                buffer.append(e2)
+                buffer.append(prepare(e2))
             else:
-                for e1 in buffer:
-                    self._match(e1, e2, emit, context)
-
-    def _match(self, e1: Entity, e2: Entity, emit, context: TaskContext) -> None:
-        context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-        pair = self.matcher.match(e1, e2)
-        if pair is not None:
-            context.counters.increment(StandardCounter.PAIRS_MATCHED)
-            emit(None, pair)
+                p2 = prepare(e2)
+                for p1 in buffer:
+                    pair = match_prepared(p1, p2)
+                    if pair is not None:
+                        matched += 1
+                        emit(None, pair)
+                comparisons += len(buffer)
+        flush_pair_counters(context, comparisons, matched)

@@ -304,6 +304,52 @@ class PairEnumeration:
         x, y = cell_of(pair_index - self._offsets[block], self.block_sizes[block])
         return block, x, y
 
+    def row_span(self, block: int, y: int, lo: int, hi: int) -> tuple[int, int]:
+        """Columns ``x < y`` whose pair ``(x, y)`` has a global index in
+        ``[lo, hi]``, as an inclusive interval (``(0, -1)`` when empty).
+
+        The cell index ``c(x, y, N)`` is strictly increasing in ``x``
+        for fixed ``y``, so the qualifying columns form one contiguous
+        run, found here by binary search in O(log y).  This is the
+        reduce-side inverse of the PairRange routing: instead of
+        computing a pair index and a range per buffered pair, the
+        reduce function asks once per incoming entity which buffered
+        indexes are in range and iterates exactly that slice.
+        """
+        n = self.block_sizes[block]
+        if not 0 <= y < n:
+            raise ValueError(f"entity index {y} outside block of size {n}")
+        if y == 0 or hi < lo:
+            return (0, -1)
+        offset = self._offsets[block]
+        rel_lo = lo - offset
+        rel_hi = hi - offset
+        base = y - 1  # c(x, y, n) = x·(2n − x − 3)/2 + y − 1
+        first = base  # c(0, y, n)
+        last = ((y - 1) * (2 * n - y - 2)) // 2 + base  # c(y−1, y, n)
+        if last < rel_lo or first > rel_hi:
+            return (0, -1)
+        # Smallest x with c(x) >= rel_lo.
+        a, b = 0, y - 1
+        while a < b:
+            mid = (a + b) // 2
+            if (mid * (2 * n - mid - 3)) // 2 + base >= rel_lo:
+                b = mid
+            else:
+                a = mid + 1
+        x_lo = a
+        if (x_lo * (2 * n - x_lo - 3)) // 2 + base > rel_hi:
+            return (0, -1)
+        # Largest x with c(x) <= rel_hi.
+        a, b = x_lo, y - 1
+        while a < b:
+            mid = (a + b + 1) // 2
+            if (mid * (2 * n - mid - 3)) // 2 + base <= rel_hi:
+                a = mid
+            else:
+                b = mid - 1
+        return (x_lo, a)
+
     def relevant_ranges(
         self, block: int, entity_index: int, spec: PairRangeSpec
     ) -> list[int]:
@@ -320,15 +366,30 @@ class PairEnumeration:
         if n < 2:
             return []
         o = self._offsets[block]
-        ranges: set[int] = set()
         x = entity_index
+        ppr = spec.pairs_per_range
+        # Row pairs (k, x), k < x: their cells are scattered across the
+        # earlier columns but strictly non-decreasing in k, with the
+        # closed increment c(k+1, x) − c(k, x) = n − k − 2 — so the walk
+        # is one add per pair and the range ids come out pre-sorted.
+        ranges: list[int] = []
+        last = -1
+        cell = o + x - 1  # c(0, x, n) = x − 1
         for k in range(x):
-            ranges.add(spec.range_of(o + cell_index(k, x, n)))
+            rid = cell // ppr
+            if rid != last:
+                ranges.append(rid)
+                last = rid
+            cell += n - k - 2
+        # Column pairs (x, x+1) … (x, n−1) are one contiguous cell run,
+        # entirely after every row cell (they live in column x, the row
+        # cells in columns k < x) — only the boundary ranges matter.
         if x < n - 1:
-            first = spec.range_of(o + cell_index(x, x + 1, n))
-            last = spec.range_of(o + cell_index(x, n - 1, n))
-            ranges.update(range(first, last + 1))
-        return sorted(ranges)
+            start = (x * (2 * n - x - 3)) // 2  # column_start(x, n) − x
+            first = (o + start + x) // ppr
+            col_last = (o + start + n - 2) // ppr  # c(x, n−1, n)
+            ranges.extend(range(first if first != last else first + 1, col_last + 1))
+        return ranges
 
 
 class DualPairEnumeration:
@@ -375,6 +436,28 @@ class DualPairEnumeration:
         )
         return block, x, y
 
+    def r_span(self, block: int, y: int, lo: int, hi: int) -> tuple[int, int]:
+        """R indexes ``x`` whose pair ``(x, y)`` has a global index in
+        ``[lo, hi]``, as an inclusive interval (``(0, -1)`` when empty).
+
+        Dual cell indexes for a fixed S index ``y`` form the arithmetic
+        progression ``o + x·NS + y``, so the interval bounds are a pair
+        of integer divisions — O(1), no search needed.
+        """
+        n_r, n_s = self.block_sizes[block]
+        if not 0 <= y < n_s:
+            raise ValueError(f"S index {y} outside block with NS={n_s}")
+        if hi < lo or n_r == 0:
+            return (0, -1)
+        offset = self._offsets[block] + y
+        x_lo = -((offset - lo) // n_s)  # ceil((lo − offset) / NS)
+        x_hi = (hi - offset) // n_s
+        if x_lo < 0:
+            x_lo = 0
+        if x_hi > n_r - 1:
+            x_hi = n_r - 1
+        return (x_lo, x_hi) if x_lo <= x_hi else (0, -1)
+
     def relevant_ranges_r(
         self, block: int, x: int, spec: PairRangeSpec
     ) -> list[int]:
@@ -392,14 +475,25 @@ class DualPairEnumeration:
     def relevant_ranges_s(
         self, block: int, y: int, spec: PairRangeSpec
     ) -> list[int]:
-        """Ranges of S-entity ``y``: a stride-``NS`` progression."""
+        """Ranges of S-entity ``y``: a stride-``NS`` progression.
+
+        The progression is strictly increasing, so the range ids are
+        produced pre-sorted by one add + one div per cell (no set, no
+        per-cell function calls).
+        """
         n_r, n_s = self.block_sizes[block]
         if not 0 <= y < n_s:
             raise ValueError(f"S index {y} outside block with NS={n_s}")
         if n_r == 0:
             return []
-        o = self._offsets[block]
-        ranges = {
-            spec.range_of(o + dual_cell_index(x, y, n_s)) for x in range(n_r)
-        }
-        return sorted(ranges)
+        ppr = spec.pairs_per_range
+        ranges: list[int] = []
+        last = -1
+        cell = self._offsets[block] + y  # c(0, y) = y
+        for _ in range(n_r):
+            rid = cell // ppr
+            if rid != last:
+                ranges.append(rid)
+                last = rid
+            cell += n_s
+        return ranges

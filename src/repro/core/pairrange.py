@@ -9,13 +9,15 @@ index and evaluates exactly those pairs falling into its own range.
 
 from __future__ import annotations
 
-from typing import Sequence
+from bisect import bisect_left, bisect_right
+from typing import Any, Sequence
 
 from ..er.blocking import BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
-from ..mapreduce.counters import StandardCounter
+from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext
+from ..mapreduce.types import KeyCodec, PackedProjection, packed_keys_enabled
 from .bdm import BlockDistributionMatrix
 from .enumeration import PairEnumeration, PairRangeSpec
 from .keys import PairRangeKey
@@ -37,7 +39,9 @@ class PairRangeJob(MapReduceJob):
     (``return``) once a pair index exceeds the task's range.  Pair
     indexes are monotone only *within* one buffer scan, not across
     them, so a later entity may still contribute in-range pairs; we
-    ``break`` the inner scan instead (see DESIGN.md).
+    restrict each scan to exactly the in-range run of buffered indexes
+    (:meth:`~repro.core.enumeration.PairEnumeration.row_span`), the
+    interval form of the original per-pair ``break`` (see DESIGN.md).
     """
 
     name = "job2-pairrange"
@@ -53,6 +57,15 @@ class PairRangeJob(MapReduceJob):
         self.num_reduce_tasks = num_reduce_tasks
         self.enumeration = PairEnumeration(bdm.block_sizes())
         self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
+        if packed_keys_enabled():
+            sizes = self.enumeration.block_sizes
+            codec = KeyCodec(
+                max(1, num_reduce_tasks),
+                max(1, bdm.num_blocks),
+                max(1, max(sizes, default=1)),
+            )
+            # Grouped on (range_index, block) — the first two sort fields.
+            self.packed_projection = PackedProjection.prefix(codec, 2)
 
     # -- map phase ---------------------------------------------------------
 
@@ -77,7 +90,9 @@ class PairRangeJob(MapReduceJob):
     def partition(self, key: PairRangeKey, num_reduce_tasks: int) -> int:
         return key.range_index
 
-    def group_key(self, key: PairRangeKey) -> tuple[int, int]:
+    def group_key(self, key: PairRangeKey) -> Any:
+        if self.packed_projection is not None:
+            return super().group_key(key)
         return (key.range_index, key.block)
 
     # -- reduce phase ----------------------------------------------------------
@@ -89,23 +104,36 @@ class PairRangeJob(MapReduceJob):
         emit,
         context: TaskContext,
     ) -> None:
-        task_range = key.range_index
+        # Entities arrive in ascending entity-index order (full-key
+        # sort), so the buffered indexes form a sorted int array.  For
+        # each incoming entity the qualifying partners are one
+        # contiguous run of that array (`row_span`): two binary
+        # searches replace the old per-pair index/range computation,
+        # and the slice is walked as plain ints — the same pairs, in
+        # the same order, with zero per-pair arithmetic.
         block = key.block
         enumeration = self.enumeration
-        spec = self.spec
-        buffer: list[tuple[Entity, int]] = []
+        lo, hi = self.spec.bounds(key.range_index)
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        row_span = enumeration.row_span
+        comparisons = 0
+        matched = 0
+        buffer_x: list[int] = []
+        buffer_p: list = []
         for e2, x2 in values:
-            for e1, x1 in buffer:
-                pair_index = enumeration.pair_index(block, x1, x2)
-                pair_range = spec.range_of(pair_index)
-                if pair_range == task_range:
-                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-                    pair = self.matcher.match(e1, e2)
+            p2 = prepare(e2)
+            x_lo, x_hi = row_span(block, x2, lo, hi)
+            if x_lo <= x_hi:
+                start = bisect_left(buffer_x, x_lo)
+                stop = bisect_right(buffer_x, x_hi, start)
+                for i in range(start, stop):
+                    pair = match_prepared(buffer_p[i], p2)
                     if pair is not None:
-                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        matched += 1
                         emit(None, pair)
-                elif pair_range > task_range:
-                    # Within one scan pair indexes grow with x1; all
-                    # remaining buffered entities are past the range.
-                    break
-            buffer.append((e2, x2))
+                comparisons += stop - start
+            buffer_x.append(x2)
+            buffer_p.append(p2)
+        flush_pair_counters(context, comparisons, matched)

@@ -32,7 +32,7 @@ from typing import Any, Callable, Sequence
 
 from ..er.entity import Entity
 from ..er.matching import Matcher, MatchResult
-from ..mapreduce.counters import StandardCounter
+from ..mapreduce.counters import StandardCounter, flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext
 from ..mapreduce.runtime import JobResult, LocalRuntime
 from ..mapreduce.types import Partition, make_partitions
@@ -138,22 +138,32 @@ class SortedNeighborhoodJob(MapReduceJob):
 
     def reduce(self, key: tuple, values: Sequence[Entity], emit, context) -> None:
         # Grouping on the full composite key gives one call per entity;
-        # buffer the window in the context across calls.
+        # buffer the window in the context across calls.  The window
+        # holds prepared entities so attribute extraction runs once per
+        # entity, not once per window pair.
         state = getattr(context, "sn_state", None)
         if state is None:
             state = {"window": [], "run": []}
             context.sn_state = state  # type: ignore[attr-defined]
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        window = state["window"]
+        comparisons = 0
+        matched = 0
         for entity in values:
-            for other in state["window"]:
-                context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-                pair = self.matcher.match(other, entity)
+            prepared = prepare(entity)
+            for other in window:
+                pair = match_prepared(other, prepared)
                 if pair is not None:
-                    context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                    matched += 1
                     emit(None, ("match", pair))
-            state["window"].append(entity)
-            if len(state["window"]) > self.window - 1:
-                state["window"].pop(0)
+            comparisons += len(window)
+            window.append(prepared)
+            if len(window) > self.window - 1:
+                window.pop(0)
             state["run"].append(entity)
+        flush_pair_counters(context, comparisons, matched)
 
     def configure_reduce(self, context: TaskContext) -> None:
         context.sn_state = None  # type: ignore[attr-defined]

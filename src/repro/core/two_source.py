@@ -11,15 +11,21 @@ The BDM keeps its ``b × m`` shape but every block's pair count becomes
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Any, Sequence
 
 from ..er.blocking import BlockingFunction, BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
-from ..mapreduce.counters import StandardCounter
+from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext
 from ..mapreduce.runtime import JobResult, LocalRuntime
-from ..mapreduce.types import Partition
+from ..mapreduce.types import (
+    KeyCodec,
+    PackedProjection,
+    Partition,
+    packed_keys_enabled,
+)
 from .bdm import (
     ANNOTATED_DIR,
     BdmJob,
@@ -33,6 +39,10 @@ from .match_tasks import MatchTask
 
 SOURCE_R = "R"
 SOURCE_S = "S"
+
+#: Packed-key rank of each source tag ("R" < "S" ⇒ 0 < 1, so packed
+#: order matches the tuple order the dual reduce functions rely on).
+_SOURCE_RANKS = {SOURCE_R: 0, SOURCE_S: 1}
 
 
 class DualSourceBDM:
@@ -252,6 +262,18 @@ class DualBlockSplitJob(MapReduceJob):
         self.reduce_comparisons = tuple(loads)
         self.split_blocks = split_blocks
         self.threshold = threshold
+        if packed_keys_enabled():
+            m = max(1, bdm.num_partitions)
+            codec = KeyCodec(
+                max(1, num_reduce_tasks),
+                max(1, bdm.num_blocks),
+                m,
+                m,
+                2,
+                field_maps={4: _SOURCE_RANKS},
+            )
+            # Grouped on (block, i, j) — the mid-span of the sort fields.
+            self.packed_projection = PackedProjection.span(codec, 1, 4)
 
     # -- map phase ---------------------------------------------------------
 
@@ -279,7 +301,9 @@ class DualBlockSplitJob(MapReduceJob):
     def partition(self, key: DualBlockSplitKey, num_reduce_tasks: int) -> int:
         return key.reduce_index
 
-    def group_key(self, key: DualBlockSplitKey) -> tuple[int, int, int]:
+    def group_key(self, key: DualBlockSplitKey) -> Any:
+        if self.packed_projection is not None:
+            return super().group_key(key)
         return (key.block, key.i, key.j)
 
     # -- reduce phase ----------------------------------------------------------
@@ -291,17 +315,24 @@ class DualBlockSplitJob(MapReduceJob):
         emit,
         context: TaskContext,
     ) -> None:
-        buffer: list[Entity] = []
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        comparisons = 0
+        matched = 0
+        buffer: list = []
         for entity in values:
             if entity.source == SOURCE_R:
-                buffer.append(entity)
+                buffer.append(prepare(entity))
             else:
-                for e1 in buffer:
-                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-                    pair = self.matcher.match(e1, entity)
+                p2 = prepare(entity)
+                for p1 in buffer:
+                    pair = match_prepared(p1, p2)
                     if pair is not None:
-                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        matched += 1
                         emit(None, pair)
+                comparisons += len(buffer)
+        flush_pair_counters(context, comparisons, matched)
 
 
 # ---------------------------------------------------------------------------
@@ -331,6 +362,20 @@ class DualPairRangeJob(MapReduceJob):
         self.num_reduce_tasks = num_reduce_tasks
         self.enumeration = DualPairEnumeration(bdm.dual_block_sizes())
         self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
+        if packed_keys_enabled():
+            max_index = max(
+                (max(r, s) for r, s in self.enumeration.block_sizes),
+                default=1,
+            )
+            codec = KeyCodec(
+                max(1, num_reduce_tasks),
+                max(1, bdm.num_blocks),
+                2,
+                max(1, max_index),
+                field_maps={2: _SOURCE_RANKS},
+            )
+            # Grouped on (range_index, block) — the first two sort fields.
+            self.packed_projection = PackedProjection.prefix(codec, 2)
 
     # -- map phase ---------------------------------------------------------
 
@@ -359,7 +404,9 @@ class DualPairRangeJob(MapReduceJob):
     def partition(self, key: DualPairRangeKey, num_reduce_tasks: int) -> int:
         return key.range_index
 
-    def group_key(self, key: DualPairRangeKey) -> tuple[int, int]:
+    def group_key(self, key: DualPairRangeKey) -> Any:
+        if self.packed_projection is not None:
+            return super().group_key(key)
         return (key.range_index, key.block)
 
     # -- reduce phase ----------------------------------------------------------
@@ -371,23 +418,36 @@ class DualPairRangeJob(MapReduceJob):
         emit,
         context: TaskContext,
     ) -> None:
-        task_range = key.range_index
+        # All R entities precede all S entities ("R" < "S" in the sort)
+        # and arrive in ascending R-index order, so the buffered R
+        # indexes form a sorted int array.  For each S entity the
+        # qualifying R indexes are one contiguous interval (`r_span`,
+        # O(1) closed form) — bisect the buffer and walk exactly that
+        # slice, as in the one-source PairRange reduce.
         block = key.block
-        enumeration = self.enumeration
-        spec = self.spec
-        buffer: list[tuple[Entity, int]] = []
+        lo, hi = self.spec.bounds(key.range_index)
+        r_span = self.enumeration.r_span
+        matcher = self.matcher
+        prepare = matcher.prepare
+        match_prepared = matcher.match_prepared
+        comparisons = 0
+        matched = 0
+        buffer_x: list[int] = []
+        buffer_p: list = []
         for entity, index in values:
             if entity.source == SOURCE_R:
-                buffer.append((entity, index))
+                buffer_x.append(index)
+                buffer_p.append(prepare(entity))
                 continue
-            for e1, x in buffer:
-                pair_index = enumeration.pair_index(block, x, index)
-                pair_range = spec.range_of(pair_index)
-                if pair_range == task_range:
-                    context.counters.increment(StandardCounter.PAIR_COMPARISONS)
-                    pair = self.matcher.match(e1, entity)
+            p2 = prepare(entity)
+            x_lo, x_hi = r_span(block, index, lo, hi)
+            if x_lo <= x_hi:
+                start = bisect_left(buffer_x, x_lo)
+                stop = bisect_right(buffer_x, x_hi, start)
+                for i in range(start, stop):
+                    pair = match_prepared(buffer_p[i], p2)
                     if pair is not None:
-                        context.counters.increment(StandardCounter.PAIRS_MATCHED)
+                        matched += 1
                         emit(None, pair)
-                elif pair_range > task_range:
-                    break  # pair indexes grow with the R index x
+                comparisons += stop - start
+        flush_pair_counters(context, comparisons, matched)

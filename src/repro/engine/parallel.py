@@ -16,7 +16,10 @@ Executor choice:
     True multi-core speedup.  Requires the job (matcher, blocking
     function, BDM) to be picklable; matcher *instance* state mutated in
     workers stays in the workers — read comparison statistics from the
-    job counters, which are always shipped back.
+    job counters, which are always shipped back.  The same applies to
+    :class:`~repro.er.matching.ThresholdMatcher`'s similarity memo
+    cache: it is per-worker, dropped from the pickles (the job is
+    pickled once per task submission), and rebuilt as workers match.
 ``"thread"``
     No pickling requirements and shared matcher state, but subject to
     the GIL — useful for tests and I/O-bound matchers.
@@ -110,13 +113,14 @@ class ParallelRuntime(LocalRuntime):
         job: MapReduceJob,
         config: JobConfig,
         buckets: Sequence[list[KeyValue]],
+        presorted: bool = False,
     ) -> list[ReduceTaskResult]:
         # Buckets are fetched lazily, one per submission: under a memory
         # budget they are spill-file views (ExternalShuffle.buckets()),
         # and windowed submission keeps at most ~max_workers of them
         # re-materialized in the driver at a time.
         calls = (
-            (execute_reduce_task, (job, config, index, buckets[index]))
+            (execute_reduce_task, (job, config, index, buckets[index], presorted))
             for index in range(len(buckets))
         )
         return self._fan_out(job, calls, count=len(buckets))

@@ -12,6 +12,12 @@ Streaming inputs compose naturally: a request carrying only a
 :class:`~repro.io.RecordSource` is planned from the source's shard-level
 block statistics (one streaming pass), so no record is ever
 materialized on this path.
+
+Plans are derived from BDM pair counts alone, so they are invariant
+under the execution-side hot-path switches (bit-parallel kernel,
+prepared matchers, packed shuffle keys) — the hot-path equivalence
+suite pins this down by comparing planned results across those
+configurations.
 """
 
 from __future__ import annotations

@@ -10,10 +10,10 @@ one, both plugging into every workflow unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, NamedTuple, Sequence
 
 from .entity import Entity
-from .matching import Matcher
+from .matching import Matcher, MatchPair
 from .similarity import levenshtein_similarity, numeric_similarity
 
 SimilarityFn = Callable[[object, object], float]
@@ -69,6 +69,13 @@ def exact_rule(attribute: str, weight: float = 1.0) -> AttributeRule:
     return AttributeRule(attribute, lambda a, b: 1.0 if a == b else 0.0, weight=weight)
 
 
+class _PreparedRuleValues(NamedTuple):
+    """WeightedMatcher's per-entity preprocessing: id + extracted values."""
+
+    qid: str
+    values: tuple
+
+
 class WeightedMatcher(Matcher):
     """Weighted average of per-attribute similarities vs. a threshold.
 
@@ -78,6 +85,12 @@ class WeightedMatcher(Matcher):
             [string_rule("title", 3.0), numeric_rule("price", scale=50.0)],
             threshold=0.85,
         )
+
+    Like :class:`~repro.er.matching.ThresholdMatcher`, the reduce hot
+    loops extract every rule's attribute once per reduce group via
+    :meth:`prepare`; per pair only the similarity functions run.
+    Subclasses overriding ``similarity``/``is_match``/``match`` fall
+    back to the per-pair path automatically.
     """
 
     def __init__(self, rules: Sequence[AttributeRule], threshold: float = 0.8):
@@ -96,6 +109,44 @@ class WeightedMatcher(Matcher):
 
     def is_match(self, similarity: float) -> bool:
         return similarity >= self.threshold
+
+    # -- prepared fast path --------------------------------------------------
+
+    def prepare(self, entity: Entity) -> Any:
+        cls = type(self)
+        if (
+            cls.similarity is not WeightedMatcher.similarity
+            or cls.is_match is not WeightedMatcher.is_match
+            or cls.match is not Matcher.match
+        ):
+            return entity
+        return _PreparedRuleValues(
+            entity.qualified_id,
+            tuple(entity.get(rule.attribute) for rule in self.rules),
+        )
+
+    def match_prepared(self, p1: Any, p2: Any) -> MatchPair | None:
+        if type(p1) is not _PreparedRuleValues:
+            return self.match(p1, p2)
+        self.comparisons += 1
+        # Same accumulation order as `similarity` (sum starts at int 0),
+        # so the combined score is bit-for-bit identical.
+        score: float = 0
+        for rule, a, b in zip(self.rules, p1.values, p2.values):
+            if a is None or b is None:
+                part = rule.missing_score
+            else:
+                part = float(rule.similarity(a, b))
+            score += part * rule.weight
+        score /= self._total_weight
+        if score >= self.threshold:
+            self.matches_found += 1
+            q1 = p1.qid
+            q2 = p2.qid
+            if q2 < q1:
+                q1, q2 = q2, q1
+            return MatchPair(q1, q2, score)
+        return None
 
     def __repr__(self) -> str:
         attrs = ", ".join(rule.attribute for rule in self.rules)

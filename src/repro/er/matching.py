@@ -10,8 +10,9 @@ simulation (comparisons are the dominant cost).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, NamedTuple
 
 from .entity import Entity
 from .similarity import levenshtein_similarity_bounded
@@ -80,6 +81,15 @@ class Matcher:
 
     Subclasses implement :meth:`similarity`; :meth:`match` applies the
     threshold and records statistics.
+
+    The reduce hot loops call the matcher through the *prepared*
+    protocol: :meth:`prepare` runs once per entity per reduce group and
+    :meth:`match_prepared` once per pair.  The base implementations are
+    the identity (``prepare`` returns the entity, ``match_prepared``
+    delegates to :meth:`match`), so custom matchers keep their exact
+    per-pair behaviour; matchers with an expensive per-pair setup
+    (attribute extraction, normalisation) override both to hoist that
+    work out of the O(pairs) loop.
     """
 
     def __init__(self) -> None:
@@ -105,12 +115,49 @@ class Matcher:
             return MatchPair.of(e1, e2, score)
         return None
 
+    # -- prepared protocol (the reduce-group hot path) ----------------------
+
+    def prepare(self, entity: Entity) -> Any:
+        """Per-entity preprocessing, run once per reduce group."""
+        return entity
+
+    def match_prepared(self, p1: Any, p2: Any) -> MatchPair | None:
+        """Compare two :meth:`prepare` outputs; same contract as :meth:`match`."""
+        return self.match(p1, p2)
+
+
+class _PreparedEntity(NamedTuple):
+    """ThresholdMatcher's per-entity preprocessing: id + interned text.
+
+    Interning the extracted attribute makes the memo-cache tuple keys
+    compare by pointer in the common case and collapses the many
+    duplicate values real blocking produces into one string object.
+    """
+
+    qid: str
+    text: str
+
 
 class ThresholdMatcher(Matcher):
     """The paper's matcher: attribute similarity ≥ threshold ⇒ match.
 
     Defaults replicate Section VI: edit-distance similarity on
     ``title`` with minimal similarity 0.8.
+
+    With the default kernel the matcher takes the prepared fast path:
+    the compare attribute is extracted, stringified and interned once
+    per reduce group instead of once per pair, and verdicts for
+    repeated value pairs are memoised in an LRU keyed on the interned
+    string pair (``memoize`` entries; 0 disables).  Both paths are
+    byte-identical in matches and counters — ``prepared=False`` forces
+    the legacy per-pair path, which ``benchmarks/perf_harness.py`` uses
+    as its "before" measurement.  A custom ``similarity_fn`` or a
+    subclass override of ``similarity``/``is_match``/``match`` also
+    disables the fast path, preserving the override's semantics.
+
+    ``cache_hits``/``cache_misses`` count only the comparisons that
+    reach the cache+kernel stage; identical values (interned pointer
+    check) and pairs rejected by the length filter bypass both.
     """
 
     def __init__(
@@ -118,13 +165,28 @@ class ThresholdMatcher(Matcher):
         attribute: str = "title",
         threshold: float = 0.8,
         similarity_fn: Callable[[str, str], float] | None = None,
+        *,
+        prepared: bool = True,
+        memoize: int = 4096,
     ):
         super().__init__()
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if memoize < 0:
+            raise ValueError(f"memoize must be >= 0, got {memoize}")
         self.attribute = attribute
         self.threshold = threshold
         self._similarity_fn = similarity_fn
+        self._prepared_enabled = prepared
+        self._memoize = memoize
+        self._cache: dict[tuple[str, str], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def reset_counters(self) -> None:
+        super().reset_counters()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def similarity(self, e1: Entity, e2: Entity) -> float:
         a = str(e1.get(self.attribute) or "")
@@ -135,6 +197,85 @@ class ThresholdMatcher(Matcher):
 
     def is_match(self, similarity: float) -> bool:
         return similarity >= self.threshold
+
+    # -- prepared fast path --------------------------------------------------
+
+    def prepare(self, entity: Entity) -> Any:
+        cls = type(self)
+        if (
+            not self._prepared_enabled
+            or self._similarity_fn is not None
+            or cls.similarity is not ThresholdMatcher.similarity
+            or cls.is_match is not ThresholdMatcher.is_match
+            or cls.match is not Matcher.match
+        ):
+            return entity
+        return _PreparedEntity(
+            entity.qualified_id, sys.intern(str(entity.get(self.attribute) or ""))
+        )
+
+    def match_prepared(self, p1: Any, p2: Any) -> MatchPair | None:
+        if type(p1) is not _PreparedEntity:
+            return self.match(p1, p2)
+        self.comparisons += 1
+        a = p1.text
+        b = p2.text
+        threshold = self.threshold
+        if a is b:
+            # Interning makes equal values pointer-identical — the
+            # common case in skewed blocks costs one identity check.
+            score = 1.0
+        else:
+            la = len(a)
+            lb = len(b)
+            if la >= lb:
+                longest, diff = la, la - lb
+            else:
+                longest, diff = lb, lb - la
+            if diff > int((1.0 - threshold) * longest):
+                # Length filter: the edit-distance budget is already
+                # blown, so skip both the cache and the kernel (same
+                # 0.0 the bounded kernel would return).
+                score = 0.0
+            else:
+                key = (a, b) if a <= b else (b, a)
+                cache = self._cache
+                score = cache.pop(key, None)
+                if score is None:
+                    self.cache_misses += 1
+                    score = levenshtein_similarity_bounded(a, b, threshold)
+                else:
+                    self.cache_hits += 1
+                if self._memoize:
+                    if len(cache) >= self._memoize:
+                        # Best-effort eviction of the least-recently-used
+                        # entry.  The thread backend shares this matcher
+                        # across workers, so a concurrent insert/evict may
+                        # beat us to it — cached scores are pure values,
+                        # so losing the race only costs a recompute,
+                        # never correctness.
+                        try:
+                            cache.pop(next(iter(cache)), None)
+                        except (StopIteration, RuntimeError):
+                            pass
+                    cache[key] = score
+        if score >= threshold:
+            self.matches_found += 1
+            q1 = p1.qid
+            q2 = p2.qid
+            if q2 < q1:
+                q1, q2 = q2, q1
+            return MatchPair(q1, q2, score)
+        return None
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The memo cache is a pure accelerator: never ship it to worker
+        # processes (it can hold thousands of entries, the parallel
+        # backend pickles the job once per task submission, and workers
+        # rebuild their own caches as they match).
+        state = self.__dict__.copy()
+        state["_cache"] = {}
+        return state
 
     def __repr__(self) -> str:
         return (

@@ -6,6 +6,15 @@ the standard normalisation ``1 - d / max(|a|, |b|)`` plus the usual ER
 toolbox (Jaro, Jaro-Winkler, Jaccard over token or n-gram sets, numeric
 closeness) so the library is usable beyond the single paper workload.
 
+Edit distance is the per-pair hot path of the whole system, so
+:func:`levenshtein_distance` dispatches to Myers' bit-parallel kernel
+(shorter string ≤ 64 chars — the common ER case) or a banded DP, with
+Ukkonen-style ``max_distance`` early exits throughout; the classic
+two-row DP survives as :func:`levenshtein_distance_reference`, the
+oracle the property tests and ``benchmarks/perf_harness.py`` measure
+against.  :func:`similarity_at_least` is the boolean threshold fast
+path (length filter before any DP).
+
 All functions return similarities in ``[0, 1]`` where 1 means equal.
 """
 
@@ -16,13 +25,16 @@ from typing import Callable, Iterable, Sequence
 SimilarityFunction = Callable[[str, str], float]
 
 
-def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> int:
+def levenshtein_distance_reference(
+    a: str, b: str, *, max_distance: int | None = None
+) -> int:
     """Classic dynamic-programming edit distance with two rows.
 
-    ``max_distance`` enables early exit: once every cell of a row
-    exceeds the bound the true distance cannot come back under it, and
-    ``max_distance + 1`` is returned.  The matcher uses this to skip
-    hopeless comparisons cheaply.
+    This is the O(n·m) reference implementation the bit-parallel and
+    banded kernels are verified against (and the "before" measurement
+    of ``benchmarks/perf_harness.py``).  ``max_distance`` enables early
+    exit: once every cell of a row exceeds the bound the true distance
+    cannot come back under it, and ``max_distance + 1`` is returned.
     """
     if a == b:
         return 0
@@ -56,6 +68,152 @@ def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> 
     return previous[len(b)]
 
 
+def _myers_distance(pattern: str, text: str, max_distance: int | None) -> int:
+    """Myers' bit-parallel edit distance — O(|text|) word operations.
+
+    ``pattern`` must be the shorter string and at most 64 characters;
+    the whole DP column lives in the bits of two machine words (VP/VN,
+    the positive/negative vertical deltas).  The running ``score`` is
+    the value of the column's last cell; the final distance can drop by
+    at most one per remaining text character, which gives the Ukkonen
+    early exit ``score - remaining > max_distance``.
+    """
+    m = len(pattern)
+    peq: dict[str, int] = {}
+    bit = 1
+    for ch in pattern:
+        peq[ch] = peq.get(ch, 0) | bit
+        bit <<= 1
+    mask = (1 << m) - 1
+    last = 1 << (m - 1)
+    vp = mask
+    vn = 0
+    score = m
+    get = peq.get
+    if max_distance is None:
+        for ch in text:
+            eq = get(ch, 0)
+            xv = eq | vn
+            xh = (((eq & vp) + vp) ^ vp) | eq
+            hp = vn | ~(xh | vp)
+            hn = vp & xh
+            if hp & last:
+                score += 1
+            elif hn & last:
+                score -= 1
+            hp = ((hp << 1) | 1) & mask
+            hn = (hn << 1) & mask
+            vp = (hn | ~(xv | hp)) & mask
+            vn = hp & xv
+        return score
+    remaining = len(text)
+    for ch in text:
+        eq = get(ch, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        if hp & last:
+            score += 1
+        elif hn & last:
+            score -= 1
+        remaining -= 1
+        if score - remaining > max_distance:
+            return max_distance + 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = (hn | ~(xv | hp)) & mask
+        vn = hp & xv
+    return score
+
+
+def _banded_distance(a: str, b: str, bound: int) -> int:
+    """Edit distance restricted to a diagonal band of half-width ``bound``.
+
+    Exact whenever the true distance is ≤ ``bound`` (cells outside the
+    band cannot lie on such an alignment); returns ``bound + 1``
+    otherwise.  ``b`` must be the shorter string and
+    ``len(a) - len(b) <= bound``.  O(|a|·bound) instead of O(|a|·|b|).
+    """
+    n, m = len(a), len(b)
+    big = bound + 1
+    # Row 0 of the DP table, clipped to the band: D[0][j] = j.
+    prev_lo = 0
+    prev = list(range(min(m, bound) + 1))
+    for i in range(1, n + 1):
+        lo = i - bound
+        if lo < 0:
+            lo = 0
+        hi = i + bound
+        if hi > m:
+            hi = m
+        ca = a[i - 1]
+        current = []
+        best = big
+        for j in range(lo, hi + 1):
+            if j == 0:
+                val = i if i <= bound else big
+            else:
+                k = j - 1 - prev_lo
+                sub = prev[k] if 0 <= k < len(prev) else big
+                if ca != b[j - 1]:
+                    sub += 1
+                dele = prev[k + 1] + 1 if 0 <= k + 1 < len(prev) else big
+                ins = current[-1] + 1 if current else big
+                val = sub if sub < dele else dele
+                if ins < val:
+                    val = ins
+                if val > big:
+                    val = big
+            current.append(val)
+            if val < best:
+                best = val
+        if best > bound:
+            return big
+        prev, prev_lo = current, lo
+    return prev[m - prev_lo] if prev[m - prev_lo] <= bound else big
+
+
+def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> int:
+    """Levenshtein edit distance via the fastest applicable kernel.
+
+    Strings whose shorter side fits in a 64-bit word use Myers' bit-
+    parallel kernel (O(n·m/64) word operations); longer inputs fall back
+    to a banded DP — directly banded at ``max_distance`` when a bound is
+    given, with Ukkonen's doubling bands (exact, O(n·d)) otherwise.
+    Semantics are identical to :func:`levenshtein_distance_reference`:
+    the exact distance, or ``max_distance + 1`` as soon as the bound is
+    provably exceeded.
+    """
+    if a == b:
+        return 0
+    if len(b) > len(a):
+        a, b = b, a
+    la, lb = len(a), len(b)
+    if max_distance is not None:
+        if max_distance < 0:
+            return max_distance + 1
+        if la - lb > max_distance:
+            return max_distance + 1  # length filter: no DP needed
+    if not b:
+        return la
+    if lb <= 64:
+        return _myers_distance(b, a, max_distance)
+    if max_distance is not None:
+        return _banded_distance(a, b, max_distance)
+    # Unbounded and both sides > 64 chars: Ukkonen's doubling bands.
+    # The distance is at most ``la``, so a band of half-width ``la``
+    # degenerates to the full DP and the loop always terminates.
+    bound = max(1, la - lb)
+    while True:
+        distance = _banded_distance(a, b, bound)
+        if distance <= bound:
+            return distance
+        bound *= 2
+        if bound >= la:
+            return _banded_distance(a, b, la)
+
+
 def levenshtein_similarity(a: str, b: str) -> float:
     """``1 - d(a, b) / max(|a|, |b|)`` — the paper's match measure."""
     if not a and not b:
@@ -79,6 +237,46 @@ def levenshtein_similarity_bounded(a: str, b: str, threshold: float) -> float:
     if distance > max_distance:
         return 0.0
     return 1.0 - distance / longest
+
+
+def levenshtein_similarity_bounded_reference(
+    a: str, b: str, threshold: float
+) -> float:
+    """:func:`levenshtein_similarity_bounded` over the reference DP kernel.
+
+    Exists so the equivalence tests and ``benchmarks/perf_harness.py``
+    can run the exact pre-optimisation hot path side by side with the
+    bit-parallel one.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    max_distance = int((1.0 - threshold) * longest)
+    distance = levenshtein_distance_reference(a, b, max_distance=max_distance)
+    if distance > max_distance:
+        return 0.0
+    return 1.0 - distance / longest
+
+
+def similarity_at_least(a: str, b: str, threshold: float) -> bool:
+    """Does ``levenshtein_similarity(a, b) >= threshold`` hold?
+
+    The threshold is converted into a maximum edit distance
+    ``⌊(1 − t)·max(|a|, |b|)⌋`` up front, so hopeless pairs fail the
+    length filter (``abs(|a| − |b|)`` alone exceeds the budget) before
+    any DP work runs, and the bounded kernel abandons the rest as soon
+    as the budget is provably blown.  This is the boolean fast path for
+    threshold matchers that do not need the exact score.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    if a == b:
+        return True
+    longest = max(len(a), len(b))
+    max_distance = int((1.0 - threshold) * longest)
+    if abs(len(a) - len(b)) > max_distance:
+        return False
+    return levenshtein_distance(a, b, max_distance=max_distance) <= max_distance
 
 
 def jaro_similarity(a: str, b: str) -> float:

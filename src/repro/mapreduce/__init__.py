@@ -13,10 +13,35 @@ from .dfs import DfsError, DistributedFileSystem
 from .external_shuffle import ExternalShuffle
 from .job import Emitter, JobConfig, LambdaJob, MapReduceJob, TaskContext, stable_hash
 from .runtime import JobResult, LocalRuntime, MapTaskResult, ReduceTaskResult
-from .shuffle import group_bucket, partition_map_output, shuffle, sort_bucket
-from .types import KeyValue, Partition, ReduceGroup, make_partitions, shard_bounds
+from .shuffle import (
+    group_bucket,
+    group_presorted_bucket,
+    partition_map_output,
+    shuffle,
+    shuffle_bucket,
+    sort_bucket,
+)
+from .types import (
+    KeyCodec,
+    KeyValue,
+    PackedProjection,
+    Partition,
+    ReduceGroup,
+    make_partitions,
+    packed_keys,
+    packed_keys_enabled,
+    set_packed_keys,
+    shard_bounds,
+)
 
 __all__ = [
+    "KeyCodec",
+    "PackedProjection",
+    "packed_keys",
+    "packed_keys_enabled",
+    "set_packed_keys",
+    "shuffle_bucket",
+    "group_presorted_bucket",
     "Counters",
     "StandardCounter",
     "DfsError",

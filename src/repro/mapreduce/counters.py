@@ -79,3 +79,17 @@ class StandardCounter:
     # Maintained by the ER matcher rather than the engine:
     PAIR_COMPARISONS = "er.pair.comparisons"
     PAIRS_MATCHED = "er.pairs.matched"
+
+
+def flush_pair_counters(context, comparisons: int, matched: int) -> None:
+    """Batch-increment the pair counters once per reduce group.
+
+    The reduce hot loops count comparisons/matches in local ints and
+    flush them here instead of paying a counter-map update per pair.
+    Totals are identical to per-pair increments, and zero counts never
+    touch the counter map (matching loops that never reached a pair).
+    """
+    if comparisons:
+        context.counters.increment(StandardCounter.PAIR_COMPARISONS, comparisons)
+    if matched:
+        context.counters.increment(StandardCounter.PAIRS_MATCHED, matched)

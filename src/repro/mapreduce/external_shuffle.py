@@ -71,6 +71,12 @@ class ExternalShuffle:
         self.job = job
         self.num_reduce_tasks = num_reduce_tasks
         self.memory_budget = memory_budget
+        # Packed jobs hand us their codec directly — one call per record
+        # instead of the sort_key method wrapper.
+        projection = job.packed_projection
+        self._sort_key = (
+            projection.codec.encode if projection is not None else job.sort_key
+        )
         if spill_dir is None:
             self._dir = Path(tempfile.mkdtemp(prefix="repro-shuffle-"))
             self._owns_dir = True
@@ -89,11 +95,19 @@ class ExternalShuffle:
     # -- feeding ------------------------------------------------------------
 
     def add(self, record: KeyValue) -> None:
-        """Route one map output record; spill when the budget fills up."""
+        """Route one map output record; spill when the budget fills up.
+
+        The sort projection is computed once here and travels with the
+        record through buffers, run files and the merge — for the
+        strategy jobs that projection is a packed int
+        (:class:`~repro.mapreduce.types.KeyCodec`), which both compares
+        and pickles far cheaper than a composite-key tuple.
+        """
         if self._closed:
             raise RuntimeError("cannot add records to a closed shuffle")
-        index = self.job.validate_partition(record.key, self.num_reduce_tasks)
-        entry = (self.job.sort_key(record.key), self._next_sequence, record)
+        job = self.job
+        index = job.validate_partition(record.key, self.num_reduce_tasks)
+        entry = (self._sort_key(record.key), self._next_sequence, record)
         self._next_sequence += 1
         self._buffers[index].append(entry)
         self._buffered += 1
@@ -101,8 +115,9 @@ class ExternalShuffle:
             self.spill()
 
     def add_records(self, records: Iterable[KeyValue]) -> None:
+        add = self.add
         for record in records:
-            self.add(record)
+            add(record)
 
     def spill(self) -> None:
         """Flush every non-empty buffer to a sorted run file."""

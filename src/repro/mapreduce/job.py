@@ -94,6 +94,14 @@ class MapReduceJob:
     #: Human-readable job name used in logs and simulation timelines.
     name: str = "job"
 
+    #: Optional packed sort/group projection spec (see
+    #: :class:`~repro.mapreduce.types.PackedProjection`).  Jobs whose
+    #: composite-key fields are bounded ints set an instance attribute;
+    #: the shuffle then sorts on single packed ints and derives group
+    #: boundaries from them instead of calling :meth:`sort_key` /
+    #: :meth:`group_key` per record.
+    packed_projection = None
+
     # -- lifecycle hooks ---------------------------------------------------
 
     def configure_map(self, context: TaskContext) -> None:
@@ -127,12 +135,30 @@ class MapReduceJob:
         return stable_hash(key) % num_reduce_tasks
 
     def sort_key(self, key: Any) -> Any:
-        """Projection of ``key`` used for sorting inside a reduce task."""
-        return key
+        """Projection of ``key`` used for sorting inside a reduce task.
+
+        When the job advertises a :attr:`packed_projection`, this *is*
+        the packed encoding — defined here once so the method-based
+        paths (external shuffle, combiner) can never drift from the
+        projection the fast shuffle uses directly.
+        """
+        projection = self.packed_projection
+        return projection.codec.encode(key) if projection is not None else key
 
     def group_key(self, key: Any) -> Any:
-        """Projection of ``key`` used to form reduce groups."""
-        return key
+        """Projection of ``key`` used to form reduce groups.
+
+        With a :attr:`packed_projection` this is the shift/mask of the
+        packed sort key; jobs whose *unpacked* group projection is not
+        the full key override this and delegate to ``super()`` for the
+        packed case.
+        """
+        projection = self.packed_projection
+        if projection is None:
+            return key
+        return (
+            projection.codec.encode(key) >> projection.group_shift
+        ) & projection.group_mask
 
     # -- convenience ---------------------------------------------------------
 

@@ -26,7 +26,12 @@ from .counters import Counters, StandardCounter
 from .dfs import DistributedFileSystem
 from .external_shuffle import ExternalShuffle
 from .job import JobConfig, MapReduceJob, TaskContext
-from .shuffle import group_bucket, partition_map_output, sort_bucket
+from .shuffle import (
+    group_presorted_bucket,
+    partition_map_output,
+    shuffle_bucket,
+    sort_bucket,
+)
 from .types import KeyValue, Partition
 
 
@@ -189,8 +194,14 @@ def execute_reduce_task(
     config: JobConfig,
     reduce_index: int,
     bucket: list[KeyValue],
+    presorted: bool = False,
 ) -> ReduceTaskResult:
-    """Run one reduce task over its shuffled bucket."""
+    """Run one reduce task over its shuffled bucket.
+
+    ``presorted`` marks buckets that already arrive in the job's sort
+    order (the external shuffle's merged run files) — grouping then
+    skips the redundant re-encode + re-sort.
+    """
     context = TaskContext(config, reduce_index=reduce_index)
     output: list[KeyValue] = []
 
@@ -198,13 +209,15 @@ def execute_reduce_task(
         output.append(KeyValue(key, value))
 
     job.configure_reduce(context)
-    groups = group_bucket(job, sort_bucket(job, bucket))
+    groups = (
+        group_presorted_bucket(job, bucket)
+        if presorted
+        else shuffle_bucket(job, bucket)
+    )
     for group in groups:
         job.reduce(group.key, group.values, emit, context)
         context.counters.increment(StandardCounter.REDUCE_INPUT_GROUPS)
-        context.counters.increment(
-            StandardCounter.REDUCE_INPUT_RECORDS, len(group.values)
-        )
+        context.counters.increment(StandardCounter.REDUCE_INPUT_RECORDS, len(group))
     context.counters.increment(StandardCounter.REDUCE_OUTPUT_RECORDS, len(output))
     return ReduceTaskResult(
         reduce_index=reduce_index,
@@ -283,8 +296,9 @@ class LocalRuntime:
                     job, config, partitions, sink=drain
                 )
                 self._apply_side_records(map_results)
+                # Spill buckets come back merged in sort order already.
                 reduce_results = self._execute_reduce_tasks(
-                    job, config, spill.buckets()
+                    job, config, spill.buckets(), presorted=True
                 )
         else:
             map_results = self._execute_map_tasks(job, config, partitions)
@@ -331,9 +345,10 @@ class LocalRuntime:
         job: MapReduceJob,
         config: JobConfig,
         buckets: Sequence[list[KeyValue]],
+        presorted: bool = False,
     ) -> list[ReduceTaskResult]:
         return [
-            execute_reduce_task(job, config, reduce_index, bucket)
+            execute_reduce_task(job, config, reduce_index, bucket, presorted)
             for reduce_index, bucket in enumerate(buckets)
         ]
 

@@ -40,8 +40,14 @@ def sort_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[KeyValue]
     Stability matters: records with equal sort keys keep their map-task
     arrival order, which the BlockSplit reduce function exploits when it
     buffers the first sub-block of a cross-product match task.
+
+    The strategy jobs' sort projections are packed ints
+    (:class:`~repro.mapreduce.types.KeyCodec`), so the comparisons
+    inside ``sorted`` are single int compares rather than
+    element-by-element tuple walks.
     """
-    return sorted(bucket, key=lambda record: job.sort_key(record.key))
+    sort_key = job.sort_key
+    return sorted(bucket, key=lambda record: sort_key(record.key))
 
 
 def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
@@ -57,8 +63,9 @@ def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[R
     current_values: list[Any] = []
     have_group = False
 
+    group_key = job.group_key
     for record in sorted_bucket:
-        gk = job.group_key(record.key)
+        gk = group_key(record.key)
         if have_group and gk == current_group_key:
             current_values.append(record.value)
         else:
@@ -73,6 +80,89 @@ def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[R
     return groups
 
 
+def shuffle_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
+    """Sort and group one bucket in a single pass.
+
+    Equivalent to ``group_bucket(job, sort_bucket(job, bucket))`` — the
+    method-based path it falls back to — but when the job advertises a
+    :class:`~repro.mapreduce.types.PackedProjection`, each key is
+    packed exactly once into an int array, the *record indexes* are
+    sorted against that array (a stable sort of ints: equal packed keys
+    keep arrival order, and records themselves are never compared), and
+    the group projection is two int ops on the already-packed value.
+    The per-record Python-call cost of the sort/group projections — the
+    dominant shuffle cost for composite keys — disappears.
+    """
+    projection = job.packed_projection
+    if projection is None:
+        return group_bucket(job, sort_bucket(job, bucket))
+    encode = projection.codec.encode
+    shift = projection.group_shift
+    mask = projection.group_mask
+    packed = [encode(record.key) for record in bucket]
+    order = sorted(range(len(bucket)), key=packed.__getitem__)
+
+    groups: list[ReduceGroup] = []
+    current_key: Any = None
+    current_group: int = -1
+    current_values: list[Any] = []
+    have_group = False
+    for index in order:
+        gk = (packed[index] >> shift) & mask
+        record = bucket[index]
+        if have_group and gk == current_group:
+            current_values.append(record.value)
+        else:
+            if have_group:
+                groups.append(ReduceGroup(current_key, tuple(current_values)))
+            current_key = record.key
+            current_group = gk
+            current_values = [record.value]
+            have_group = True
+    if have_group:
+        groups.append(ReduceGroup(current_key, tuple(current_values)))
+    return groups
+
+
+def group_presorted_bucket(
+    job: MapReduceJob, sorted_bucket: Sequence[KeyValue]
+) -> list[ReduceGroup]:
+    """Group a bucket that is already in sort order, without re-sorting.
+
+    The spill path ends here: :class:`~repro.mapreduce.external_shuffle.
+    ExternalShuffle` merges its run files by exactly the job's sort
+    projection (stably, by arrival), so its buckets arrive pre-sorted
+    and re-encoding + re-sorting them would be pure waste.  Packed jobs
+    pay one ``encode`` per record for the group walk; others take the
+    method-based :func:`group_bucket`.
+    """
+    projection = job.packed_projection
+    if projection is None:
+        return group_bucket(job, sorted_bucket)
+    encode = projection.codec.encode
+    shift = projection.group_shift
+    mask = projection.group_mask
+    groups: list[ReduceGroup] = []
+    current_key: Any = None
+    current_group: int = -1
+    current_values: list[Any] = []
+    have_group = False
+    for record in sorted_bucket:
+        gk = (encode(record.key) >> shift) & mask
+        if have_group and gk == current_group:
+            current_values.append(record.value)
+        else:
+            if have_group:
+                groups.append(ReduceGroup(current_key, tuple(current_values)))
+            current_key = record.key
+            current_group = gk
+            current_values = [record.value]
+            have_group = True
+    if have_group:
+        groups.append(ReduceGroup(current_key, tuple(current_values)))
+    return groups
+
+
 def shuffle(
     job: MapReduceJob,
     map_outputs: Sequence[Sequence[KeyValue]],
@@ -80,4 +170,4 @@ def shuffle(
 ) -> list[list[ReduceGroup]]:
     """Full shuffle: returns, per reduce task, its ordered reduce groups."""
     buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
-    return [group_bucket(job, sort_bucket(job, bucket)) for bucket in buckets]
+    return [shuffle_bucket(job, bucket) for bucket in buckets]

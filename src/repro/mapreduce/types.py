@@ -10,11 +10,206 @@ of the sort projection.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Generic, Iterator, Sequence, TypeVar
 
 K = TypeVar("K")
 V = TypeVar("V")
+
+
+class KeyCodec:
+    """Packs a tuple of bounded non-negative ints into one sortable int.
+
+    Each field ``f_i`` must satisfy ``0 <= f_i < limits[i]``; fields are
+    laid out most-significant-first, so comparing two packed ints is
+    exactly the lexicographic comparison of the original tuples — but a
+    single C-level int compare instead of a tuple walk.  The strategy
+    jobs use codecs for their *sort* and *group* projections: the
+    shuffle then sorts runs of packed ints (cheaper compares, and far
+    smaller pickles in the spill files of
+    :class:`~repro.mapreduce.external_shuffle.ExternalShuffle`), while
+    the composite :class:`~repro.core.keys` named tuples still flow to
+    the reduce functions untouched.
+
+    ``encode`` validates every field against its limit — an
+    out-of-range field would silently corrupt the sort order otherwise.
+    It is specialised at construction time into a generated flat
+    function (the :func:`collections.namedtuple` technique): encoding
+    runs per map-output record, so the generic shift loop would cost
+    more than the tuple comparisons it replaces.
+
+    ``field_maps`` translates non-int fields in place: a mapping from
+    field index to a value → rank dict, e.g. ``{4: {"R": 0, "S": 1}}``
+    for the two-source jobs' source tag.  Ranks must follow the
+    original values' sort order for the packed order to stay
+    lexicographic.  Unknown values fail the range check and raise.
+    """
+
+    __slots__ = (
+        "limits", "widths", "shifts", "total_bits", "field_maps", "encode"
+    )
+
+    def __init__(self, *limits: int, field_maps: dict[int, dict] | None = None):
+        if not limits:
+            raise ValueError("KeyCodec needs at least one field limit")
+        for limit in limits:
+            if limit < 1:
+                raise ValueError(f"field limits must be >= 1, got {limit}")
+        self.field_maps = dict(field_maps or {})
+        for index in self.field_maps:
+            if not 0 <= index < len(limits):
+                raise ValueError(f"field_maps index {index} outside fields")
+        self.limits = tuple(limits)
+        self.widths = tuple(max(1, (limit - 1).bit_length()) for limit in limits)
+        shifts = []
+        shift = 0
+        for width in reversed(self.widths):
+            shifts.append(shift)
+            shift += width
+        self.shifts = tuple(reversed(shifts))
+        self.total_bits = shift
+        #: encode(fields) -> int — packs one field per limit, in order.
+        self.encode = self._build_encoder()
+
+    def _build_encoder(self):
+        """Generate the specialised ``encode`` for this field layout."""
+        n = len(self.limits)
+        names = [f"f{i}" for i in range(n)]
+        namespace: dict[str, Any] = {}
+        loads = [f"    {', '.join(names)}{',' if n == 1 else ''} = fields"]
+        for i, name in enumerate(names):
+            if i in self.field_maps:
+                namespace[f"_map{i}"] = self.field_maps[i]
+                # Unknown values become -1 and fail the range check.
+                loads.append(f"    {name} = _map{i}.get({name}, -1)")
+        checks = " or ".join(
+            f"not 0 <= {name} < {limit}"
+            for name, limit in zip(names, self.limits)
+        )
+        terms = " | ".join(
+            f"({name} << {shift})" if shift else name
+            for name, shift in zip(names, self.shifts)
+        )
+        source = (
+            f"def encode(fields):\n"
+            f"    if len(fields) != {n}:\n"
+            f"        raise ValueError(\n"
+            f"            f'expected {n} fields, got {{len(fields)}}')\n"
+            + "\n".join(loads) + "\n"
+            f"    if {checks}:\n"
+            f"        raise ValueError(\n"
+            f"            f'fields {{fields!r}} outside limits {self.limits}')\n"
+            f"    return {terms}\n"
+        )
+        exec(source, namespace)  # noqa: S102 — generated from ints only
+        return namespace["encode"]
+
+    def decode(self, packed: int) -> tuple[int, ...]:
+        """Inverse of :meth:`encode` (mapped fields come back as ranks)."""
+        if packed < 0 or packed >= (1 << self.total_bits):
+            raise ValueError(f"packed value {packed} outside codec range")
+        fields = []
+        for width in reversed(self.widths):
+            fields.append(packed & ((1 << width) - 1))
+            packed >>= width
+        return tuple(reversed(fields))
+
+    def __reduce__(self):
+        # The generated encoder is not picklable; rebuild from limits
+        # (jobs carrying codecs ship to worker processes).
+        return (_rebuild_key_codec, (self.limits, self.field_maps))
+
+    def __repr__(self) -> str:
+        return f"KeyCodec{self.limits}"
+
+
+def _rebuild_key_codec(limits: tuple[int, ...], field_maps: dict) -> KeyCodec:
+    """Unpickle helper: regenerate the codec (and its encoder)."""
+    return KeyCodec(*limits, field_maps=field_maps)
+
+
+@dataclass(frozen=True, slots=True)
+class PackedProjection:
+    """A job's packed sort projection and how grouping derives from it.
+
+    ``codec.encode(key)`` is the sort projection.  Because every
+    strategy's group projection is a sub-span of its sort fields, the
+    group projection is recovered from the *same* packed int as
+    ``(packed >> group_shift) & group_mask`` — so the combined
+    sort-and-group pass (:func:`~repro.mapreduce.shuffle.shuffle_bucket`)
+    encodes each key exactly once and derives group boundaries with two
+    int ops per record, no further Python calls.
+
+    ``MapReduceJob.sort_key``/``group_key`` read the advertised
+    projection directly, so the method-based paths (combiner, tuple
+    fallbacks) are consistent with it by construction — jobs only
+    override ``group_key`` to supply their *unpacked* fallback
+    projection.
+    """
+
+    codec: KeyCodec
+    group_shift: int
+    group_mask: int
+
+    @classmethod
+    def full_key(cls, codec: KeyCodec) -> "PackedProjection":
+        """Grouping on the entire sort key (e.g. BlockSplit)."""
+        return cls.span(codec, 0, len(codec.widths))
+
+    @classmethod
+    def prefix(cls, codec: KeyCodec, num_fields: int) -> "PackedProjection":
+        """Grouping on the first ``num_fields`` sort fields."""
+        return cls.span(codec, 0, num_fields)
+
+    @classmethod
+    def span(cls, codec: KeyCodec, start: int, stop: int) -> "PackedProjection":
+        """Grouping on the contiguous sort fields ``[start, stop)``.
+
+        Covers mid-key group projections like two-source BlockSplit's
+        ``(block, i, j)`` out of ``(reduce, block, i, j, source)``:
+        shift away the fields after ``stop``, mask away those before
+        ``start``.
+        """
+        if not 0 <= start < stop <= len(codec.widths):
+            raise ValueError(
+                f"span [{start}, {stop}) outside codec {codec.limits}"
+            )
+        shift = sum(codec.widths[stop:])
+        return cls(codec, shift, (1 << sum(codec.widths[start:stop])) - 1)
+
+
+#: Process-wide switch for packed-int sort/group projections.  Jobs
+#: capture the flag at construction time (so it survives pickling into
+#: worker processes); flip it around pipeline construction, not after.
+_PACKED_KEYS = True
+
+
+def packed_keys_enabled() -> bool:
+    """Whether strategy jobs built from now on pack their projections."""
+    return _PACKED_KEYS
+
+
+def set_packed_keys(enabled: bool) -> None:
+    """Enable/disable packed-key projections for jobs built afterwards.
+
+    Exists for the equivalence tests and ``benchmarks/perf_harness.py``,
+    which prove/measure the packed and tuple shuffle paths against each
+    other; production code has no reason to turn this off.
+    """
+    global _PACKED_KEYS
+    _PACKED_KEYS = bool(enabled)
+
+
+@contextmanager
+def packed_keys(enabled: bool) -> Iterator[None]:
+    """Scoped :func:`set_packed_keys` (restores the previous value)."""
+    previous = _PACKED_KEYS
+    set_packed_keys(enabled)
+    try:
+        yield
+    finally:
+        set_packed_keys(previous)
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +241,11 @@ class ReduceGroup(Generic[K, V]):
 
     def __len__(self) -> int:
         return len(self.values)
+
+    def __iter__(self) -> Iterator[V]:
+        # Iterating the group is iterating its values — callers need not
+        # touch (or copy) the ``values`` tuple for a single pass.
+        return iter(self.values)
 
 
 class Partition(Sequence[KeyValue]):

@@ -1,0 +1,174 @@
+"""Property tests: the fast Levenshtein kernels agree with the reference DP.
+
+`levenshtein_distance` dispatches between Myers' bit-parallel kernel
+(shorter side ≤ 64 chars) and the banded DP (both sides longer); both
+must be indistinguishable from the classic two-row reference — exact
+distances, and identical ``max_distance`` early-exit semantics — on
+arbitrary unicode inputs.  ``similarity_at_least`` must agree with the
+unbounded similarity compared against the threshold.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.er.similarity import (
+    _banded_distance,
+    _myers_distance,
+    levenshtein_distance,
+    levenshtein_distance_reference,
+    levenshtein_similarity,
+    levenshtein_similarity_bounded,
+    levenshtein_similarity_bounded_reference,
+    similarity_at_least,
+)
+
+#: Mixes ASCII, accented latin, CJK and an astral-plane emoji, so the
+#: kernels are exercised on multi-byte code points and characters
+#: outside the Basic Multilingual Plane.
+ALPHABET = "abcdeé中文ß😀"
+
+THRESHOLDS = [0.0, 0.25, 0.5, 0.8, 0.9, 1.0]
+
+
+def _random_pair(rng: random.Random, max_len: int) -> tuple[str, str]:
+    a = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(max_len)))
+    if rng.random() < 0.3:
+        # Mutated copy: realistic near-duplicates, not just random noise.
+        chars = list(a)
+        for _ in range(rng.randrange(4)):
+            if not chars:
+                break
+            op = rng.randrange(3)
+            pos = rng.randrange(len(chars))
+            if op == 0:
+                chars[pos] = rng.choice(ALPHABET)
+            elif op == 1:
+                del chars[pos]
+            else:
+                chars.insert(pos, rng.choice(ALPHABET))
+        b = "".join(chars)
+    else:
+        b = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(max_len)))
+    return a, b
+
+
+class TestKernelsAgreeWithReference:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unbounded_exact_short(self, seed):
+        rng = random.Random(1000 + seed)
+        for _ in range(400):
+            a, b = _random_pair(rng, 50)
+            assert levenshtein_distance(a, b) == levenshtein_distance_reference(a, b)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unbounded_exact_long(self, seed):
+        """Both sides > 64 chars: the banded doubling path."""
+        rng = random.Random(2000 + seed)
+        for _ in range(60):
+            a = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(65, 150)))
+            b = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(65, 150)))
+            assert levenshtein_distance(a, b) == levenshtein_distance_reference(a, b)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_agrees(self, seed):
+        """With max_distance both kernels agree on the exact value when
+        within the bound and on exceeding it otherwise."""
+        rng = random.Random(3000 + seed)
+        for _ in range(400):
+            a, b = _random_pair(rng, 90)
+            md = rng.randrange(0, 15)
+            ref = levenshtein_distance_reference(a, b, max_distance=md)
+            got = levenshtein_distance(a, b, max_distance=md)
+            assert (got > md) == (ref > md), (a, b, md)
+            if ref <= md:
+                assert got == ref, (a, b, md)
+
+    def test_boundary_lengths(self):
+        """Lengths straddling the 64-char word size, the kernel switch."""
+        for n in (63, 64, 65):
+            for m in (63, 64, 65, 130):
+                a = "ab" * (n // 2) + "a" * (n % 2)
+                b = "ba" * (m // 2) + "b" * (m % 2)
+                assert levenshtein_distance(a, b) == levenshtein_distance_reference(a, b)
+
+    def test_max_distance_edges(self):
+        assert levenshtein_distance("abc", "abd", max_distance=0) == 1
+        assert levenshtein_distance("abc", "abc", max_distance=0) == 0
+        assert levenshtein_distance("", "abc", max_distance=2) == 3
+        assert levenshtein_distance("", "abc", max_distance=3) == 3
+        # A 70-char gap with a tight bound: pure length filter, no DP.
+        assert levenshtein_distance("x" * 80, "x" * 10, max_distance=5) == 6
+        # Long strings, bound exactly at the true distance.
+        a, b = "y" * 70, "y" * 65 + "z" * 5
+        true = levenshtein_distance_reference(a, b)
+        assert levenshtein_distance(a, b, max_distance=true) == true
+        assert levenshtein_distance(a, b, max_distance=true - 1) == true
+
+    def test_empty_and_trivial(self):
+        assert levenshtein_distance("", "") == 0
+        assert levenshtein_distance("a", "") == 1
+        assert levenshtein_distance("", "a") == 1
+        assert levenshtein_distance("😀", "😀") == 0
+        assert levenshtein_distance("😀", "e") == 1
+
+
+class TestKernelInternals:
+    def test_myers_is_exact(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            b = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(1, 65)))
+            a = "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(0, 120)))
+            assert _myers_distance(b, a, None) == levenshtein_distance_reference(a, b)
+
+    def test_banded_within_bound_is_exact(self):
+        rng = random.Random(8)
+        for _ in range(200):
+            la = rng.randrange(1, 90)
+            lb = rng.randrange(1, la + 1)
+            a = "".join(rng.choice(ALPHABET) for _ in range(la))
+            b = "".join(rng.choice(ALPHABET) for _ in range(lb))
+            true = levenshtein_distance_reference(a, b)
+            bound = max(true, la - lb)
+            assert _banded_distance(a, b, bound) == true
+            if true > 0 and true - 1 >= la - lb:
+                assert _banded_distance(a, b, true - 1) == true  # == bound+1
+
+
+class TestSimilarityAtLeast:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agrees_with_unbounded_similarity(self, seed):
+        rng = random.Random(4000 + seed)
+        for _ in range(400):
+            a, b = _random_pair(rng, 80)
+            t = rng.choice(THRESHOLDS)
+            assert similarity_at_least(a, b, t) == (
+                levenshtein_similarity(a, b) >= t
+            ), (a, b, t)
+
+    def test_edges(self):
+        assert similarity_at_least("", "", 1.0)
+        assert similarity_at_least("abc", "abc", 1.0)
+        assert not similarity_at_least("abc", "abd", 1.0)
+        assert similarity_at_least("abc", "xyz", 0.0)
+        assert similarity_at_least("", "abc", 0.0)
+        assert not similarity_at_least("", "abc", 0.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            similarity_at_least("a", "b", 1.5)
+
+
+class TestBoundedSimilarityEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_reference_path(self, seed):
+        """The matcher's scoring function is bit-identical across kernels."""
+        rng = random.Random(5000 + seed)
+        for _ in range(300):
+            a, b = _random_pair(rng, 80)
+            t = rng.choice(THRESHOLDS)
+            assert levenshtein_similarity_bounded(
+                a, b, t
+            ) == levenshtein_similarity_bounded_reference(a, b, t), (a, b, t)
