@@ -22,12 +22,23 @@ Quick start::
     fast = pipeline.with_backend("parallel", max_workers=4).run(entities)
     assert fast.matches == result.matches
 
+    # Submission model: stream matches, watch progress, cancel:
+    execution = pipeline.submit(entities)
+    for pair in execution.iter_matches():
+        print(pair.id1, pair.id2, pair.similarity)
+    assert execution.result().matches == result.matches
+
     # Two sources (R × S linkage) use the same entry point:
     links = pipeline.run(r_entities, s_entities)
 
     # Analytic planning + cluster simulation, no execution at all:
     planned = pipeline.with_backend("planned").run(entities)
     print(planned.execution_time, "simulated seconds")
+
+    # Persist a run; replan sweeps from the file without re-executing:
+    result.save("result.json")
+    again = PipelineResult.load("result.json")
+    assert again.matches == result.matches
 """
 
 from .analysis import (
@@ -87,10 +98,16 @@ from .datasets import (
 )
 from .engine import (
     BACKENDS,
+    AsyncBackend,
     ERPipeline,
     ExecutionBackend,
+    ExecutionEvent,
+    ExecutionProgress,
+    MatcherStats,
     ParallelBackend,
     ParallelRuntime,
+    PipelineCancelled,
+    PipelineExecution,
     PipelineResult,
     PlannedBackend,
     SerialBackend,
@@ -124,7 +141,7 @@ from .mapreduce import (
     make_partitions,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SimulatedRun",
@@ -157,10 +174,16 @@ __all__ = [
     "StrategyPlan",
     "register_strategy",
     "BACKENDS",
+    "AsyncBackend",
     "ERPipeline",
     "ExecutionBackend",
+    "ExecutionEvent",
+    "ExecutionProgress",
+    "MatcherStats",
     "ParallelBackend",
     "ParallelRuntime",
+    "PipelineCancelled",
+    "PipelineExecution",
     "PipelineResult",
     "PlannedBackend",
     "SerialBackend",

@@ -3,8 +3,10 @@
 from .experiments import (
     SimulatedRun,
     bdm_for_block_sizes,
+    bdm_from_result,
     dataset_statistics,
     simulate_run,
+    sweep_from_result,
     sweep_input_order,
     sweep_nodes,
     sweep_reduce_tasks,
@@ -30,8 +32,10 @@ from .visualization import bar_chart, gantt, sparkline, workload_chart
 __all__ = [
     "SimulatedRun",
     "bdm_for_block_sizes",
+    "bdm_from_result",
     "dataset_statistics",
     "simulate_run",
+    "sweep_from_result",
     "sweep_input_order",
     "sweep_nodes",
     "sweep_reduce_tasks",

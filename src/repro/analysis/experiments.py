@@ -5,11 +5,17 @@ real entity lists), runs the strategy planners, simulates the cluster,
 and returns tidy result records the benchmarks print.  The sweeps
 mirror the paper's three experiment axes: data skew (VI-A), number of
 reduce tasks (VI-B), and number of nodes (VI-C).
+
+Sweeps also run from *persisted* pipeline results: a
+:meth:`~repro.engine.PipelineResult.save`\\ d run carries its BDM, so
+:func:`sweep_from_result` replans any strategy × reduce-task grid from
+the file — no re-execution, no access to the original input data.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 from ..cluster.costmodel import CostModel
@@ -17,6 +23,8 @@ from ..cluster.simulation import ClusterSpec
 from ..core.bdm import BlockDistributionMatrix
 from ..core.planning import StrategyPlan
 from ..core.bdm import analytic_bdm_from_block_sizes
+from ..core.two_source import DualSourceBDM
+from ..engine.result import PipelineResult
 from ..engine.simulate import simulate_strategy
 from ..datasets.partitioning import distribute_block_sizes
 from ..datasets.skew import exponential_block_sizes, pair_count
@@ -97,6 +105,58 @@ def bdm_for_block_sizes(
     keys = [f"b{k}" for k, row in enumerate(matrix) if sum(row) > 0]
     rows = [row for row in matrix if sum(row) > 0]
     return BlockDistributionMatrix(keys, rows)
+
+
+def bdm_from_result(
+    result: "PipelineResult | str | Path",
+) -> BlockDistributionMatrix:
+    """The one-source BDM of a pipeline result (or persisted result file).
+
+    This is the bridge from execution to analysis-at-rest: every
+    BDM-based run persists its block distribution matrix, which is all
+    the planners need — so sweeps replay from the file alone.
+    """
+    if not isinstance(result, PipelineResult):
+        result = PipelineResult.load(result)
+    bdm = result.bdm
+    if bdm is None:
+        raise ValueError(
+            f"result (strategy {result.strategy!r}) carries no BDM — "
+            "only BDM-based runs (blocksplit/pairrange) can seed sweeps"
+        )
+    if isinstance(bdm, DualSourceBDM):
+        raise ValueError(
+            "two-source results cannot seed the one-source sweep planners"
+        )
+    return bdm
+
+
+def sweep_from_result(
+    strategies: Sequence[str],
+    reduce_task_counts: Sequence[int],
+    result: "PipelineResult | str | Path",
+    *,
+    num_nodes: int = 10,
+    cost_model: CostModel | None = None,
+    avg_comparison_length: float | None = None,
+    comparison_noise_sigma: float = 0.0,
+) -> dict[int, dict[str, SimulatedRun]]:
+    """Replan a reduce-task sweep from a finished (or persisted) run.
+
+    Accepts a :class:`~repro.engine.PipelineResult` or a path to one
+    saved with ``result.save(path)``; the sweep uses only the
+    persisted BDM, so nothing is re-executed and the original input
+    data is not needed.
+    """
+    return sweep_reduce_tasks(
+        strategies,
+        reduce_task_counts,
+        bdm_from_result(result),
+        num_nodes=num_nodes,
+        cost_model=cost_model,
+        avg_comparison_length=avg_comparison_length,
+        comparison_noise_sigma=comparison_noise_sigma,
+    )
 
 
 # ---------------------------------------------------------------------------

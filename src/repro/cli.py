@@ -10,13 +10,17 @@ Five subcommands cover the library's main entry points::
 
 ``dedup``/``link`` run the real two-job workflow through
 :class:`~repro.engine.ERPipeline` — ``--backend parallel`` fans the
-map/reduce tasks out over a worker pool, ``--input-format csv-shards``
-streams the input through the :mod:`repro.io` record-source layer, and
-``--memory-budget`` bounds shuffle buffering by spilling sorted run
-files to disk; ``simulate`` uses the analytic planners + cluster
-simulator and therefore handles DS2 scale in seconds; ``recommend``
-profiles a file's blocking skew (streaming, with ``csv-shards``) and
-picks a strategy using the paper's findings.
+map/reduce tasks out over a worker pool (``async`` over an asyncio
+loop), ``--input-format csv-shards`` streams the input through the
+:mod:`repro.io` record-source layer, ``--memory-budget`` bounds shuffle
+buffering by spilling sorted run files to disk, ``--progress`` streams
+task lifecycle events to stderr as they happen, and ``--save-result``
+persists the full :class:`~repro.engine.PipelineResult` as versioned
+JSON; ``simulate`` uses the analytic planners + cluster simulator and
+therefore handles DS2 scale in seconds — with ``--from-result`` it
+replans straight from a previously saved result file, no re-execution;
+``recommend`` profiles a file's blocking skew (streaming, with
+``csv-shards``) and picks a strategy using the paper's findings.
 """
 
 from __future__ import annotations
@@ -96,21 +100,33 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--threshold", type=float, default=0.8)
         sub.add_argument("-m", "--map-tasks", type=int, default=4)
         sub.add_argument("-r", "--reduce-tasks", type=int, default=8)
-        sub.add_argument("--backend", choices=["serial", "parallel"],
+        sub.add_argument("--backend", choices=["serial", "parallel", "async"],
                          default="serial",
-                         help="execution backend (parallel = worker pool)")
+                         help="execution backend (parallel = worker pool, "
+                              "async = asyncio task units)")
         sub.add_argument("--workers", type=_positive_int, default=None,
-                         help="pool size for --backend parallel "
+                         help="pool size for --backend parallel/async "
                               "(default: all cores)")
         sub.add_argument("--memory-budget", type=_positive_int, default=None,
                          help="max map-output records buffered in memory "
                               "during the shuffle; the rest spills through "
                               "sorted run files on disk (same results)")
+        sub.add_argument("--progress", action="store_true",
+                         help="stream task lifecycle events to stderr while "
+                              "the pipeline runs")
+        sub.add_argument("--save-result", metavar="PATH", default=None,
+                         help="persist the full PipelineResult as versioned "
+                              "JSON (replayable with 'simulate "
+                              "--from-result PATH')")
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate strategies on a cluster (analytic planners)"
     )
     simulate.add_argument("--dataset", choices=["ds1", "ds2"], default="ds1")
+    simulate.add_argument("--from-result", metavar="PATH", default=None,
+                          help="replan from a persisted PipelineResult JSON "
+                               "(written by dedup/link --save-result) instead "
+                               "of a synthetic --dataset; nothing re-executes")
     simulate.add_argument("--nodes", type=int, default=10)
     simulate.add_argument("--map-tasks", type=int, default=None,
                           help="default: 2 x nodes")
@@ -149,12 +165,56 @@ def _backend(args: argparse.Namespace):
 
     if args.backend == "parallel":
         return get_backend("parallel", max_workers=args.workers)
+    if args.backend == "async":
+        return get_backend("async", max_concurrency=args.workers)
     if args.workers is not None:
         raise SystemExit(
             f"repro-er {args.command}: error: --workers requires "
-            "--backend parallel"
+            "--backend parallel or async"
         )
     return get_backend(args.backend)
+
+
+def _progress_printer(stream):
+    """An on_event callback that narrates the run, one line per event
+    worth telling (job boundaries + reduce task completions)."""
+    from .mapreduce.events import EventKind
+
+    def on_event(event):
+        label = event.stage or event.job
+        if event.kind == EventKind.JOB_STARTED:
+            print(
+                f"[{label}] {event.job}: "
+                f"{event.data['num_map_tasks']} map / "
+                f"{event.data['num_reduce_tasks']} reduce tasks",
+                file=stream,
+            )
+        elif event.kind == EventKind.TASK_FINISHED and event.phase == "reduce":
+            comparisons = event.data.get("comparisons", 0)
+            matches = event.data.get("matches", 0)
+            detail = f", {comparisons:,} comparisons" if comparisons else ""
+            if matches:
+                detail += f", {matches} matches"
+            print(
+                f"[{label}] reduce task {event.task_index} done: "
+                f"{event.data['input_records']} records{detail}",
+                file=stream,
+            )
+        elif event.kind == EventKind.JOB_FINISHED:
+            print(f"[{label}] {event.job} finished", file=stream)
+
+    return on_event
+
+
+def _run_pipeline(pipeline: ERPipeline, args: argparse.Namespace, *run_args, **run_kwargs):
+    """Submit, optionally narrating progress, and persist on request."""
+    on_event = _progress_printer(sys.stderr) if args.progress else None
+    execution = pipeline.submit(*run_args, on_event=on_event, **run_kwargs)
+    result = execution.result()
+    if args.save_result:
+        path = result.save(args.save_result)
+        print(f"saved result to {path}")
+    return result
 
 
 def _write_matches(matches: MatchResult, path: str) -> None:
@@ -189,6 +249,21 @@ def cmd_dedup(args: argparse.Namespace) -> int:
         num_entities = len(record_input)
         input_note = f"{num_entities} entities"
     if args.allow_missing_keys:
+        if args.save_result:
+            print(
+                "error: --save-result is not supported with "
+                "--allow-missing-keys (the Cartesian fallback merges "
+                "several pipeline runs into bare matches)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.progress:
+            print(
+                "note: --progress has no effect with "
+                "--allow-missing-keys (the fallback runs its internal "
+                "pipelines without an event channel)",
+                file=sys.stderr,
+            )
         entities = (
             list(record_input.iter_records())
             if isinstance(record_input, CsvShardSource)
@@ -215,7 +290,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             backend=_backend(args),
             memory_budget=args.memory_budget,
         )
-        result = pipeline.run(record_input)
+        result = _run_pipeline(pipeline, args, record_input)
         matches = result.matches
         stats = WorkloadStats.from_workloads(result.reduce_comparisons())
         print(
@@ -242,7 +317,9 @@ def cmd_link(args: argparse.Namespace) -> int:
         backend=_backend(args),
         memory_budget=args.memory_budget,
     )
-    result = pipeline.run(
+    result = _run_pipeline(
+        pipeline,
+        args,
         r_entities,
         s_entities,
         num_r_partitions=max(1, args.map_tasks // 2),
@@ -259,13 +336,33 @@ def cmd_link(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    profile = DS1_PROFILE if args.dataset == "ds1" else DS2_PROFILE
-    sizes = zipf_block_sizes(
-        profile.num_entities, profile.num_blocks, profile.zipf_exponent
-    )
-    m = args.map_tasks if args.map_tasks is not None else 2 * args.nodes
     r = args.reduce_tasks if args.reduce_tasks is not None else 10 * args.nodes
-    bdm = bdm_for_block_sizes(sizes, m)
+    if args.from_result is not None:
+        # Replan from a persisted run: the saved BDM is all the
+        # planners need, so no data is loaded and nothing re-executes.
+        from .analysis.experiments import bdm_from_result
+        from .engine.persistence import PersistenceError
+
+        try:
+            bdm = bdm_from_result(args.from_result)
+        except FileNotFoundError:
+            print(f"error: no such result file: {args.from_result}",
+                  file=sys.stderr)
+            return 2
+        except (PersistenceError, ValueError) as exc:
+            print(f"error: cannot replan from {args.from_result}: {exc}",
+                  file=sys.stderr)
+            return 2
+        m = bdm.num_partitions
+        source_note = args.from_result
+    else:
+        profile = DS1_PROFILE if args.dataset == "ds1" else DS2_PROFILE
+        sizes = zipf_block_sizes(
+            profile.num_entities, profile.num_blocks, profile.zipf_exponent
+        )
+        m = args.map_tasks if args.map_tasks is not None else 2 * args.nodes
+        bdm = bdm_for_block_sizes(sizes, m)
+        source_note = profile.name
     rows = []
     for name in args.strategies:
         run = simulate_run(name, bdm, num_nodes=args.nodes, num_reduce_tasks=r)
@@ -282,7 +379,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             ["strategy", "simulated time [s]", "imbalance", "map output KV"],
             rows,
             title=(
-                f"{profile.name}: n={args.nodes}, m={m}, r={r}, "
+                f"{source_note}: n={args.nodes}, m={m}, r={r}, "
                 f"{bdm.pairs():,} pairs"
             ),
         )

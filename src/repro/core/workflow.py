@@ -54,7 +54,9 @@ class ERWorkflow(ERPipeline):
     def __init__(self, *args, **kwargs):
         warnings.warn(
             "ERWorkflow is deprecated; use repro.engine.ERPipeline "
-            "(same constructor, run(r, s=None), pluggable backends) — "
+            "(same constructor, run(r, s=None), pluggable backends, and "
+            "the submission API: submit()/submit_async() for streamed "
+            "matches, progress, cancellation and persistable results) — "
             "see docs/api.md for the migration notes",
             DeprecationWarning,
             stacklevel=2,

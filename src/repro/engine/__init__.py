@@ -10,6 +10,8 @@ backend        what it does
 =============  ==========================================================
 ``serial``     deterministic in-process execution (the reference path)
 ``parallel``   map/reduce tasks fan out over a process or thread pool
+``async``      the same task units as asyncio coroutines — awaitable,
+               streamable, cancellable from an event loop
 ``planned``    no execution — analytic planners + cluster simulation,
                which is what makes DS2-scale figures tractable
 =============  ==========================================================
@@ -20,6 +22,13 @@ All backends return a :class:`PipelineResult`; executing backends fill
 Backends self-register via :func:`register_backend`, exactly like
 strategies do via ``@register_strategy``.
 
+``run()`` is sugar over the submission model: :meth:`ERPipeline.submit`
+returns a :class:`PipelineExecution` handle that streams matches as
+reduce task units complete, reports progress, and cancels
+cooperatively; results persist to versioned JSON via
+:meth:`PipelineResult.save` / :meth:`PipelineResult.load`, so analysis
+sweeps can replan from a finished run without re-executing it.
+
 Inputs may be entity lists, ready-made partitions, or a streaming
 :class:`~repro.io.RecordSource` (CSV shards, generators); a
 ``memory_budget`` makes the shuffle spill sorted run files to disk
@@ -27,6 +36,13 @@ instead of buffering all map output.  See ``docs/api.md`` for the guide
 with runnable examples and ``docs/architecture.md`` for the dataflow.
 """
 
+from ..mapreduce.events import (
+    EventChannel,
+    EventKind,
+    ExecutionEvent,
+    PipelineCancelled,
+)
+from .async_backend import AsyncBackend, AsyncRuntime
 from .backend import (
     BACKENDS,
     ExecutionBackend,
@@ -34,7 +50,20 @@ from .backend import (
     get_backend,
     register_backend,
 )
+from .execution import (
+    ExecutionProgress,
+    MatcherStats,
+    PipelineExecution,
+    StageProgress,
+)
 from .parallel import ParallelBackend, ParallelRuntime
+from .persistence import (
+    PersistenceError,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
 from .pipeline import ERPipeline
 from .planned import PlannedBackend
 from .result import PipelineResult
@@ -47,16 +76,31 @@ from .simulate import (
 
 __all__ = [
     "BACKENDS",
+    "AsyncBackend",
+    "AsyncRuntime",
     "ERPipeline",
+    "EventChannel",
+    "EventKind",
     "ExecutionBackend",
+    "ExecutionEvent",
+    "ExecutionProgress",
+    "MatcherStats",
     "ParallelBackend",
     "ParallelRuntime",
+    "PersistenceError",
+    "PipelineCancelled",
+    "PipelineExecution",
     "PipelineRequest",
     "PipelineResult",
     "PlannedBackend",
     "SerialBackend",
+    "StageProgress",
     "get_backend",
+    "load_result",
     "register_backend",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
     "simulate_executed_workflow",
     "simulate_planned_workflow",
     "simulate_strategy",

@@ -3,13 +3,23 @@
 A backend receives a fully-resolved :class:`PipelineRequest` — strategy
 instance, blocking function, matcher, input partitions — and returns a
 :class:`~repro.engine.result.PipelineResult`.  How the work happens
-(in-process, on a worker pool, or analytically via the planners and the
-cluster simulator) is entirely the backend's business; ``ERPipeline``
-never branches on the backend kind.
+(in-process, on a worker pool, on an asyncio loop, or analytically via
+the planners and the cluster simulator) is entirely the backend's
+business; ``ERPipeline`` never branches on the backend kind.
+
+The contract carries an optional **event channel**: ``execute(request,
+events)`` receives an :class:`~repro.mapreduce.events.EventChannel`
+when the caller wants to observe the run (task lifecycle events,
+per-task comparison counts, streamed reduce outputs) or cancel it
+cooperatively.  Executing backends attach the channel to their runtime;
+backends that do not execute (the planned backend) only honour the
+cancellation flag.  ``events`` is ``None`` for fire-and-forget calls —
+the whole submission API of :class:`~repro.engine.execution.
+PipelineExecution` is built on this one parameter.
 
 Backends self-register with :func:`register_backend`, mirroring the
-strategy registry, so third-party backends (a real Hadoop bridge, an
-async runner, …) plug in without touching the pipeline.
+strategy registry, so third-party backends (a real Hadoop bridge, a
+distributed runner, …) plug in without touching the pipeline.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from ..core.strategy import LoadBalancingStrategy
 from ..er.blocking import BlockingFunction
 from ..er.matching import Matcher
 from ..io.sources import RecordSource
+from ..mapreduce.events import EventChannel
 from ..mapreduce.types import Partition
 from .result import PipelineResult
 
@@ -97,8 +108,19 @@ class ExecutionBackend(ABC):
     executes: bool = True
 
     @abstractmethod
-    def execute(self, request: PipelineRequest) -> PipelineResult:
-        """Run one pipeline request to completion."""
+    def execute(
+        self, request: PipelineRequest, events: EventChannel | None = None
+    ) -> PipelineResult:
+        """Run one pipeline request to completion.
+
+        ``events``, when given, is the observation/cancellation channel:
+        emit task lifecycle events into it as the work proceeds and
+        honour :meth:`~repro.mapreduce.events.EventChannel.
+        raise_if_cancelled` at reasonable boundaries.  Backends are free
+        to ignore the event side (a ``None``-safe no-op), but cooperative
+        cancellation support is what makes
+        :meth:`~repro.engine.execution.PipelineExecution.cancel` work.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

@@ -67,15 +67,32 @@ def analytic_plans(
     return plan, bdm_plan
 
 
+#: Stage labels stamped onto execution events (``ExecutionEvent.stage``).
+STAGE_BDM = "bdm"
+STAGE_MATCHING = "matching"
+
+
 class ExecutingBackendBase(ExecutionBackend):
-    """Runs Job 1 (when needed) and Job 2 on a runtime subclasses pick."""
+    """Runs Job 1 (when needed) and Job 2 on a runtime subclasses pick.
+
+    The event channel, when given, is attached to the runtime so every
+    job run through it emits lifecycle events; the base sets the
+    workflow stage label (``"bdm"`` for Job 1, ``"matching"`` for
+    Job 2) before each job, which is how the execution handle tells the
+    two apart — in particular, ``"matching"`` reduce outputs are the
+    streamed matches.
+    """
 
     executes = True
 
     def make_runtime(self) -> LocalRuntime:
         raise NotImplementedError
 
-    def execute(self, request: PipelineRequest) -> PipelineResult:
+    def execute(
+        self, request: PipelineRequest, events=None
+    ) -> PipelineResult:
+        if events is not None:
+            events.raise_if_cancelled()
         if not request.partitions and request.source is not None:
             # A streaming-only request: materialize the shards (one at a
             # time) — executing backends need the records in memory.
@@ -83,16 +100,23 @@ class ExecutingBackendBase(ExecutionBackend):
                 request, partitions=tuple(request.source.as_partitions())
             )
         runtime = self.make_runtime()
+        runtime.events = events
         try:
             return self._execute_on(runtime, request)
         finally:
             runtime.close()
+
+    @staticmethod
+    def _set_stage(runtime: LocalRuntime, stage: str) -> None:
+        if runtime.events is not None:
+            runtime.events.stage = stage
 
     def _execute_on(self, runtime: LocalRuntime, request: PipelineRequest) -> PipelineResult:
         strategy = request.strategy
         r = request.num_reduce_tasks
         budget = request.memory_budget
         if request.dual:
+            self._set_stage(runtime, STAGE_BDM)
             bdm, job1, annotated = compute_dual_bdm(
                 runtime,
                 request.partitions,
@@ -102,11 +126,13 @@ class ExecutingBackendBase(ExecutionBackend):
                 memory_budget=budget,
             )
             job = strategy.build_dual_job(bdm, request.matcher, r)
+            self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
                 job, annotated, r,
                 properties=request.properties, memory_budget=budget,
             )
         elif strategy.requires_bdm:
+            self._set_stage(runtime, STAGE_BDM)
             bdm, job1, annotated = compute_bdm(
                 runtime,
                 request.partitions,
@@ -118,6 +144,7 @@ class ExecutingBackendBase(ExecutionBackend):
             job = strategy.build_job(
                 bdm, request.matcher, r, blocking=request.blocking
             )
+            self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
                 job, annotated, r,
                 properties=request.properties, memory_budget=budget,
@@ -127,6 +154,7 @@ class ExecutingBackendBase(ExecutionBackend):
             job = strategy.build_job(
                 None, request.matcher, r, blocking=request.blocking
             )
+            self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
                 job, request.partitions, r,
                 properties=request.properties, memory_budget=budget,

@@ -38,14 +38,8 @@ from typing import Sequence
 
 from ..mapreduce.dfs import DistributedFileSystem
 from ..mapreduce.job import JobConfig, MapReduceJob
-from ..mapreduce.runtime import (
-    LocalRuntime,
-    MapTaskResult,
-    ReduceTaskResult,
-    execute_map_task,
-    execute_reduce_task,
-)
-from ..mapreduce.types import KeyValue, Partition
+from ..mapreduce.runtime import LocalRuntime, MapTaskResult, ReduceTaskResult
+from ..mapreduce.types import Partition
 from .backend import register_backend
 from .executing import ExecutingBackendBase
 
@@ -105,25 +99,26 @@ class ParallelRuntime(LocalRuntime):
         partitions: Sequence[Partition],
         sink=None,
     ) -> list[MapTaskResult]:
-        calls = ((execute_map_task, (job, config, part)) for part in partitions)
+        # _map_calls is the same lazily-evaluated unit stream the serial
+        # runtime walks — pulling a call at submission time emits the
+        # task-started event and checks cancellation.
+        calls = self._map_calls(job, config, partitions)
         return self._fan_out(job, calls, count=len(partitions), sink=sink)
 
     def _execute_reduce_tasks(
         self,
         job: MapReduceJob,
         config: JobConfig,
-        buckets: Sequence[list[KeyValue]],
+        buckets: Sequence[list],
         presorted: bool = False,
+        sink=None,
     ) -> list[ReduceTaskResult]:
         # Buckets are fetched lazily, one per submission: under a memory
         # budget they are spill-file views (ExternalShuffle.buckets()),
         # and windowed submission keeps at most ~max_workers of them
         # re-materialized in the driver at a time.
-        calls = (
-            (execute_reduce_task, (job, config, index, buckets[index], presorted))
-            for index in range(len(buckets))
-        )
-        return self._fan_out(job, calls, count=len(buckets))
+        calls = self._reduce_calls(job, config, buckets, presorted)
+        return self._fan_out(job, calls, count=len(buckets), sink=sink)
 
     def _fan_out(self, job: MapReduceJob, calls, *, count: int, sink=None) -> list:
         """Run the task units, collecting in submission (task-index)

@@ -1,0 +1,386 @@
+"""Versioned JSON persistence for :class:`~repro.engine.result.PipelineResult`.
+
+``result.save(path)`` writes a self-describing JSON document and
+``PipelineResult.load(path)`` reconstructs the result from it — matches
+(ids *and* scores), every counter (job-level and per-task), the BDM,
+the analytic plans, and the simulated timeline all round-trip exactly.
+The analysis layer builds on this: a persisted run carries its BDM, so
+:func:`~repro.analysis.experiments.sweep_from_result` can replan whole
+parameter sweeps from the file without ever re-executing the pipeline.
+
+What is *not* persisted: raw map/reduce output records of the two jobs
+(other than the matches, which are first-class).  Loaded ``JobResult``
+objects keep per-task statistics and counters but have empty ``output``
+tuples, and job properties are dropped — workload accessors
+(``reduce_comparisons()``, ``total_comparisons()``, ``map_output_kv()``)
+behave identically on a loaded result.
+
+The format is versioned (``"format"`` / ``"version"`` header); loaders
+reject documents they do not understand instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..cluster.timeline import (
+    JobTimeline,
+    PhaseTimeline,
+    TaskExecution,
+    WorkflowTimeline,
+)
+from ..core.bdm import BlockDistributionMatrix
+from ..core.planning import BdmJobPlan, StrategyPlan
+from ..core.two_source import DualSourceBDM
+from ..er.matching import MatchPair, MatchResult
+from ..mapreduce.counters import Counters
+from ..mapreduce.job import JobConfig
+from ..mapreduce.runtime import JobResult, MapTaskResult, ReduceTaskResult
+from .result import PipelineResult
+
+#: Document type tag and the newest schema version this code writes.
+RESULT_FORMAT = "repro.pipeline-result"
+RESULT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """A document could not be recognised as a persisted pipeline result."""
+
+
+# ---------------------------------------------------------------------------
+# Block keys: JSON-safe, type-exact encoding
+# ---------------------------------------------------------------------------
+# Blocking keys are usually strings (PrefixBlocking), but nothing stops a
+# custom blocking function from producing ints or tuples.  Plain strings
+# pass through untouched; everything else is wrapped in a small tagged
+# object so the round trip restores the exact type (JSON alone would
+# collapse tuples into lists and is ambiguous about int-valued floats).
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, bool) or key is None:
+        return {"t": "const", "v": repr(key)}
+    if isinstance(key, int):
+        return {"t": "int", "v": key}
+    if isinstance(key, float):
+        return {"t": "float", "v": key}
+    if isinstance(key, tuple):
+        return {"t": "tuple", "v": [_encode_key(item) for item in key]}
+    raise PersistenceError(
+        f"cannot persist block key of type {type(key).__name__}: {key!r}"
+    )
+
+
+def _decode_key(data: Any) -> Any:
+    if isinstance(data, str):
+        return data
+    tag, value = data["t"], data.get("v")
+    if tag == "const":
+        return {"True": True, "False": False, "None": None}[value]
+    if tag == "int":
+        return int(value)
+    if tag == "float":
+        return float(value)
+    if tag == "tuple":
+        return tuple(_decode_key(item) for item in value)
+    raise PersistenceError(f"unknown block-key tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Component encoders
+# ---------------------------------------------------------------------------
+
+
+def _encode_matches(matches: "MatchResult | None") -> list | None:
+    if matches is None:
+        return None
+    return [[pair.id1, pair.id2, pair.similarity] for pair in matches]
+
+
+def _decode_matches(data: list | None) -> "MatchResult | None":
+    if data is None:
+        return None
+    return MatchResult(
+        MatchPair(id1, id2, similarity) for id1, id2, similarity in data
+    )
+
+
+def _encode_bdm(bdm: "BlockDistributionMatrix | DualSourceBDM | None") -> dict | None:
+    if bdm is None:
+        return None
+    encoded = {
+        "block_keys": [_encode_key(key) for key in bdm.block_keys],
+        "sizes": [
+            [bdm.size(block, partition) for partition in range(bdm.num_partitions)]
+            for block in range(bdm.num_blocks)
+        ],
+    }
+    if isinstance(bdm, DualSourceBDM):
+        encoded["partition_sources"] = list(bdm.partition_sources)
+    return encoded
+
+
+def _decode_bdm(data: dict | None) -> "BlockDistributionMatrix | DualSourceBDM | None":
+    if data is None:
+        return None
+    bdm = BlockDistributionMatrix(
+        [_decode_key(key) for key in data["block_keys"]], data["sizes"]
+    )
+    sources = data.get("partition_sources")
+    if sources is not None:
+        return DualSourceBDM(bdm, sources)
+    return bdm
+
+
+def _encode_job(job: "JobResult | None") -> dict | None:
+    if job is None:
+        return None
+    return {
+        "job_name": job.job_name,
+        "num_map_tasks": job.config.num_map_tasks,
+        "num_reduce_tasks": job.config.num_reduce_tasks,
+        "map_tasks": [
+            {
+                "partition_index": task.partition_index,
+                "input_records": task.input_records,
+                "output_records": task.output_records,
+                "counters": task.counters.as_dict(),
+            }
+            for task in job.map_tasks
+        ],
+        "reduce_tasks": [
+            {
+                "reduce_index": task.reduce_index,
+                "input_records": task.input_records,
+                "input_groups": task.input_groups,
+                "output_records": task.output_records,
+                "counters": task.counters.as_dict(),
+            }
+            for task in job.reduce_tasks
+        ],
+        "counters": job.counters.as_dict(),
+    }
+
+
+def _decode_job(data: dict | None) -> "JobResult | None":
+    if data is None:
+        return None
+    return JobResult(
+        job_name=data["job_name"],
+        config=JobConfig(
+            num_map_tasks=data["num_map_tasks"],
+            num_reduce_tasks=data["num_reduce_tasks"],
+        ),
+        map_tasks=tuple(
+            MapTaskResult(
+                partition_index=task["partition_index"],
+                input_records=task["input_records"],
+                output_records=task["output_records"],
+                counters=Counters(task["counters"]),
+                output=(),
+            )
+            for task in data["map_tasks"]
+        ),
+        reduce_tasks=tuple(
+            ReduceTaskResult(
+                reduce_index=task["reduce_index"],
+                input_records=task["input_records"],
+                input_groups=task["input_groups"],
+                output_records=task["output_records"],
+                counters=Counters(task["counters"]),
+                output=(),
+            )
+            for task in data["reduce_tasks"]
+        ),
+        counters=Counters(data["counters"]),
+    )
+
+
+def _encode_plan(plan: "StrategyPlan | None") -> dict | None:
+    if plan is None:
+        return None
+    return {
+        "strategy": plan.strategy,
+        "num_map_tasks": plan.num_map_tasks,
+        "num_reduce_tasks": plan.num_reduce_tasks,
+        "total_pairs": plan.total_pairs,
+        "map_input_records": list(plan.map_input_records),
+        "map_output_kv": list(plan.map_output_kv),
+        "reduce_input_kv": list(plan.reduce_input_kv),
+        "reduce_comparisons": list(plan.reduce_comparisons),
+    }
+
+
+def _decode_plan(data: dict | None) -> "StrategyPlan | None":
+    if data is None:
+        return None
+    return StrategyPlan(
+        strategy=data["strategy"],
+        num_map_tasks=data["num_map_tasks"],
+        num_reduce_tasks=data["num_reduce_tasks"],
+        total_pairs=data["total_pairs"],
+        map_input_records=tuple(data["map_input_records"]),
+        map_output_kv=tuple(data["map_output_kv"]),
+        reduce_input_kv=tuple(data["reduce_input_kv"]),
+        reduce_comparisons=tuple(data["reduce_comparisons"]),
+    )
+
+
+def _encode_bdm_plan(plan: "BdmJobPlan | None") -> dict | None:
+    if plan is None:
+        return None
+    return {
+        "map_input_records": list(plan.map_input_records),
+        "map_output_kv": list(plan.map_output_kv),
+        "reduce_input_kv": list(plan.reduce_input_kv),
+        "num_reduce_tasks": plan.num_reduce_tasks,
+    }
+
+
+def _decode_bdm_plan(data: dict | None) -> "BdmJobPlan | None":
+    if data is None:
+        return None
+    return BdmJobPlan(
+        map_input_records=tuple(data["map_input_records"]),
+        map_output_kv=tuple(data["map_output_kv"]),
+        reduce_input_kv=tuple(data["reduce_input_kv"]),
+        num_reduce_tasks=data["num_reduce_tasks"],
+    )
+
+
+def _encode_timeline(timeline: "WorkflowTimeline | None") -> dict | None:
+    if timeline is None:
+        return None
+
+    def phase(p: PhaseTimeline) -> dict:
+        return {
+            "phase": p.phase,
+            "start": p.start,
+            "num_slots": p.num_slots,
+            "executions": [
+                [t.name, t.node, t.slot, t.start, t.end] for t in p.executions
+            ],
+        }
+
+    return {
+        "jobs": [
+            {
+                "job_name": job.job_name,
+                "setup_time": job.setup_time,
+                "map_phase": phase(job.map_phase),
+                "reduce_phase": phase(job.reduce_phase),
+            }
+            for job in timeline.jobs
+        ]
+    }
+
+
+def _decode_timeline(data: dict | None) -> "WorkflowTimeline | None":
+    if data is None:
+        return None
+
+    def phase(p: dict) -> PhaseTimeline:
+        return PhaseTimeline(
+            phase=p["phase"],
+            start=p["start"],
+            num_slots=p["num_slots"],
+            executions=tuple(
+                TaskExecution(name=name, node=node, slot=slot, start=start, end=end)
+                for name, node, slot, start, end in p["executions"]
+            ),
+        )
+
+    return WorkflowTimeline(
+        jobs=tuple(
+            JobTimeline(
+                job_name=job["job_name"],
+                setup_time=job["setup_time"],
+                map_phase=phase(job["map_phase"]),
+                reduce_phase=phase(job["reduce_phase"]),
+            )
+            for job in data["jobs"]
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Document-level API
+# ---------------------------------------------------------------------------
+
+
+def result_to_dict(result: PipelineResult) -> dict:
+    """The persisted-document form of ``result`` (JSON-serializable)."""
+    return {
+        "format": RESULT_FORMAT,
+        "version": RESULT_VERSION,
+        "strategy": result.strategy,
+        "backend": result.backend,
+        "matches": _encode_matches(result.matches),
+        "bdm": _encode_bdm(result.bdm),
+        "job1": _encode_job(result.job1),
+        "job2": _encode_job(result.job2),
+        "plan": _encode_plan(result.plan),
+        "bdm_plan": _encode_bdm_plan(result.bdm_plan),
+        "timeline": _encode_timeline(result.timeline),
+    }
+
+
+def result_from_dict(data: dict) -> PipelineResult:
+    """Rebuild a :class:`PipelineResult` from its persisted form."""
+    if not isinstance(data, dict) or data.get("format") != RESULT_FORMAT:
+        raise PersistenceError(
+            f"not a {RESULT_FORMAT} document "
+            f"(format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"expected a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != RESULT_VERSION:
+        raise PersistenceError(
+            f"unsupported {RESULT_FORMAT} version {version!r} "
+            f"(this build reads version {RESULT_VERSION})"
+        )
+    try:
+        return PipelineResult(
+            strategy=data["strategy"],
+            backend=data["backend"],
+            matches=_decode_matches(data["matches"]),
+            bdm=_decode_bdm(data["bdm"]),
+            job1=_decode_job(data["job1"]),
+            job2=_decode_job(data["job2"]),
+            plan=_decode_plan(data["plan"]),
+            bdm_plan=_decode_bdm_plan(data["bdm_plan"]),
+            timeline=_decode_timeline(data["timeline"]),
+        )
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        # Right header, broken body (truncated/hand-edited document):
+        # still a persistence problem, not a caller bug.
+        raise PersistenceError(
+            f"malformed {RESULT_FORMAT} v{RESULT_VERSION} document: {exc!r}"
+        ) from exc
+
+
+def save_result(result: PipelineResult, path: "str | Path") -> Path:
+    """Write ``result`` as versioned JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, separators=(",", ":"))
+        handle.write("\n")
+    return target
+
+
+def load_result(path: "str | Path") -> PipelineResult:
+    """Read a result saved by :func:`save_result`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"{path}: not valid JSON ({exc})") from exc
+    return result_from_dict(data)

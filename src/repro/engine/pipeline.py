@@ -12,14 +12,31 @@ and the execution backend is swappable without touching anything else::
     fast = pipeline.with_backend("parallel", max_workers=8).run(entities)
     plan = pipeline.with_backend("planned").run(entities)
 
+``run()`` is sugar for the submission model underneath: ``submit()``
+returns a :class:`~repro.engine.execution.PipelineExecution` handle
+that streams matches as reduce task units complete, reports progress,
+and cancels cooperatively::
+
+    execution = pipeline.submit(entities)
+    for pair in execution.iter_matches():   # task by task, in order
+        ...
+    result = execution.result()             # == pipeline.run(entities)
+
+and ``await pipeline.submit_async(entities)`` does the same without
+blocking an asyncio event loop (pairing naturally with the ``"async"``
+backend).
+
 ``with_backend`` / ``with_cluster`` return configured copies (the
 pipeline itself is cheap, reusable configuration; matchers are stateful
-and shared across copies, as before).
+and shared across copies, as before — per-run counter readings come
+from the execution handle's
+:meth:`~repro.engine.execution.PipelineExecution.matcher_stats`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+import asyncio
+from typing import Any, Callable, Sequence
 
 from ..cluster.costmodel import CostModel
 from ..cluster.simulation import ClusterSpec
@@ -27,10 +44,12 @@ from ..er.blocking import BlockingFunction
 from ..er.entity import Entity
 from ..er.matching import Matcher, ThresholdMatcher
 from ..io.sources import RecordSource
+from ..mapreduce.events import ExecutionEvent
 from ..mapreduce.types import Partition, make_partitions
 from ..core.strategy import LoadBalancingStrategy, get_strategy
 from ..core.two_source import SOURCE_R, SOURCE_S
 from .backend import ExecutionBackend, PipelineRequest, get_backend
+from .execution import PipelineExecution
 from .result import PipelineResult
 
 #: Distinguishes "not passed" from an explicit None in with_cluster.
@@ -147,6 +166,9 @@ class ERPipeline:
     ) -> PipelineResult:
         """Match one source against itself, or R against S.
 
+        Sugar for ``submit(...).result()`` — byte-identical matches and
+        counters, just blocking until completion.
+
         With ``s=None``, ``r`` may be entities (split into
         ``num_map_tasks`` partitions), ready-made partitions, or a
         streaming :class:`~repro.io.RecordSource` (whose shard count
@@ -158,6 +180,85 @@ class ERPipeline:
         default to the source's shard count (record sources) or half of
         ``num_map_tasks`` each.
         """
+        return self.submit(
+            r,
+            s,
+            num_r_partitions=num_r_partitions,
+            num_s_partitions=num_s_partitions,
+        ).result()
+
+    def submit(
+        self,
+        r: Sequence[Entity] | Sequence[Partition] | RecordSource,
+        s: Sequence[Entity] | RecordSource | None = None,
+        *,
+        num_r_partitions: int | None = None,
+        num_s_partitions: int | None = None,
+        on_event: Callable[[ExecutionEvent], None] | None = None,
+    ) -> PipelineExecution:
+        """Submit a run and return its live execution handle.
+
+        Execution starts immediately on a dedicated driver thread; the
+        returned :class:`~repro.engine.execution.PipelineExecution`
+        streams matches (:meth:`~repro.engine.execution.
+        PipelineExecution.iter_matches`), reports progress, cancels
+        cooperatively, and yields the final result.  ``on_event``
+        subscribes a callback to every
+        :class:`~repro.mapreduce.events.ExecutionEvent` of the run
+        (called synchronously on the driver thread, in deterministic
+        event order).
+
+        The handle snapshots the matcher's cumulative counters at
+        submit, so back-to-back runs sharing one matcher instance read
+        per-run numbers from ``execution.matcher_stats()`` without a
+        manual ``reset_counters()``; ``self.matcher.comparisons`` keeps
+        the old accumulate-across-runs behaviour.
+        """
+        request = self._build_request(
+            r,
+            s,
+            num_r_partitions=num_r_partitions,
+            num_s_partitions=num_s_partitions,
+        )
+        return PipelineExecution(
+            self.backend, request, matcher=self.matcher, on_event=on_event
+        )
+
+    async def submit_async(
+        self,
+        r: Sequence[Entity] | Sequence[Partition] | RecordSource,
+        s: Sequence[Entity] | RecordSource | None = None,
+        *,
+        num_r_partitions: int | None = None,
+        num_s_partitions: int | None = None,
+        on_event: Callable[[ExecutionEvent], None] | None = None,
+    ) -> PipelineExecution:
+        """:meth:`submit` for asyncio callers.
+
+        Partitioning large inputs can be slow, so submission itself runs
+        off-loop (``asyncio.to_thread``); the returned handle offers
+        ``await execution.result_async()`` and ``async for pair in
+        execution.aiter_matches()``.  Works with every backend — pair it
+        with ``with_backend("async")`` to also run the task units on an
+        asyncio loop.
+        """
+        return await asyncio.to_thread(
+            self.submit,
+            r,
+            s,
+            num_r_partitions=num_r_partitions,
+            num_s_partitions=num_s_partitions,
+            on_event=on_event,
+        )
+
+    def _build_request(
+        self,
+        r: Sequence[Entity] | Sequence[Partition] | RecordSource,
+        s: Sequence[Entity] | RecordSource | None,
+        *,
+        num_r_partitions: int | None,
+        num_s_partitions: int | None,
+    ) -> PipelineRequest:
         source: RecordSource | None = None
         if s is None:
             if isinstance(r, RecordSource):
@@ -182,7 +283,7 @@ class ERPipeline:
                 self._dual_partitions(r, s, num_r_partitions, num_s_partitions)
             )
             dual = True
-        request = PipelineRequest(
+        return PipelineRequest(
             strategy=self.strategy,
             blocking=self.blocking,
             matcher=self.matcher,
@@ -195,7 +296,6 @@ class ERPipeline:
             source=source,
             memory_budget=self.memory_budget,
         )
-        return self.backend.execute(request)
 
     # -- helpers -------------------------------------------------------------
 

@@ -58,7 +58,11 @@ class PlannedBackend(ExecutionBackend):
         self.comparison_noise_sigma = comparison_noise_sigma
         self.noise_seed = noise_seed
 
-    def execute(self, request: PipelineRequest) -> PipelineResult:
+    def execute(self, request: PipelineRequest, events=None) -> PipelineResult:
+        # Planning emits no task events (there are no tasks), but a
+        # cancelled submission must still stop before the analytic work.
+        if events is not None:
+            events.raise_if_cancelled()
         raw_sizes = None
         if request.dual:
             bdm = analytic_dual_bdm(request.partitions, request.blocking)

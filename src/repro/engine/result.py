@@ -1,15 +1,23 @@
 """The unified result of one pipeline run, whatever the backend.
 
-Executing backends (serial, parallel) fill the match/job fields;
+Executing backends (serial, parallel, async) fill the match/job fields;
 the planned backend leaves them ``None``.  The analytic ``plan`` is
 present for every backend, so workload accessors such as
 :meth:`PipelineResult.reduce_comparisons` work uniformly — callers can
 swap ``"serial"`` for ``"planned"`` without touching downstream code.
+
+Results persist: :meth:`PipelineResult.save` writes a versioned JSON
+document and :meth:`PipelineResult.load` restores it — matches,
+counters, per-task statistics, BDM, plans and simulated timeline all
+round-trip (see :mod:`repro.engine.persistence`), which is what lets
+the analysis sweeps replay a finished run from disk instead of
+re-executing it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..mapreduce.counters import StandardCounter
@@ -80,3 +88,29 @@ class PipelineResult:
         if self.plan is not None:
             return self.plan.total_map_output_kv
         return 0
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        """Persist this result as a versioned JSON document.
+
+        Matches (ids and scores), all counters (job-level and
+        per-task), the BDM, the analytic plans and the simulated
+        timeline round-trip exactly through :meth:`load`; raw per-task
+        output records (other than the matches) and job properties do
+        not.  Returns the path written.
+        """
+        from .persistence import save_result
+
+        return save_result(self, path)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "PipelineResult":
+        """Read a result previously written by :meth:`save`.
+
+        Raises :class:`~repro.engine.persistence.PersistenceError` for
+        files that are not (a supported version of) the format.
+        """
+        from .persistence import load_result
+
+        return load_result(path)

@@ -10,12 +10,14 @@ distributed file system.
 
 from .counters import Counters, StandardCounter
 from .dfs import DfsError, DistributedFileSystem
+from .events import EventChannel, EventKind, ExecutionEvent, PipelineCancelled
 from .external_shuffle import ExternalShuffle
 from .job import Emitter, JobConfig, LambdaJob, MapReduceJob, TaskContext, stable_hash
 from .runtime import JobResult, LocalRuntime, MapTaskResult, ReduceTaskResult
 from .shuffle import (
     group_bucket,
     group_presorted_bucket,
+    group_presorted_entries,
     partition_map_output,
     shuffle,
     shuffle_bucket,
@@ -42,6 +44,11 @@ __all__ = [
     "set_packed_keys",
     "shuffle_bucket",
     "group_presorted_bucket",
+    "group_presorted_entries",
+    "EventChannel",
+    "EventKind",
+    "ExecutionEvent",
+    "PipelineCancelled",
     "Counters",
     "StandardCounter",
     "DfsError",

@@ -159,12 +159,16 @@ class ExternalShuffle:
 
     # -- draining -----------------------------------------------------------
 
-    def bucket_records(self, index: int) -> list[KeyValue]:
-        """One reduce task's records, merged from run files + buffer.
+    def bucket_entries(self, index: int) -> list[tuple[Any, KeyValue]]:
+        """One reduce task's ``(sort key, record)`` entries, merged from
+        run files + buffer.
 
         The returned list is sorted by ``(sort key, arrival sequence)``
         — i.e. the stable sort of the bucket's arrival order, identical
-        to what the in-memory shuffle feeds the same reduce task.
+        to what the in-memory shuffle feeds the same reduce task.  The
+        sort key computed once in :meth:`add` rides along so the reduce
+        task's group walk (:func:`~repro.mapreduce.shuffle.
+        group_presorted_entries`) never re-encodes a record.
         """
         if self._closed:
             raise RuntimeError("cannot drain a closed shuffle")
@@ -178,13 +182,19 @@ class ExternalShuffle:
         ]
         streams.append(tail)
         merged = heapq.merge(*streams, key=_entry_order)
-        return [record for _key, _seq, record in merged]
+        return [(key, record) for key, _seq, record in merged]
 
-    def buckets(self) -> Sequence[list[KeyValue]]:
-        """A lazy sequence of all reduce buckets.
+    def bucket_records(self, index: int) -> list[KeyValue]:
+        """One reduce task's records (sort keys stripped), merged like
+        :meth:`bucket_entries`."""
+        return [record for _key, record in self.bucket_entries(index)]
 
-        ``buckets()[i]`` drains bucket ``i`` on access and retains
-        nothing, so a serial reducer pass holds one bucket at a time.
+    def buckets(self) -> Sequence[list[tuple[Any, KeyValue]]]:
+        """A lazy sequence of all reduce buckets, as entry lists.
+
+        ``buckets()[i]`` drains bucket ``i`` (via :meth:`bucket_entries`)
+        on access and retains nothing, so a serial reducer pass holds
+        one bucket at a time.
         """
         return _LazyBuckets(self)
 
@@ -240,5 +250,5 @@ class _LazyBuckets(Sequence[list]):
     def __len__(self) -> int:
         return self._shuffle.num_reduce_tasks
 
-    def __getitem__(self, index: int) -> list[KeyValue]:  # type: ignore[override]
-        return self._shuffle.bucket_records(index)
+    def __getitem__(self, index: int) -> list[tuple[Any, KeyValue]]:  # type: ignore[override]
+        return self._shuffle.bucket_entries(index)

@@ -11,28 +11,40 @@ Task execution is factored into self-contained, schedulable units —
 :func:`execute_map_task` and :func:`execute_reduce_task` — that take
 only picklable arguments and return their results (including side
 outputs) instead of mutating shared state.  :class:`LocalRuntime` runs
-them in task-index order in-process; the engine package's parallel
-runtime ships the same units to worker pools.  Either way the merged
-:class:`JobResult` is byte-for-byte identical because results are
-always combined in task-index order.
+them in task-index order in-process; the engine package's parallel and
+async runtimes ship the same units to worker pools / an asyncio loop.
+Either way the merged :class:`JobResult` is byte-for-byte identical
+because results are always combined in task-index order.
+
+Runtimes are also *observable*: attach an
+:class:`~repro.mapreduce.events.EventChannel` to :attr:`LocalRuntime.
+events` and ``run()`` emits job/phase/task lifecycle events (with
+per-task statistics and reduce outputs) in deterministic order, and
+honours cooperative cancellation at every task-unit boundary.  The
+engine's execution handles (streamed matches, progress, ``cancel()``)
+are built entirely on this channel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from .counters import Counters, StandardCounter
 from .dfs import DistributedFileSystem
+from .events import EventChannel, EventKind
 from .external_shuffle import ExternalShuffle
 from .job import JobConfig, MapReduceJob, TaskContext
 from .shuffle import (
-    group_presorted_bucket,
+    group_presorted_entries,
     partition_map_output,
     shuffle_bucket,
     sort_bucket,
 )
 from .types import KeyValue, Partition
+
+#: One schedulable call: (task unit function, argument tuple).
+TaskCall = tuple[Callable[..., Any], tuple[Any, ...]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -193,14 +205,18 @@ def execute_reduce_task(
     job: MapReduceJob,
     config: JobConfig,
     reduce_index: int,
-    bucket: list[KeyValue],
+    bucket: "list[KeyValue] | list[tuple[Any, KeyValue]]",
     presorted: bool = False,
 ) -> ReduceTaskResult:
     """Run one reduce task over its shuffled bucket.
 
     ``presorted`` marks buckets that already arrive in the job's sort
-    order (the external shuffle's merged run files) — grouping then
-    skips the redundant re-encode + re-sort.
+    order (the external shuffle's merged run files).  Such a bucket is a
+    list of ``(sort key, record)`` *entries* — the sort key the spill
+    path computed once in :meth:`~repro.mapreduce.external_shuffle.
+    ExternalShuffle.add` travels all the way here, so grouping reuses it
+    (for packed jobs it *is* the packed int) instead of re-encoding
+    every record.  Unsorted buckets are plain record lists.
     """
     context = TaskContext(config, reduce_index=reduce_index)
     output: list[KeyValue] = []
@@ -210,7 +226,7 @@ def execute_reduce_task(
 
     job.configure_reduce(context)
     groups = (
-        group_presorted_bucket(job, bucket)
+        group_presorted_entries(job, bucket)
         if presorted
         else shuffle_bucket(job, bucket)
     )
@@ -237,10 +253,24 @@ class LocalRuntime:
     dfs:
         Optional shared file system for side outputs / job chaining.
         A fresh one is created when omitted.
+    events:
+        Optional :class:`~repro.mapreduce.events.EventChannel` the
+        runtime emits lifecycle events into (and checks for cooperative
+        cancellation).  Also settable after construction via the
+        :attr:`events` attribute — the execution backends attach the
+        channel of the current :class:`~repro.engine.execution.
+        PipelineExecution` that way.
     """
 
-    def __init__(self, dfs: DistributedFileSystem | None = None):
+    def __init__(
+        self,
+        dfs: DistributedFileSystem | None = None,
+        *,
+        events: EventChannel | None = None,
+    ):
         self.dfs = dfs if dfs is not None else DistributedFileSystem()
+        #: Event channel lifecycle events are emitted into (may be None).
+        self.events = events
 
     def close(self) -> None:
         """Release scheduling resources (no-op for in-process execution)."""
@@ -268,6 +298,11 @@ class LocalRuntime:
         in-memory path, but per-map-task raw ``output`` tuples are not
         retained on the returned :class:`MapTaskResult`\\ s (their
         statistics are).
+
+        With an :attr:`events` channel attached, job / phase / task
+        lifecycle events are emitted in deterministic order and
+        cancellation is honoured between task units (raising
+        :class:`~repro.mapreduce.events.PipelineCancelled`).
         """
         if not partitions:
             raise ValueError("at least one input partition is required")
@@ -281,6 +316,17 @@ class LocalRuntime:
             num_reduce_tasks=num_reduce_tasks,
             properties=dict(properties or {}),
         )
+        events = self.events
+        if events is not None:
+            events.raise_if_cancelled()
+            events.emit(
+                EventKind.JOB_STARTED,
+                job.name,
+                num_map_tasks=len(partitions),
+                num_reduce_tasks=num_reduce_tasks,
+            )
+        map_sink = self._map_event_sink(job)
+        reduce_sink = self._reduce_event_sink(job)
 
         if memory_budget is not None:
             with ExternalShuffle(job, num_reduce_tasks, memory_budget) as spill:
@@ -289,27 +335,52 @@ class LocalRuntime:
                 # so peak memory is one task's output + the spill buffer
                 # — never the whole map stage.
                 def drain(result: MapTaskResult) -> MapTaskResult:
+                    if map_sink is not None:
+                        map_sink(result)
                     spill.add_records(result.output)
                     return replace(result, output=())
 
+                self._notify_phase(job, EventKind.PHASE_STARTED, "map")
                 map_results = self._execute_map_tasks(
                     job, config, partitions, sink=drain
                 )
+                self._notify_phase(job, EventKind.PHASE_FINISHED, "map")
                 self._apply_side_records(map_results)
-                # Spill buckets come back merged in sort order already.
+                # Spill buckets come back merged in sort order already,
+                # as (sort key, record) entries — the key encoded once
+                # in ExternalShuffle.add is reused for grouping.
+                self._notify_phase(job, EventKind.PHASE_STARTED, "shuffle")
+                buckets = spill.buckets()
+                self._notify_phase(job, EventKind.PHASE_FINISHED, "shuffle")
+                self._notify_phase(job, EventKind.PHASE_STARTED, "reduce")
                 reduce_results = self._execute_reduce_tasks(
-                    job, config, spill.buckets(), presorted=True
+                    job, config, buckets, presorted=True, sink=reduce_sink
                 )
+                self._notify_phase(job, EventKind.PHASE_FINISHED, "reduce")
         else:
-            map_results = self._execute_map_tasks(job, config, partitions)
+            self._notify_phase(job, EventKind.PHASE_STARTED, "map")
+            map_results = self._execute_map_tasks(
+                job, config, partitions, sink=map_sink
+            )
+            self._notify_phase(job, EventKind.PHASE_FINISHED, "map")
             self._apply_side_records(map_results)
+            self._notify_phase(job, EventKind.PHASE_STARTED, "shuffle")
             map_outputs = [result.output for result in map_results]
             buckets = partition_map_output(job, map_outputs, num_reduce_tasks)
-            reduce_results = self._execute_reduce_tasks(job, config, buckets)
+            self._notify_phase(job, EventKind.PHASE_FINISHED, "shuffle")
+            self._notify_phase(job, EventKind.PHASE_STARTED, "reduce")
+            reduce_results = self._execute_reduce_tasks(
+                job, config, buckets, sink=reduce_sink
+            )
+            self._notify_phase(job, EventKind.PHASE_FINISHED, "reduce")
 
         counters = Counters.merged(
             [r.counters for r in map_results] + [r.counters for r in reduce_results]
         )
+        if events is not None:
+            events.emit(
+                EventKind.JOB_FINISHED, job.name, counters=counters.as_dict()
+            )
         return JobResult(
             job_name=job.name,
             config=config,
@@ -318,7 +389,105 @@ class LocalRuntime:
             counters=counters,
         )
 
-    # -- scheduling (overridden by parallel runtimes) ----------------------
+    # -- event emission ------------------------------------------------------
+
+    def _notify_phase(self, job: MapReduceJob, kind: str, phase: str) -> None:
+        """Phase boundary: a cancellation point + lifecycle event."""
+        if self.events is not None:
+            self.events.raise_if_cancelled()
+            self.events.emit(kind, job.name, phase=phase)
+
+    def _task_starting(self, job: MapReduceJob, phase: str, task_index: int) -> None:
+        """Per-task-unit cancellation point + ``task-started`` event.
+
+        Fires at *submission* time: just before in-process execution for
+        the serial runtime, at pool submission for the parallel/async
+        runtimes — either way in submission order, from the driver.
+        """
+        if self.events is not None:
+            self.events.raise_if_cancelled()
+            self.events.emit(
+                EventKind.TASK_STARTED, job.name, phase=phase, task_index=task_index
+            )
+
+    def _map_event_sink(
+        self, job: MapReduceJob
+    ) -> "Callable[[MapTaskResult], MapTaskResult] | None":
+        events = self.events
+        if events is None:
+            return None
+
+        def sink(result: MapTaskResult) -> MapTaskResult:
+            events.emit(
+                EventKind.TASK_FINISHED,
+                job.name,
+                phase="map",
+                task_index=result.partition_index,
+                input_records=result.input_records,
+                output_records=result.output_records,
+            )
+            return result
+
+        return sink
+
+    def _reduce_event_sink(
+        self, job: MapReduceJob
+    ) -> "Callable[[ReduceTaskResult], ReduceTaskResult] | None":
+        events = self.events
+        if events is None:
+            return None
+
+        def sink(task: ReduceTaskResult) -> ReduceTaskResult:
+            # The task's output rides on the event: for the matching job
+            # these records *are* the matches, which is what lets the
+            # execution handle stream them out task by task.
+            events.emit(
+                EventKind.TASK_FINISHED,
+                job.name,
+                phase="reduce",
+                task_index=task.reduce_index,
+                input_records=task.input_records,
+                input_groups=task.input_groups,
+                output_records=task.output_records,
+                comparisons=task.counters.get(StandardCounter.PAIR_COMPARISONS),
+                matches=task.counters.get(StandardCounter.PAIRS_MATCHED),
+                output=task.output,
+            )
+            return task
+
+        return sink
+
+    # -- scheduling (overridden by the parallel/async runtimes) -------------
+
+    def _map_calls(
+        self,
+        job: MapReduceJob,
+        config: JobConfig,
+        partitions: Sequence[Partition],
+    ) -> Iterator[TaskCall]:
+        """The map task units, as lazily-built schedulable calls.
+
+        Pulling the next call is the submission point: it emits the
+        ``task-started`` event and checks cancellation, so every runtime
+        that consumes this iterator — in-process, pooled, or async —
+        shares the same lifecycle semantics for free.
+        """
+        for part in partitions:
+            self._task_starting(job, "map", part.index)
+            yield execute_map_task, (job, config, part)
+
+    def _reduce_calls(
+        self,
+        job: MapReduceJob,
+        config: JobConfig,
+        buckets: Sequence[list],
+        presorted: bool,
+    ) -> Iterator[TaskCall]:
+        """The reduce task units; buckets are fetched one per pull
+        (under a memory budget they are lazily-drained spill views)."""
+        for index in range(len(buckets)):
+            self._task_starting(job, "reduce", index)
+            yield execute_reduce_task, (job, config, index, buckets[index], presorted)
 
     def _execute_map_tasks(
         self,
@@ -332,25 +501,31 @@ class LocalRuntime:
         ``sink`` (when given) is applied to each result as soon as it is
         available, in task-index order — the external shuffle uses it to
         consume outputs incrementally instead of holding the whole map
-        stage in memory.
+        stage in memory, and the event channel to emit task-finished
+        events.
         """
-        results: list[MapTaskResult] = []
-        for part in partitions:
-            result = execute_map_task(job, config, part)
-            results.append(sink(result) if sink is not None else result)
-        return results
+        return self._run_calls(self._map_calls(job, config, partitions), sink)
 
     def _execute_reduce_tasks(
         self,
         job: MapReduceJob,
         config: JobConfig,
-        buckets: Sequence[list[KeyValue]],
+        buckets: Sequence[list],
         presorted: bool = False,
+        sink: "Callable[[ReduceTaskResult], ReduceTaskResult] | None" = None,
     ) -> list[ReduceTaskResult]:
-        return [
-            execute_reduce_task(job, config, reduce_index, bucket, presorted)
-            for reduce_index, bucket in enumerate(buckets)
-        ]
+        return self._run_calls(
+            self._reduce_calls(job, config, buckets, presorted), sink
+        )
+
+    def _run_calls(
+        self, calls: Iterable[TaskCall], sink: "Callable | None"
+    ) -> list:
+        results: list = []
+        for fn, args in calls:
+            result = fn(*args)
+            results.append(sink(result) if sink is not None else result)
+        return results
 
     # -- side outputs -------------------------------------------------------
 

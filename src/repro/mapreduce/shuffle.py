@@ -50,22 +50,23 @@ def sort_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[KeyValue]
     return sorted(bucket, key=lambda record: sort_key(record.key))
 
 
-def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
-    """Split a sorted bucket into reduce groups by the group projection.
+def _walk_groups(keyed_records) -> list[ReduceGroup]:
+    """Fold an in-sort-order stream of ``(group key, record)`` pairs
+    into reduce groups.
 
-    Consecutive records whose ``group_key`` projections are equal form
-    one group; the representative key of a group is the full key of its
-    first record (Hadoop semantics).
+    Consecutive pairs with equal group keys form one group; the
+    representative key of a group is the full key of its first record
+    (Hadoop semantics).  Every grouping entry point below shares this
+    walk except :func:`shuffle_bucket`, whose packed fast path keeps an
+    inlined copy — any change to the boundary semantics here must be
+    mirrored there.
     """
     groups: list[ReduceGroup] = []
     current_key: Any = None
     current_group_key: Any = None
     current_values: list[Any] = []
     have_group = False
-
-    group_key = job.group_key
-    for record in sorted_bucket:
-        gk = group_key(record.key)
+    for gk, record in keyed_records:
         if have_group and gk == current_group_key:
             current_values.append(record.value)
         else:
@@ -78,6 +79,12 @@ def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[R
     if have_group:
         groups.append(ReduceGroup(current_key, tuple(current_values)))
     return groups
+
+
+def group_bucket(job: MapReduceJob, sorted_bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
+    """Split a sorted bucket into reduce groups by the group projection."""
+    group_key = job.group_key
+    return _walk_groups((group_key(record.key), record) for record in sorted_bucket)
 
 
 def shuffle_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[ReduceGroup]:
@@ -102,6 +109,10 @@ def shuffle_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[Reduce
     packed = [encode(record.key) for record in bucket]
     order = sorted(range(len(bucket)), key=packed.__getitem__)
 
+    # Inlined copy of the _walk_groups boundary walk: this is the
+    # hottest shuffle loop (every in-memory map output record passes
+    # through it), so it avoids the generator indirection.  Keep the
+    # group-boundary semantics in lockstep with _walk_groups.
     groups: list[ReduceGroup] = []
     current_key: Any = None
     current_group: int = -1
@@ -124,17 +135,38 @@ def shuffle_bucket(job: MapReduceJob, bucket: Sequence[KeyValue]) -> list[Reduce
     return groups
 
 
+def group_presorted_entries(
+    job: MapReduceJob, entries: Sequence[tuple[Any, KeyValue]]
+) -> list[ReduceGroup]:
+    """Group a pre-sorted bucket of ``(sort key, record)`` entries.
+
+    The spill path ends here: :class:`~repro.mapreduce.external_shuffle.
+    ExternalShuffle` computes each record's sort projection exactly once
+    (in ``add``), merges its run files by it, and hands the pairs over
+    wholesale — so for packed jobs the group walk is a shift/mask of the
+    *already-encoded* int, with no second ``encode`` per record.
+    Non-packed jobs group by the method projection, as the sort key is
+    an arbitrary projection that need not determine the group key.
+    """
+    projection = job.packed_projection
+    if projection is None:
+        return group_bucket(job, [record for _sort_key, record in entries])
+    shift = projection.group_shift
+    mask = projection.group_mask
+    return _walk_groups(
+        ((packed >> shift) & mask, record) for packed, record in entries
+    )
+
+
 def group_presorted_bucket(
     job: MapReduceJob, sorted_bucket: Sequence[KeyValue]
 ) -> list[ReduceGroup]:
-    """Group a bucket that is already in sort order, without re-sorting.
+    """Group a record-only bucket that is already in sort order.
 
-    The spill path ends here: :class:`~repro.mapreduce.external_shuffle.
-    ExternalShuffle` merges its run files by exactly the job's sort
-    projection (stably, by arrival), so its buckets arrive pre-sorted
-    and re-encoding + re-sorting them would be pure waste.  Packed jobs
-    pay one ``encode`` per record for the group walk; others take the
-    method-based :func:`group_bucket`.
+    Like :func:`group_presorted_entries` but for callers that no longer
+    have the sort keys at hand: packed jobs pay one ``encode`` per
+    record for the group walk; others take the method-based
+    :func:`group_bucket`.
     """
     projection = job.packed_projection
     if projection is None:
@@ -142,25 +174,10 @@ def group_presorted_bucket(
     encode = projection.codec.encode
     shift = projection.group_shift
     mask = projection.group_mask
-    groups: list[ReduceGroup] = []
-    current_key: Any = None
-    current_group: int = -1
-    current_values: list[Any] = []
-    have_group = False
-    for record in sorted_bucket:
-        gk = (encode(record.key) >> shift) & mask
-        if have_group and gk == current_group:
-            current_values.append(record.value)
-        else:
-            if have_group:
-                groups.append(ReduceGroup(current_key, tuple(current_values)))
-            current_key = record.key
-            current_group = gk
-            current_values = [record.value]
-            have_group = True
-    if have_group:
-        groups.append(ReduceGroup(current_key, tuple(current_values)))
-    return groups
+    return _walk_groups(
+        ((encode(record.key) >> shift) & mask, record)
+        for record in sorted_bucket
+    )
 
 
 def shuffle(

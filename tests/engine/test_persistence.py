@@ -1,0 +1,217 @@
+"""Result persistence: save → load round trips, exactly.
+
+The acceptance bar: for every strategy and backend, a result
+round-tripped through ``save``/``load`` yields byte-identical matches
+(ids *and* scores) and counters to the original — and the persisted
+file alone is enough to replan analysis sweeps (`sweep_from_result`).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import bdm_from_result, sweep_from_result
+from repro.cluster.simulation import ClusterSpec
+from repro.core.bdm import BlockDistributionMatrix
+from repro.core.two_source import DualSourceBDM
+from repro.datasets.generators import generate_products
+from repro.engine import ERPipeline, PipelineResult
+from repro.engine.persistence import (
+    PersistenceError,
+    RESULT_FORMAT,
+    RESULT_VERSION,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+
+ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]
+BACKENDS = {
+    "serial": {},
+    "parallel": {"max_workers": 2, "executor": "thread"},
+    "async": {"max_concurrency": 2},
+    "planned": {},
+}
+
+
+def _pipeline(strategy, backend="serial", **kwargs):
+    options = BACKENDS.get(backend, {})
+    return ERPipeline(
+        strategy,
+        PrefixBlocking("title"),
+        ThresholdMatcher("title", 0.8),
+        num_map_tasks=3,
+        num_reduce_tasks=4,
+        **kwargs,
+    ).with_backend(backend, **options)
+
+
+def _match_tuples(matches):
+    if matches is None:
+        return None
+    return [(pair.id1, pair.id2, pair.similarity) for pair in matches]
+
+
+def _assert_equivalent(loaded, original):
+    assert loaded.strategy == original.strategy
+    assert loaded.backend == original.backend
+    assert _match_tuples(loaded.matches) == _match_tuples(original.matches)
+    assert loaded.reduce_comparisons() == original.reduce_comparisons()
+    assert loaded.total_comparisons() == original.total_comparisons()
+    assert loaded.map_output_kv() == original.map_output_kv()
+    for name in ("job1", "job2"):
+        loaded_job = getattr(loaded, name)
+        original_job = getattr(original, name)
+        if original_job is None:
+            assert loaded_job is None
+            continue
+        assert loaded_job.counters == original_job.counters
+        assert [t.counters.as_dict() for t in loaded_job.reduce_tasks] == [
+            t.counters.as_dict() for t in original_job.reduce_tasks
+        ]
+        assert [t.input_records for t in loaded_job.map_tasks] == [
+            t.input_records for t in original_job.map_tasks
+        ]
+    assert loaded.plan == original.plan
+    assert loaded.bdm_plan == original.bdm_plan
+    if original.bdm is None:
+        assert loaded.bdm is None
+    else:
+        assert loaded.bdm.block_keys == original.bdm.block_keys
+        assert loaded.bdm.pairs() == original.bdm.pairs()
+    if original.timeline is None:
+        assert loaded.timeline is None
+    else:
+        assert loaded.timeline == original.timeline
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("backend", list(BACKENDS))
+    def test_every_strategy_and_backend(self, strategy, backend, tmp_path):
+        entities = generate_products(160, seed=51)
+        original = _pipeline(strategy, backend).run(entities)
+        path = original.save(tmp_path / "result.json")
+        _assert_equivalent(PipelineResult.load(path), original)
+
+    def test_two_source_result(self, tmp_path):
+        r = generate_products(80, seed=52)
+        s = generate_products(80, seed=53)
+        original = _pipeline("blocksplit").run(r, s)
+        loaded = PipelineResult.load(original.save(tmp_path / "dual.json"))
+        _assert_equivalent(loaded, original)
+        assert isinstance(loaded.bdm, DualSourceBDM)
+        assert loaded.bdm.partition_sources == original.bdm.partition_sources
+
+    def test_simulated_timeline_round_trips(self, tmp_path):
+        original = _pipeline(
+            "pairrange", cluster=ClusterSpec(num_nodes=4)
+        ).run(generate_products(140, seed=54))
+        assert original.timeline is not None
+        loaded = PipelineResult.load(original.save(tmp_path / "timed.json"))
+        assert loaded.timeline == original.timeline
+        assert loaded.execution_time == original.execution_time
+
+    def test_memory_budget_result_round_trips(self, tmp_path):
+        original = _pipeline("blocksplit", memory_budget=16).run(
+            generate_products(160, seed=55)
+        )
+        loaded = PipelineResult.load(original.save(tmp_path / "budget.json"))
+        _assert_equivalent(loaded, original)
+
+    def test_dict_round_trip_is_json_stable(self):
+        original = _pipeline("blocksplit").run(generate_products(120, seed=56))
+        data = result_to_dict(original)
+        rewired = json.loads(json.dumps(data))
+        _assert_equivalent(result_from_dict(rewired), original)
+
+    def test_non_string_block_keys_round_trip(self):
+        bdm = BlockDistributionMatrix(
+            [("a", 1), 7, 2.5, "plain", None, True],
+            [[2, 1], [3, 0], [1, 1], [0, 2], [1, 0], [0, 1]],
+        )
+        result = PipelineResult(
+            strategy="blocksplit", backend="serial",
+            matches=None, bdm=bdm, job1=None, job2=None,
+        )
+        loaded = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert loaded.bdm.block_keys == bdm.block_keys
+        assert [type(k) for k in loaded.bdm.block_keys] == [
+            type(k) for k in bdm.block_keys
+        ]
+
+
+class TestFormatGuards:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(PersistenceError, match="not a"):
+            PipelineResult.load(path)
+
+    def test_rejects_unknown_version(self, tmp_path):
+        original = _pipeline("basic").run(generate_products(60, seed=57))
+        data = result_to_dict(original)
+        data["version"] = RESULT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(PersistenceError, match="version"):
+            PipelineResult.load(path)
+
+    def test_rejects_truncated_body(self, tmp_path):
+        # Right header, missing body: still a PersistenceError, never a
+        # bare KeyError leaking out of load().
+        path = tmp_path / "truncated.json"
+        path.write_text(
+            json.dumps({"format": RESULT_FORMAT, "version": RESULT_VERSION})
+        )
+        with pytest.raises(PersistenceError, match="malformed"):
+            PipelineResult.load(path)
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "noise.json"
+        path.write_text("definitely not json")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            PipelineResult.load(path)
+
+    def test_header_fields_present(self):
+        data = result_to_dict(
+            _pipeline("basic").run(generate_products(60, seed=58))
+        )
+        assert data["format"] == RESULT_FORMAT
+        assert data["version"] == RESULT_VERSION
+
+
+class TestSweepFromResult:
+    def test_sweep_from_file_matches_sweep_from_object(self, tmp_path):
+        original = _pipeline("blocksplit").run(generate_products(200, seed=59))
+        path = original.save(tmp_path / "result.json")
+        from_file = sweep_from_result(
+            ["blocksplit", "pairrange"], [4, 8], path, num_nodes=4
+        )
+        from_object = sweep_from_result(
+            ["blocksplit", "pairrange"], [4, 8], original, num_nodes=4
+        )
+        assert sorted(from_file) == [4, 8]
+        for r in from_file:
+            for name in from_file[r]:
+                assert (
+                    from_file[r][name].execution_time
+                    == from_object[r][name].execution_time
+                )
+                assert from_file[r][name].total_pairs == original.bdm.pairs()
+
+    def test_bdm_from_result_requires_a_bdm(self):
+        basic = _pipeline("basic").run(generate_products(60, seed=60))
+        assert basic.bdm is None
+        with pytest.raises(ValueError, match="carries no BDM"):
+            bdm_from_result(basic)
+
+    def test_bdm_from_result_rejects_dual(self):
+        dual = _pipeline("blocksplit").run(
+            generate_products(60, seed=61), generate_products(60, seed=62)
+        )
+        with pytest.raises(ValueError, match="two-source"):
+            bdm_from_result(dual)

@@ -81,7 +81,20 @@ class TestSpilling:
                 sort_bucket(job, bucket)
                 for bucket in partition_map_output(job, [records], NUM_REDUCE_TASKS)
             ]
-            assert list(shuffle.buckets()) == expected
+            assert [
+                [record for _key, record in bucket] for bucket in shuffle.buckets()
+            ] == expected
+
+    def test_entries_carry_the_sort_key_encoded_at_add_time(self):
+        # The (sort key, record) pairs buckets() yields must pair every
+        # record with exactly the job's sort projection of its key — the
+        # reduce group walk reuses it instead of re-encoding.
+        job = _probe_job()
+        with ExternalShuffle(job, NUM_REDUCE_TASKS, memory_budget=7) as shuffle:
+            shuffle.add_records(_records(n=40))
+            for index in range(NUM_REDUCE_TASKS):
+                for sort_key, record in shuffle.bucket_entries(index):
+                    assert sort_key == job.sort_key(record.key)
 
     def test_lazy_bucket_sequence(self):
         job = _probe_job()
@@ -89,7 +102,8 @@ class TestSpilling:
             shuffle.add_records(_records(n=30))
             buckets = shuffle.buckets()
             assert len(buckets) == NUM_REDUCE_TASKS
-            assert buckets[1] == shuffle.bucket_records(1)
+            assert buckets[1] == shuffle.bucket_entries(1)
+            assert [r for _k, r in buckets[1]] == shuffle.bucket_records(1)
 
 
 class TestValidation:

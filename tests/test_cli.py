@@ -65,6 +65,41 @@ class TestDedup:
         capsys.readouterr()
         assert contents[0] == contents[1] == contents[2]
 
+    def test_async_backend_same_matches(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        serial_out = tmp_path / "serial.csv"
+        async_out = tmp_path / "async.csv"
+        assert main(["dedup", "--input", str(data), "--output", str(serial_out)]) == 0
+        assert main(["dedup", "--input", str(data), "--output", str(async_out),
+                     "--backend", "async", "--workers", "3"]) == 0
+        capsys.readouterr()
+        assert serial_out.read_text() == async_out.read_text()
+
+    def test_save_result_and_progress(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        out = tmp_path / "m.csv"
+        result_path = tmp_path / "result.json"
+        assert main(["dedup", "--input", str(data), "--output", str(out),
+                     "--save-result", str(result_path), "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "saved result to" in captured.out
+        # --progress narrates task lifecycle on stderr.
+        assert "[matching]" in captured.err and "reduce task" in captured.err
+        from repro.engine import PipelineResult
+
+        loaded = PipelineResult.load(result_path)
+        rows = list(csv.reader(out.open()))
+        assert len(loaded.matches) == len(rows) - 1
+
+    def test_save_result_rejected_with_missing_keys(self, tmp_path, capsys):
+        data = tmp_path / "in.csv"
+        data.write_text("_id,_source,title\na,R,alpha\nb,R,\n")
+        code = main(["dedup", "--input", str(data), "--output",
+                     str(tmp_path / "m.csv"), "--allow-missing-keys",
+                     "--save-result", str(tmp_path / "r.json")])
+        assert code == 2
+        assert "--allow-missing-keys" in capsys.readouterr().err
+
     def test_missing_keys_flag(self, tmp_path, capsys):
         data = tmp_path / "in.csv"
         data.write_text(
@@ -116,6 +151,38 @@ class TestSimulate:
                      "--strategies", "pairrange"]) == 0
         out = capsys.readouterr().out
         assert "m=4, r=16" in out
+
+    def test_from_persisted_result(self, tmp_path, capsys):
+        data = tmp_path / "p.csv"
+        main(["generate", "--kind", "products", "--num", "300",
+              "--seed", "4", "--output", str(data)])
+        result_path = tmp_path / "result.json"
+        main(["dedup", "--input", str(data), "--output", str(tmp_path / "m.csv"),
+              "--save-result", str(result_path), "--map-tasks", "3"])
+        capsys.readouterr()
+        assert main(["simulate", "--from-result", str(result_path),
+                     "--nodes", "4", "--reduce-tasks", "12"]) == 0
+        out = capsys.readouterr().out
+        # m comes from the persisted BDM, not from the cluster shape.
+        assert "m=3, r=12" in out
+        assert "blocksplit" in out and "pairrange" in out
+
+    def test_from_result_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(["simulate", "--from-result", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "no such result file" in capsys.readouterr().err
+
+    def test_from_result_rejects_two_source_result(self, tmp_path, capsys):
+        data = tmp_path / "p.csv"
+        main(["generate", "--num", "60", "--seed", "5", "--output", str(data)])
+        result_path = tmp_path / "link-result.json"
+        main(["link", "--input-r", str(data), "--input-s", str(data),
+              "--output", str(tmp_path / "l.csv"),
+              "--save-result", str(result_path)])
+        capsys.readouterr()
+        code = main(["simulate", "--from-result", str(result_path)])
+        assert code == 2
+        assert "cannot replan" in capsys.readouterr().err
 
 
 class TestParser:
