@@ -11,7 +11,9 @@ Five subcommands cover the library's main entry points::
 ``dedup``/``link`` run the real two-job workflow through
 :class:`~repro.engine.ERPipeline` — ``--backend parallel`` fans the
 map/reduce tasks out over a worker pool (``async`` over an asyncio
-loop), ``--input-format csv-shards`` streams the input through the
+loop, ``distributed`` over worker processes connected by loopback
+sockets, with ``--task-timeout`` guarding against hung workers),
+``--input-format csv-shards`` streams the input through the
 :mod:`repro.io` record-source layer, ``--memory-budget`` bounds shuffle
 buffering by spilling sorted run files to disk, ``--progress`` streams
 task lifecycle events to stderr as they happen, and ``--save-result``
@@ -52,6 +54,13 @@ from .io.sources import CsvShardSource
 
 def _positive_int(text: str) -> int:
     value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
@@ -100,13 +109,20 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--threshold", type=float, default=0.8)
         sub.add_argument("-m", "--map-tasks", type=int, default=4)
         sub.add_argument("-r", "--reduce-tasks", type=int, default=8)
-        sub.add_argument("--backend", choices=["serial", "parallel", "async"],
+        sub.add_argument("--backend",
+                         choices=["serial", "parallel", "async", "distributed"],
                          default="serial",
                          help="execution backend (parallel = worker pool, "
-                              "async = asyncio task units)")
+                              "async = asyncio task units, distributed = "
+                              "worker processes over sockets)")
         sub.add_argument("--workers", type=_positive_int, default=None,
                          help="pool size for --backend parallel/async "
-                              "(default: all cores)")
+                              "(default: all cores) or worker-process count "
+                              "for --backend distributed (default: 2)")
+        sub.add_argument("--task-timeout", type=_positive_float, default=None,
+                         help="for --backend distributed: seconds one task "
+                              "may run on a worker before the worker is "
+                              "presumed hung, killed, and the task requeued")
         sub.add_argument("--memory-budget", type=_positive_int, default=None,
                          help="max map-output records buffered in memory "
                               "during the shuffle; the rest spills through "
@@ -160,17 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _backend(args: argparse.Namespace):
-    """Resolve the --backend/--workers flags to a backend spec."""
+    """Resolve the --backend/--workers/--task-timeout flags to a backend."""
     from .engine.backend import get_backend
 
+    task_timeout = getattr(args, "task_timeout", None)
+    if task_timeout is not None and args.backend != "distributed":
+        raise SystemExit(
+            f"repro-er {args.command}: error: --task-timeout requires "
+            "--backend distributed"
+        )
     if args.backend == "parallel":
         return get_backend("parallel", max_workers=args.workers)
     if args.backend == "async":
         return get_backend("async", max_concurrency=args.workers)
+    if args.backend == "distributed":
+        return get_backend(
+            "distributed", num_workers=args.workers, task_timeout=task_timeout
+        )
     if args.workers is not None:
         raise SystemExit(
             f"repro-er {args.command}: error: --workers requires "
-            "--backend parallel or async"
+            "--backend parallel, async or distributed"
         )
     return get_backend(args.backend)
 

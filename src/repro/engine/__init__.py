@@ -5,16 +5,19 @@ workflow (Job 1 BDM computation, Job 2 load-balanced matching): one- and
 two-source matching share one ``run(r, s=None)`` code path, and the
 *how* of execution is delegated to an :class:`ExecutionBackend`:
 
-=============  ==========================================================
-backend        what it does
-=============  ==========================================================
-``serial``     deterministic in-process execution (the reference path)
-``parallel``   map/reduce tasks fan out over a process or thread pool
-``async``      the same task units as asyncio coroutines — awaitable,
-               streamable, cancellable from an event loop
-``planned``    no execution — analytic planners + cluster simulation,
-               which is what makes DS2-scale figures tractable
-=============  ==========================================================
+=================  ======================================================
+backend            what it does
+=================  ======================================================
+``serial``         deterministic in-process execution (the reference)
+``parallel``       map/reduce tasks fan out over a process or thread pool
+``async``          the same task units as asyncio coroutines — awaitable,
+                   streamable, cancellable from an event loop
+``distributed``    the same task units shipped to worker *processes* over
+                   loopback sockets, with heartbeats, per-task timeouts
+                   and bounded requeue on worker failure
+``planned``        no execution — analytic planners + cluster simulation,
+                   which is what makes DS2-scale figures tractable
+=================  ======================================================
 
 All backends return a :class:`PipelineResult`; executing backends fill
 ``matches``/``job1``/``job2``, and every backend fills the analytic
@@ -50,6 +53,11 @@ from .backend import (
     get_backend,
     register_backend,
 )
+from .distributed import (
+    DistributedBackend,
+    DistributedExecutionError,
+    DistributedRuntime,
+)
 from .execution import (
     ExecutionProgress,
     MatcherStats,
@@ -78,6 +86,9 @@ __all__ = [
     "BACKENDS",
     "AsyncBackend",
     "AsyncRuntime",
+    "DistributedBackend",
+    "DistributedExecutionError",
+    "DistributedRuntime",
     "ERPipeline",
     "EventChannel",
     "EventKind",

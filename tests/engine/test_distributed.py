@@ -1,0 +1,270 @@
+"""The distributed backend: worker processes must be invisible.
+
+The load-bearing guarantee is cross-backend equivalence: for every
+strategy × source-arity × with/without a memory budget, the distributed
+backend's ``PipelineResult`` — matches (ids *and* scores), job-level
+and per-task counters, the persisted JSON document — is byte-identical
+to the serial reference, and the whole execution-handle surface
+(streaming, progress, cancellation, failure propagation) behaves
+exactly as it does in-process.
+
+Fault behaviour (injected crashes and hangs) lives in
+``tests/engine/test_fault_injection.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.generators import generate_products
+from repro.engine import (
+    BACKENDS,
+    DistributedBackend,
+    DistributedExecutionError,
+    DistributedRuntime,
+    ERPipeline,
+    PipelineCancelled,
+    get_backend,
+    result_to_dict,
+)
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import Matcher, ThresholdMatcher
+from repro.mapreduce.events import EventKind
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]
+DUAL_STRATEGIES = ["blocksplit", "pairrange"]
+BUDGETS = [None, 24]
+
+#: Two workers everywhere: enough for real out-of-order completion,
+#: cheap enough to spawn per test on a 1-CPU runner.
+WORKERS = 2
+
+
+def _pipeline(strategy, backend="serial", *, memory_budget=None, **options):
+    if backend == "distributed":
+        options.setdefault("num_workers", WORKERS)
+    return ERPipeline(
+        strategy,
+        PrefixBlocking("title"),
+        ThresholdMatcher("title", 0.8),
+        num_map_tasks=3,
+        num_reduce_tasks=5,
+        memory_budget=memory_budget,
+    ).with_backend(backend, **options)
+
+
+def _match_tuples(matches):
+    return [(pair.id1, pair.id2, pair.similarity) for pair in matches]
+
+
+def _job2_output_tuples(result):
+    return _match_tuples(record.value for record in result.job2.output)
+
+
+def _fingerprint(result):
+    return (
+        result.strategy,
+        _match_tuples(result.matches),
+        result.reduce_comparisons(),
+        result.job2.counters.as_dict(),
+        None if result.job1 is None else result.job1.counters.as_dict(),
+        tuple(task.counters.as_dict() for task in result.job2.reduce_tasks),
+        None if result.job1 is None else tuple(
+            task.counters.as_dict() for task in result.job1.reduce_tasks
+        ),
+    )
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("memory_budget", BUDGETS)
+    def test_byte_identical_to_serial(self, strategy, memory_budget):
+        entities = generate_products(180, seed=41)
+        serial = _pipeline(strategy, memory_budget=memory_budget).run(entities)
+        distributed = _pipeline(
+            strategy, "distributed", memory_budget=memory_budget
+        ).run(entities)
+        assert _fingerprint(distributed) == _fingerprint(serial)
+        assert len(serial.matches) > 0
+
+    @pytest.mark.parametrize("strategy", DUAL_STRATEGIES)
+    def test_two_source_byte_identical_to_serial(self, strategy):
+        r = generate_products(90, seed=42)
+        s = generate_products(90, seed=43)
+        serial = _pipeline(strategy).run(r, s)
+        distributed = _pipeline(strategy, "distributed").run(r, s)
+        assert _fingerprint(distributed) == _fingerprint(serial)
+        assert len(serial.matches) > 0
+
+    def test_persisted_json_identical_to_serial(self):
+        # The acceptance criterion, literally: the persisted result
+        # document differs from serial in nothing but the backend label.
+        entities = generate_products(180, seed=44)
+        serial = result_to_dict(_pipeline("blocksplit").run(entities))
+        distributed = result_to_dict(
+            _pipeline("blocksplit", "distributed").run(entities)
+        )
+        assert distributed.pop("backend") == "distributed"
+        assert serial.pop("backend") == "serial"
+        assert distributed == serial
+
+    def test_many_tasks_through_few_workers(self):
+        # More reduce tasks than workers: the scheduler's requeue-free
+        # steady state (pull → dispatch → merge) under real contention.
+        entities = generate_products(200, seed=45)
+        serial = ERPipeline(
+            "pairrange", PrefixBlocking("title"),
+            ThresholdMatcher("title", 0.8),
+            num_map_tasks=5, num_reduce_tasks=11,
+        ).run(entities)
+        distributed = ERPipeline(
+            "pairrange", PrefixBlocking("title"),
+            ThresholdMatcher("title", 0.8),
+            num_map_tasks=5, num_reduce_tasks=11,
+        ).with_backend("distributed", num_workers=WORKERS).run(entities)
+        assert _fingerprint(distributed) == _fingerprint(serial)
+
+
+class TestExecutionHandle:
+    def test_streamed_matches_equal_job2_output(self):
+        entities = generate_products(180, seed=46)
+        execution = _pipeline("blocksplit", "distributed").submit(entities)
+        streamed = list(execution.iter_matches())
+        result = execution.result()
+        assert _match_tuples(streamed) == _job2_output_tuples(result)
+        assert len(streamed) > 0
+
+    def test_progress_snapshot_after_completion(self):
+        entities = generate_products(180, seed=47)
+        execution = _pipeline("blocksplit", "distributed").submit(entities)
+        result = execution.result()
+        progress = execution.progress()
+        assert progress.state == "succeeded"
+        assert [stage.stage for stage in progress.stages] == ["bdm", "matching"]
+        for stage in progress.stages:
+            assert stage.finished
+            assert stage.map_tasks_done == stage.map_tasks_total == 3
+            assert stage.reduce_tasks_done == stage.reduce_tasks_total == 5
+        assert progress.comparisons == result.total_comparisons()
+        assert progress.matches == len(result.matches)
+
+    def test_event_stream_matches_serial(self):
+        entities = generate_products(150, seed=48)
+
+        def trace(pipeline):
+            events = []
+            pipeline.submit(
+                entities,
+                on_event=lambda e: events.append(
+                    (e.kind, e.stage, e.job, e.phase, e.task_index)
+                ),
+            ).result()
+            return events
+
+        serial = trace(_pipeline("pairrange"))
+        distributed = trace(_pipeline("pairrange", "distributed"))
+        # Started events fire at submission, finished events in
+        # task-index order — so each kind's own sequence is identical
+        # to serial even though the interleaving may differ.
+        for kind in (EventKind.TASK_STARTED, EventKind.TASK_FINISHED):
+            assert [e for e in distributed if e[0] == kind] == [
+                e for e in serial if e[0] == kind
+            ]
+
+    def test_cancel_mid_run(self):
+        entities = generate_products(250, seed=49)
+        reached = threading.Event()
+        gate = threading.Event()
+
+        def on_event(event):
+            if event.stage == "matching" and event.kind == EventKind.TASK_STARTED:
+                reached.set()
+                gate.wait(timeout=30)
+
+        execution = _pipeline("blocksplit", "distributed").submit(
+            entities, on_event=on_event
+        )
+        assert reached.wait(timeout=30)
+        assert execution.cancel() is True
+        gate.set()
+        with pytest.raises(PipelineCancelled):
+            execution.result()
+        assert execution.state == "cancelled"
+        stages = {s.stage: s for s in execution.progress().stages}
+        assert stages["bdm"].finished
+        assert not stages["matching"].finished
+
+
+class ExplodingMatcher(Matcher):
+    """Module-level so worker processes can unpickle it (see the
+    PYTHONPATH monkeypatch in the test)."""
+
+    def similarity(self, e1, e2):
+        raise RuntimeError("matcher exploded remotely")
+
+    def is_match(self, similarity):
+        return False
+
+
+class TestFailurePropagation:
+    def test_remote_task_exception_propagates(self, monkeypatch):
+        # Workers must be able to import this test module to unpickle
+        # the matcher; the runtime prepends src/ to whatever PYTHONPATH
+        # it inherits, so pointing it at the repo root is enough.
+        monkeypatch.setenv("PYTHONPATH", str(REPO_ROOT))
+        pipeline = ERPipeline(
+            "blocksplit",
+            PrefixBlocking("title"),
+            ExplodingMatcher(),
+            num_map_tasks=2,
+            num_reduce_tasks=3,
+            backend=get_backend("distributed", num_workers=WORKERS),
+        )
+        execution = pipeline.submit(generate_products(80, seed=50))
+        with pytest.raises(RuntimeError, match="matcher exploded remotely"):
+            execution.result()
+        assert execution.state == "failed"
+
+    def test_unpicklable_job_fails_with_clear_error(self):
+        pipeline = ERPipeline(
+            "basic",
+            PrefixBlocking("title"),
+            # A lambda similarity function cannot be pickled, so the
+            # job can never be shipped to a worker process.
+            ThresholdMatcher("title", 0.8, similarity_fn=lambda a, b: 0.0),
+            num_map_tasks=2,
+            num_reduce_tasks=3,
+            backend=get_backend("distributed", num_workers=WORKERS),
+        )
+        with pytest.raises(DistributedExecutionError, match="cannot be pickled"):
+            pipeline.run(generate_products(40, seed=51))
+
+
+class TestConfiguration:
+    def test_backend_registered(self):
+        assert BACKENDS["distributed"] is DistributedBackend
+        backend = get_backend("distributed", num_workers=3, task_timeout=9.0)
+        assert backend.num_workers == 3
+        assert backend.task_timeout == 9.0
+
+    def test_runtime_rejects_bad_options(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            DistributedRuntime(num_workers=0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            DistributedRuntime(task_timeout=0)
+        with pytest.raises(ValueError, match="max_task_retries"):
+            DistributedRuntime(max_task_retries=-1)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            DistributedRuntime(heartbeat_interval=0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            DistributedRuntime(heartbeat_timeout=0)
+
+    def test_close_without_use_is_safe(self):
+        runtime = DistributedRuntime(num_workers=2)
+        runtime.close()
+        runtime.close()

@@ -17,7 +17,7 @@ import pytest
 from repro.datasets.generators import generate_products
 from repro.engine import AsyncBackend, AsyncRuntime, ERPipeline, PipelineCancelled
 from repro.er.blocking import PrefixBlocking
-from repro.er.matching import Matcher, ThresholdMatcher
+from repro.er.matching import AlwaysMatcher, Matcher, ThresholdMatcher
 from repro.mapreduce.events import EventKind
 
 ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]
@@ -282,6 +282,50 @@ class TestMatcherSnapshots:
         assert pipeline.matcher.comparisons == (
             first_result.total_comparisons() + second_result.total_comparisons()
         )
+
+    def test_cache_stats_are_snapshotted_per_run(self):
+        # Regression: the verdict-memo counters (cache_hits/misses)
+        # must be part of the submit-time snapshot like the comparison
+        # counters — otherwise a matcher reused across runs reports
+        # cache numbers leaked from the previous run.
+        entities = generate_products(150, seed=38)
+        pipeline = _pipeline("blocksplit")
+        first = pipeline.submit(entities)
+        first.result()
+        second = pipeline.submit(entities)
+        second.result()
+        matcher = pipeline.matcher
+        first_stats, second_stats = first.matcher_stats(), second.matcher_stats()
+        # The same data passes through twice, so the kernel runs in the
+        # first run and the memo answers in the second.
+        assert first_stats.cache_misses > 0
+        assert second_stats.cache_hits > 0
+        # Per-run deltas partition the cumulative matcher counters...
+        assert (
+            first_stats.cache_hits + second_stats.cache_hits
+            == matcher.cache_hits
+        )
+        assert (
+            first_stats.cache_misses + second_stats.cache_misses
+            == matcher.cache_misses
+        )
+        # ...so the second run's numbers are its own, not the total.
+        assert second_stats.cache_misses < matcher.cache_misses
+
+    def test_cacheless_matcher_reports_zero_cache_stats(self):
+        # Matchers without a verdict memo (anything but
+        # ThresholdMatcher) simply read as zero — not as an error.
+        execution = ERPipeline(
+            "blocksplit",
+            PrefixBlocking("title"),
+            AlwaysMatcher(),
+            num_map_tasks=2,
+            num_reduce_tasks=3,
+        ).submit(generate_products(80, seed=39))
+        execution.result()
+        stats = execution.matcher_stats()
+        assert stats.cache_hits == stats.cache_misses == 0
+        assert stats.comparisons > 0
 
     def test_process_pool_keeps_driver_matcher_untouched(self):
         entities = generate_products(120, seed=36)

@@ -1,0 +1,175 @@
+"""Fault injection: the distributed backend under real worker failures.
+
+Workers are armed through the :mod:`repro.worker` environment hooks —
+``REPRO_WORKER_FAULT=crash:N|hang:N`` plus
+``REPRO_WORKER_FAULT_WORKERS`` — so the faults are genuine process
+deaths (``os._exit`` mid-protocol) and genuine hangs (a task unit that
+never returns while heartbeats keep flowing), not mocks.
+
+What must hold:
+
+* a crashed worker's task is requeued to a survivor and the final
+  result — matches, job-level and per-task counters — is byte-identical
+  to the serial reference: nothing lost, nothing double-counted;
+* the retry budget is honored: with ``max_task_retries=0`` the first
+  loss fails the job with a clean :class:`DistributedExecutionError`;
+* a hung worker heartbeats forever, so only the per-task timeout can
+  catch it — and does, after which the job completes identically;
+* losing *every* worker fails the job cleanly instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.generators import generate_products
+from repro.engine import DistributedExecutionError, ERPipeline
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+from repro.worker import ENV_FAULT, ENV_FAULT_WORKERS, FaultInjector
+
+WORKERS = 2
+
+
+def _pipeline(strategy="blocksplit", backend="serial", **options):
+    if backend == "distributed":
+        options.setdefault("num_workers", WORKERS)
+    return ERPipeline(
+        strategy,
+        PrefixBlocking("title"),
+        ThresholdMatcher("title", 0.8),
+        num_map_tasks=3,
+        num_reduce_tasks=5,
+    ).with_backend(backend, **options)
+
+
+def _fingerprint(result):
+    return (
+        [(pair.id1, pair.id2, pair.similarity) for pair in result.matches],
+        result.reduce_comparisons(),
+        result.job2.counters.as_dict(),
+        None if result.job1 is None else result.job1.counters.as_dict(),
+        tuple(task.counters.as_dict() for task in result.job2.reduce_tasks),
+    )
+
+
+def _arm(monkeypatch, fault, workers="0"):
+    monkeypatch.setenv(ENV_FAULT, fault)
+    monkeypatch.setenv(ENV_FAULT_WORKERS, workers)
+
+
+class TestCrashRequeue:
+    # Worker 0's 2nd task lands in the BDM job, its 6th in the matching
+    # job — the requeue path is exercised in both workflow stages.
+    @pytest.mark.parametrize("crash_at", [2, 6])
+    def test_requeue_loses_and_duplicates_nothing(self, monkeypatch, crash_at):
+        entities = generate_products(180, seed=71)
+        reference = _fingerprint(_pipeline().run(entities))
+        _arm(monkeypatch, f"crash:{crash_at}")
+        survived = _pipeline(backend="distributed").run(entities)
+        assert _fingerprint(survived) == reference
+
+    def test_streamed_matches_survive_a_crash_exactly_once(self, monkeypatch):
+        entities = generate_products(180, seed=72)
+        reference = _pipeline().run(entities)
+        _arm(monkeypatch, "crash:4")
+        execution = _pipeline(backend="distributed").submit(entities)
+        streamed = [(p.id1, p.id2, p.similarity) for p in execution.iter_matches()]
+        execution.result()
+        # Exactly the serial matching job's reduce output: no pair
+        # dropped with the dead worker, none emitted twice by a retry.
+        assert streamed == [
+            (r.value.id1, r.value.id2, r.value.similarity)
+            for r in reference.job2.output
+        ]
+        assert len(streamed) == len(set(streamed)) > 0
+
+    def test_losing_every_worker_fails_cleanly(self, monkeypatch):
+        entities = generate_products(120, seed=73)
+        _arm(monkeypatch, "crash:1", workers="all")
+        with pytest.raises(
+            DistributedExecutionError,
+            match="no workers survive|all workers were lost",
+        ):
+            _pipeline(backend="distributed").run(entities)
+
+
+class TestRetryBudget:
+    def test_retry_bound_is_honored(self, monkeypatch):
+        entities = generate_products(120, seed=74)
+        _arm(monkeypatch, "crash:1")
+        with pytest.raises(
+            DistributedExecutionError,
+            match=r"exhausted its retry budget \(max_task_retries=0\)",
+        ) as info:
+            _pipeline(backend="distributed", max_task_retries=0).run(entities)
+        assert "failed 1 time(s)" in str(info.value)
+
+    def test_default_budget_absorbs_a_single_crash(self, monkeypatch):
+        entities = generate_products(120, seed=75)
+        reference = _fingerprint(_pipeline().run(entities))
+        _arm(monkeypatch, "crash:1")
+        survived = _pipeline(backend="distributed").run(entities)
+        assert _fingerprint(survived) == reference
+
+
+class TestHungWorker:
+    def test_hang_trips_the_task_timeout_and_requeues(self, monkeypatch):
+        entities = generate_products(180, seed=76)
+        reference = _fingerprint(_pipeline().run(entities))
+        # The hung worker keeps heartbeating (heartbeat_timeout would
+        # never fire); only the per-task deadline can unstick the job.
+        _arm(monkeypatch, "hang:3")
+        survived = _pipeline(
+            backend="distributed", task_timeout=1.5
+        ).run(entities)
+        assert _fingerprint(survived) == reference
+
+    def test_hang_plus_exhausted_budget_fails_cleanly(self, monkeypatch):
+        entities = generate_products(120, seed=77)
+        _arm(monkeypatch, "hang:2")
+        with pytest.raises(
+            DistributedExecutionError, match="exceeded task_timeout"
+        ):
+            _pipeline(
+                backend="distributed", task_timeout=1.0, max_task_retries=0
+            ).run(entities)
+
+
+class TestFaultInjectorHook:
+    """The env-hook parser itself (driven in-process, no sockets)."""
+
+    def test_unarmed_by_default(self):
+        assert FaultInjector(0, env={}).mode is None
+
+    def test_armed_for_selected_worker_only(self):
+        env = {ENV_FAULT: "crash:3", ENV_FAULT_WORKERS: "1,2"}
+        assert FaultInjector(0, env=env).mode is None
+        assert FaultInjector(1, env=env).mode == "crash"
+        assert FaultInjector(2, env=env).at_task == 3
+
+    def test_all_selects_every_worker(self):
+        env = {ENV_FAULT: "hang:1", ENV_FAULT_WORKERS: "all"}
+        for index in range(4):
+            assert FaultInjector(index, env=env).mode == "hang"
+
+    def test_default_selection_is_worker_zero(self):
+        env = {ENV_FAULT: "crash:1"}
+        assert FaultInjector(0, env=env).mode == "crash"
+        assert FaultInjector(1, env=env).mode is None
+
+    @pytest.mark.parametrize("spec", ["boom", "crash", "crash:0", "crash:x", "x:1"])
+    def test_bad_specs_are_rejected_loudly(self, spec):
+        with pytest.raises(SystemExit):
+            FaultInjector(0, env={ENV_FAULT: spec})
+
+    def test_bad_worker_selection_rejected(self):
+        with pytest.raises(SystemExit):
+            FaultInjector(
+                0, env={ENV_FAULT: "crash:1", ENV_FAULT_WORKERS: "zero"}
+            )
+
+    def test_untripped_task_numbers_pass_through(self):
+        injector = FaultInjector(0, env={ENV_FAULT: "crash:5"})
+        for task_number in (1, 2, 3, 4, 6):
+            injector.maybe_trip(task_number)  # must not exit

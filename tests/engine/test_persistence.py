@@ -184,6 +184,70 @@ class TestFormatGuards:
         assert data["version"] == RESULT_VERSION
 
 
+class TestLoadErrorMessages:
+    """Load failures must *explain themselves* — the message names the
+    file or the offending header field, not just the error type."""
+
+    def test_truncated_file_names_the_file(self, tmp_path):
+        # A download cut off mid-document: valid prefix, no closing
+        # brace.  The message carries the path so a user with many
+        # result files knows which one is broken.
+        original = _pipeline("basic").run(generate_products(60, seed=63))
+        path = original.save(tmp_path / "cut.json")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(PersistenceError) as info:
+            PipelineResult.load(path)
+        message = str(info.value)
+        assert "not valid JSON" in message
+        assert "cut.json" in message
+
+    def test_wrong_format_reports_what_it_found(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "acme.results", "version": 1}))
+        with pytest.raises(PersistenceError) as info:
+            PipelineResult.load(path)
+        message = str(info.value)
+        assert f"not a {RESULT_FORMAT} document" in message
+        assert "format='acme.results'" in message
+
+    def test_future_version_reports_both_versions(self, tmp_path):
+        original = _pipeline("basic").run(generate_products(60, seed=64))
+        data = result_to_dict(original)
+        data["version"] = RESULT_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(PersistenceError) as info:
+            PipelineResult.load(path)
+        message = str(info.value)
+        assert (
+            f"unsupported {RESULT_FORMAT} version {RESULT_VERSION + 1}"
+            in message
+        )
+        assert f"this build reads version {RESULT_VERSION}" in message
+
+    def test_non_object_document_reports_its_type(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError) as info:
+            PipelineResult.load(path)
+        assert "expected a JSON object, got list" in str(info.value)
+
+    def test_broken_body_reports_version_and_cause(self, tmp_path):
+        # Right header, hand-edited body: the message pins the format
+        # version it tried to read and the underlying decode failure.
+        original = _pipeline("basic").run(generate_products(60, seed=65))
+        data = result_to_dict(original)
+        del data["matches"]
+        path = tmp_path / "edited.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(PersistenceError) as info:
+            PipelineResult.load(path)
+        message = str(info.value)
+        assert f"malformed {RESULT_FORMAT} v{RESULT_VERSION} document" in message
+        assert "KeyError('matches')" in message
+
+
 class TestSweepFromResult:
     def test_sweep_from_file_matches_sweep_from_object(self, tmp_path):
         original = _pipeline("blocksplit").run(generate_products(200, seed=59))

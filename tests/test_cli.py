@@ -75,6 +75,29 @@ class TestDedup:
         capsys.readouterr()
         assert serial_out.read_text() == async_out.read_text()
 
+    def test_distributed_backend_same_matches(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        serial_out = tmp_path / "serial.csv"
+        distributed_out = tmp_path / "distributed.csv"
+        assert main(["dedup", "--input", str(data), "--output", str(serial_out)]) == 0
+        assert main(["dedup", "--input", str(data), "--output", str(distributed_out),
+                     "--backend", "distributed", "--workers", "2",
+                     "--task-timeout", "60"]) == 0
+        capsys.readouterr()
+        assert serial_out.read_text() == distributed_out.read_text()
+
+    def test_task_timeout_requires_distributed_backend(self, tmp_path):
+        data = self._dataset(tmp_path)
+        with pytest.raises(SystemExit, match="--task-timeout requires"):
+            main(["dedup", "--input", str(data),
+                  "--output", str(tmp_path / "m.csv"), "--task-timeout", "5"])
+
+    def test_workers_requires_a_pooled_backend(self, tmp_path):
+        data = self._dataset(tmp_path)
+        with pytest.raises(SystemExit, match="--workers requires"):
+            main(["dedup", "--input", str(data),
+                  "--output", str(tmp_path / "m.csv"), "--workers", "2"])
+
     def test_save_result_and_progress(self, tmp_path, capsys):
         data = self._dataset(tmp_path)
         out = tmp_path / "m.csv"
