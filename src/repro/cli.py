@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Five subcommands cover the library's main entry points::
+Seven subcommands cover the library's main entry points::
 
     repro-er generate  --kind products --num 5000 --output products.csv
     repro-er dedup     --input products.csv --output matches.csv
     repro-er link      --input-r a.csv --input-s b.csv --output links.csv
+    repro-er serve     --workers 4 --port 7311
+    repro-er submit    --server HOST:PORT --input products.csv --output m.csv
     repro-er simulate  --dataset ds1 --nodes 10 --reduce-tasks 100
     repro-er recommend --input products.csv
 
@@ -12,13 +14,24 @@ Five subcommands cover the library's main entry points::
 :class:`~repro.engine.ERPipeline` — ``--backend parallel`` fans the
 map/reduce tasks out over a worker pool (``async`` over an asyncio
 loop, ``distributed`` over worker processes connected by loopback
-sockets, with ``--task-timeout`` guarding against hung workers),
+sockets, with ``--task-timeout`` guarding against hung workers and
+``--max-worker-respawns`` letting the pool heal after losses),
 ``--input-format csv-shards`` streams the input through the
 :mod:`repro.io` record-source layer, ``--memory-budget`` bounds shuffle
 buffering by spilling sorted run files to disk, ``--progress`` streams
 task lifecycle events to stderr as they happen, and ``--save-result``
 persists the full :class:`~repro.engine.PipelineResult` as versioned
-JSON; ``simulate`` uses the analytic planners + cluster simulator and
+JSON.  The ``--output`` CSV is a **streaming sink**: match rows are
+written as reduce task units complete, not buffered until the end — so
+a long run's output is inspectable while it executes, and local and
+remote runs of the same pipeline produce byte-identical files.
+
+``serve`` runs the persistent ER daemon (one shared worker pool, many
+concurrent jobs over TCP — see :mod:`repro.serve`); ``submit`` ships a
+dedup run to such a daemon and streams the matches back into
+``--output`` exactly like a local ``dedup`` would.
+
+``simulate`` uses the analytic planners + cluster simulator and
 therefore handles DS2 scale in seconds — with ``--from-result`` it
 replans straight from a previously saved result file, no re-execution;
 ``recommend`` profiles a file's blocking skew (streaming, with
@@ -123,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="for --backend distributed: seconds one task "
                               "may run on a worker before the worker is "
                               "presumed hung, killed, and the task requeued")
+        sub.add_argument("--max-worker-respawns", type=int, default=None,
+                         metavar="N",
+                         help="for --backend distributed: replacement "
+                              "workers that may be spawned after losses "
+                              "(default 0: the pool only shrinks)")
         sub.add_argument("--memory-budget", type=_positive_int, default=None,
                          help="max map-output records buffered in memory "
                               "during the shuffle; the rest spills through "
@@ -134,6 +152,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the full PipelineResult as versioned "
                               "JSON (replayable with 'simulate "
                               "--from-result PATH')")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the persistent ER service daemon (shared worker pool, "
+             "concurrent jobs over TCP)",
+    )
+    from .serve.__main__ import add_server_arguments
+
+    add_server_arguments(serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="run a dedup on a remote ER server (started with 'serve')",
+    )
+    submit.add_argument("--server", required=True, metavar="HOST:PORT",
+                        help="address printed by the daemon at startup")
+    submit.add_argument("--token", default=None,
+                        help="service token (default: the REPRO_SERVE_TOKEN "
+                             "environment variable)")
+    submit.add_argument("--input", required=True)
+    submit.add_argument("--output", required=True)
+    submit.add_argument("--strategy", choices=["basic", "blocksplit", "pairrange"],
+                        default="blocksplit")
+    submit.add_argument("--attribute", default="title")
+    submit.add_argument("--prefix-length", type=int, default=3)
+    submit.add_argument("--threshold", type=float, default=0.8)
+    submit.add_argument("-m", "--map-tasks", type=int, default=4)
+    submit.add_argument("-r", "--reduce-tasks", type=int, default=8)
+    submit.add_argument("--progress", action="store_true",
+                        help="stream forwarded task lifecycle events to "
+                             "stderr while the job runs remotely")
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate strategies on a cluster (analytic planners)"
@@ -185,13 +234,24 @@ def _backend(args: argparse.Namespace):
             f"repro-er {args.command}: error: --task-timeout requires "
             "--backend distributed"
         )
+    max_worker_respawns = getattr(args, "max_worker_respawns", None)
+    if max_worker_respawns is not None and args.backend != "distributed":
+        raise SystemExit(
+            f"repro-er {args.command}: error: --max-worker-respawns "
+            "requires --backend distributed"
+        )
     if args.backend == "parallel":
         return get_backend("parallel", max_workers=args.workers)
     if args.backend == "async":
         return get_backend("async", max_concurrency=args.workers)
     if args.backend == "distributed":
         return get_backend(
-            "distributed", num_workers=args.workers, task_timeout=task_timeout
+            "distributed",
+            num_workers=args.workers,
+            task_timeout=task_timeout,
+            max_worker_respawns=(
+                max_worker_respawns if max_worker_respawns is not None else 0
+            ),
         )
     if args.workers is not None:
         raise SystemExit(
@@ -232,18 +292,48 @@ def _progress_printer(stream):
     return on_event
 
 
+def _stream_matches(execution, path: str) -> int:
+    """Drain ``execution.iter_matches()`` into a CSV as rows arrive.
+
+    This is the streaming ``--output`` sink: each match is written (and
+    flushed) the moment its reduce task unit completes, so the file
+    grows while the run executes instead of appearing at the end.  The
+    row order is the deterministic stream order — identical across
+    local backends and remote submission for the same pipeline.  Works
+    with any handle offering ``iter_matches()`` (a local
+    ``PipelineExecution`` or a remote ``RemoteExecution``).  Returns
+    the number of matches written.
+    """
+    count = 0
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id1", "id2", "similarity"])
+        for pair in execution.iter_matches():
+            writer.writerow([pair.id1, pair.id2, f"{pair.similarity:.6f}"])
+            handle.flush()
+            count += 1
+    return count
+
+
 def _run_pipeline(pipeline: ERPipeline, args: argparse.Namespace, *run_args, **run_kwargs):
-    """Submit, optionally narrating progress, and persist on request."""
+    """Submit, stream matches into --output, persist on request.
+
+    Returns ``(result, match_count)``; the output CSV is already
+    written (streamed during execution) when this returns.
+    """
     on_event = _progress_printer(sys.stderr) if args.progress else None
     execution = pipeline.submit(*run_args, on_event=on_event, **run_kwargs)
+    count = _stream_matches(execution, args.output)
     result = execution.result()
     if args.save_result:
         path = result.save(args.save_result)
         print(f"saved result to {path}")
-    return result
+    return result, count
 
 
 def _write_matches(matches: MatchResult, path: str) -> None:
+    """Buffered sink for code paths without an execution handle (the
+    missing-keys fallback merges several runs into bare matches)."""
     with Path(path).open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(["id1", "id2", "similarity"])
@@ -306,6 +396,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             memory_budget=args.memory_budget,
         )
         print(f"{input_note}, {len(matches)} duplicate pairs")
+        _write_matches(matches, args.output)
     else:
         pipeline = ERPipeline(
             args.strategy,
@@ -316,14 +407,12 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             backend=_backend(args),
             memory_budget=args.memory_budget,
         )
-        result = _run_pipeline(pipeline, args, record_input)
-        matches = result.matches
+        result, count = _run_pipeline(pipeline, args, record_input)
         stats = WorkloadStats.from_workloads(result.reduce_comparisons())
         print(
             f"{input_note}, {result.total_comparisons():,} comparisons "
-            f"(imbalance {stats.imbalance:.2f}), {len(matches)} duplicate pairs"
+            f"(imbalance {stats.imbalance:.2f}), {count} duplicate pairs"
         )
-    _write_matches(matches, args.output)
     print(f"wrote matches to {args.output}")
     return 0
 
@@ -343,7 +432,7 @@ def cmd_link(args: argparse.Namespace) -> int:
         backend=_backend(args),
         memory_budget=args.memory_budget,
     )
-    result = _run_pipeline(
+    result, count = _run_pipeline(
         pipeline,
         args,
         r_entities,
@@ -354,10 +443,61 @@ def cmd_link(args: argparse.Namespace) -> int:
     print(
         f"|R|={len(r_entities)}, |S|={len(s_entities)}, "
         f"{result.total_comparisons():,} cross-source comparisons, "
-        f"{len(result.matches)} links"
+        f"{count} links"
     )
-    _write_matches(result.matches, args.output)
     print(f"wrote links to {args.output}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.__main__ import run_server, server_from_args
+
+    return run_server(server_from_args(args))
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.client import (
+        ServeClient,
+        ServeConnectionError,
+        SubmissionRejected,
+    )
+
+    host, _, port_text = args.server.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"error: --server must be HOST:PORT, got {args.server!r}",
+              file=sys.stderr)
+        return 2
+    entities = load_entities_csv(args.input)
+    # The pipeline's own backend is irrelevant for remote submission:
+    # only the resolved request ships, the server's shared pool runs it.
+    pipeline = ERPipeline(
+        args.strategy,
+        PrefixBlocking(args.attribute, args.prefix_length),
+        ThresholdMatcher(args.attribute, args.threshold),
+        num_map_tasks=args.map_tasks,
+        num_reduce_tasks=args.reduce_tasks,
+    )
+    on_event = _progress_printer(sys.stderr) if args.progress else None
+    try:
+        with ServeClient(
+            host, int(port_text), token=args.token, on_event=on_event
+        ) as client:
+            execution = client.submit(pipeline, entities)
+            count = _stream_matches(execution, args.output)
+            result = execution.result()
+    except ValueError as exc:  # no token available
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ServeConnectionError, SubmissionRejected) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = WorkloadStats.from_workloads(result.reduce_comparisons())
+    print(
+        f"{len(entities)} entities, {result.total_comparisons():,} "
+        f"comparisons (imbalance {stats.imbalance:.2f}), "
+        f"{count} duplicate pairs (served by {args.server})"
+    )
+    print(f"wrote matches to {args.output}")
     return 0
 
 
@@ -444,6 +584,8 @@ COMMANDS = {
     "generate": cmd_generate,
     "dedup": cmd_dedup,
     "link": cmd_link,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "simulate": cmd_simulate,
     "recommend": cmd_recommend,
 }

@@ -60,6 +60,7 @@ from .distributed import (
 )
 from .execution import (
     ExecutionProgress,
+    ExecutionStateMirror,
     MatcherStats,
     PipelineExecution,
     StageProgress,
@@ -95,6 +96,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionEvent",
     "ExecutionProgress",
+    "ExecutionStateMirror",
     "MatcherStats",
     "ParallelBackend",
     "ParallelRuntime",

@@ -32,6 +32,11 @@ Fault tolerance (the part a networked backend cannot skip):
   exceeds ``task_timeout`` is killed and its task is **requeued** to a
   surviving worker — at most ``max_task_retries`` times, then the job
   fails with a clean :class:`DistributedExecutionError`;
+* a lost worker can be **respawned** — a fresh process under a fresh
+  index — bounded by the ``max_worker_respawns`` budget (default 0:
+  the pool only shrinks, the original behaviour).  Respawning restores
+  pool capacity; the requeue path above is unchanged and the respawned
+  worker is simply one more survivor to requeue onto;
 * a task that *raises* is not retried (the failure is deterministic);
   the remote exception propagates to the driver exactly like the
   in-process backends propagate theirs;
@@ -40,6 +45,10 @@ Fault tolerance (the part a networked backend cannot skip):
 
 ``tests/engine/test_fault_injection.py`` drives all of this with real
 injected crashes and hangs (see the env hooks in :mod:`repro.worker`).
+
+The spawn/authenticate half lives in :class:`WorkerLauncher` so the
+long-lived shared pool of :mod:`repro.serve` reuses it verbatim: same
+token preamble, same environment plumbing, same hello validation.
 """
 
 from __future__ import annotations
@@ -84,6 +93,98 @@ class DistributedExecutionError(RuntimeError):
     """The distributed runtime could not finish a job: workers were
     lost faster than tasks could be retried, a worker failed to start,
     or a task exhausted its retry budget."""
+
+
+class WorkerLauncher:
+    """Spawns and authenticates ``python -m repro.worker`` processes.
+
+    Owns the accept socket and the per-cluster token, and knows how to
+    build the child environment (token via :data:`ENV_TOKEN`, never
+    argv; ``PYTHONPATH`` extended so workers import :mod:`repro` the
+    same way the driver does).  :class:`DistributedRuntime` uses one
+    per job pool; the long-lived shared pool of :mod:`repro.serve`
+    uses one for the daemon's lifetime.
+    """
+
+    def __init__(self, *, heartbeat_interval: float = 0.5):
+        self.listener = Listener()
+        self.heartbeat_interval = heartbeat_interval
+        #: Random per-pool token; workers echo it back as a raw byte
+        #: preamble before anything is unpickled from their connection.
+        self.token: bytes = secrets.token_hex(16).encode("ascii")
+        self._env: dict[str, str] | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.listener.address
+
+    def _build_env(self) -> dict[str, str]:
+        env = os.environ.copy()
+        # The token travels via the environment, never argv — other
+        # local users can read a process's command line from /proc.
+        env[ENV_TOKEN] = self.token.decode("ascii")
+        # Workers must import repro the same way the driver does, even
+        # when it is not installed (PYTHONPATH=src checkouts).
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        return env
+
+    def spawn(self, index: int) -> subprocess.Popen:
+        """Start one worker process that will connect back and
+        authenticate under ``index``."""
+        if self._env is None:
+            self._env = self._build_env()
+        host, port = self.listener.address
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.worker",
+                "--host", host, "--port", str(port),
+                "--index", str(index),
+                "--heartbeat-interval", str(self.heartbeat_interval),
+            ],
+            env=self._env,
+        )
+
+    def accept(self, timeout: float) -> tuple[int, Connection]:
+        """Wait for one worker to connect and authenticate.
+
+        Authentication happens on raw bytes, *before* the first pickled
+        message is read from the socket — an unauthenticated local peer
+        never gets attacker-controlled bytes into ``pickle.loads``.
+        Raises :class:`DistributedExecutionError` on a bad token or
+        hello, :class:`~repro.mapreduce.transport.TransportError` when
+        nothing connects in time.
+        """
+        conn = self.listener.accept(timeout=timeout)
+        preamble = conn.recv_raw(len(self.token), timeout=timeout)
+        if not secrets.compare_digest(preamble, self.token):
+            conn.close()
+            raise DistributedExecutionError(
+                "worker authentication failed: bad token preamble"
+            )
+        hello = conn.recv(timeout=timeout)
+        if (
+            not isinstance(hello, tuple)
+            or len(hello) != 3
+            or hello[0] != "hello"
+        ):
+            conn.close()
+            raise DistributedExecutionError(
+                "worker authentication failed: unexpected hello"
+            )
+        return hello[1], conn
+
+    def close(self) -> None:
+        self.listener.close()
+
+    def __repr__(self) -> str:
+        return f"WorkerLauncher(address={self.address})"
 
 
 class _Task:
@@ -163,6 +264,13 @@ class DistributedRuntime(LocalRuntime):
         declared dead (its process may be frozen rather than exited).
     startup_timeout:
         How long to wait for all spawned workers to connect back.
+    max_worker_respawns:
+        How many replacement workers may be spawned over the runtime's
+        lifetime when workers are lost.  The default 0 keeps the
+        original semantics (the pool only shrinks); a positive budget
+        lets the pool heal — each lost worker is replaced by a fresh
+        process under a fresh index, and the requeue path is unchanged
+        (the replacement is simply one more survivor).
 
     The job (strategy job, matcher, blocking function, BDM) must be
     picklable — the same requirement as the parallel backend's process
@@ -181,6 +289,7 @@ class DistributedRuntime(LocalRuntime):
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float | None = 15.0,
         startup_timeout: float = 60.0,
+        max_worker_respawns: int = 0,
     ):
         super().__init__(dfs)
         if num_workers <= 0:
@@ -199,15 +308,24 @@ class DistributedRuntime(LocalRuntime):
             raise ValueError(
                 f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
             )
+        if max_worker_respawns < 0:
+            raise ValueError(
+                f"max_worker_respawns must be >= 0, got {max_worker_respawns}"
+            )
         self.num_workers = num_workers
         self.task_timeout = task_timeout
         self.max_task_retries = max_task_retries
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.startup_timeout = startup_timeout
+        self.max_worker_respawns = max_worker_respawns
+        self._respawns_left = max_worker_respawns
         self._workers: dict[int, _WorkerHandle] = {}
-        self._listener: Listener | None = None
+        self._launcher: WorkerLauncher | None = None
         self._started = False
+        #: Fresh indices for respawned workers (never reuses a dead
+        #: worker's slot, so late messages cannot be misattributed).
+        self._worker_indices = itertools.count(num_workers)
         #: Receiver threads post ``(worker_index, message)`` here.
         self._completions: "queue.Queue[tuple[int, tuple]]" = queue.Queue()
         self._task_ids = itertools.count()
@@ -217,9 +335,9 @@ class DistributedRuntime(LocalRuntime):
         for worker in list(self._workers.values()):
             worker.shutdown(kill=False)
         self._workers.clear()
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
+        if self._launcher is not None:
+            self._launcher.close()
+            self._launcher = None
 
     def __enter__(self) -> "DistributedRuntime":
         return self
@@ -233,59 +351,25 @@ class DistributedRuntime(LocalRuntime):
         """Spawn and authenticate the worker pool on first use.
 
         The pool lives for the runtime's lifetime (both jobs of the
-        workflow pay startup once).  A pool whose workers have *all*
-        been lost is not respawned — the scheduling loop fails the job
-        cleanly instead, keeping failure semantics deterministic.
+        workflow pay startup once).  Workers lost later are replaced
+        only within the ``max_worker_respawns`` budget (default 0) —
+        past it the pool shrinks, and a pool whose workers have *all*
+        been lost fails the job cleanly instead of deadlocking.
         """
         if self._started:
             return
         self._started = True
-        listener = Listener()
-        self._listener = listener
-        host, port = listener.address
-        token = secrets.token_hex(16).encode("ascii")
-        env = os.environ.copy()
-        # The token travels via the environment, never argv — other
-        # local users can read a process's command line from /proc.
-        env[ENV_TOKEN] = token.decode("ascii")
-        # Workers must import repro the same way the driver does, even
-        # when it is not installed (PYTHONPATH=src checkouts).
-        import repro
-
-        package_root = str(Path(repro.__file__).resolve().parent.parent)
-        existing = env.get("PYTHONPATH")
-        env["PYTHONPATH"] = (
-            package_root if not existing
-            else package_root + os.pathsep + existing
-        )
+        launcher = WorkerLauncher(heartbeat_interval=self.heartbeat_interval)
+        self._launcher = launcher
         processes: dict[int, subprocess.Popen] = {}
         try:
             for index in range(self.num_workers):
-                processes[index] = subprocess.Popen(
-                    [
-                        sys.executable, "-m", "repro.worker",
-                        "--host", host, "--port", str(port),
-                        "--index", str(index),
-                        "--heartbeat-interval", str(self.heartbeat_interval),
-                    ],
-                    env=env,
-                )
+                processes[index] = launcher.spawn(index)
             deadline = time.monotonic() + self.startup_timeout
             for _ in range(self.num_workers):
                 remaining = max(0.1, deadline - time.monotonic())
                 try:
-                    conn = listener.accept(timeout=remaining)
-                    # Authentication happens on raw bytes, *before* the
-                    # first pickled message is read from the socket —
-                    # an unauthenticated local peer never gets
-                    # attacker-controlled bytes into pickle.loads.
-                    preamble = conn.recv_raw(len(token), timeout=remaining)
-                    if not secrets.compare_digest(preamble, token):
-                        conn.close()
-                        raise DistributedExecutionError(
-                            "worker authentication failed: bad token preamble"
-                        )
-                    hello = conn.recv(timeout=remaining)
+                    index, conn = launcher.accept(timeout=remaining)
                 except TransportError as exc:
                     exits = {
                         i: proc.poll() for i, proc in processes.items()
@@ -294,32 +378,51 @@ class DistributedRuntime(LocalRuntime):
                         f"worker startup failed: {exc} "
                         f"(worker exit codes so far: {exits})"
                     ) from exc
-                if (
-                    not isinstance(hello, tuple)
-                    or len(hello) != 3
-                    or hello[0] != "hello"
-                ):
-                    conn.close()
-                    raise DistributedExecutionError(
-                        "worker authentication failed: unexpected hello"
-                    )
-                index = hello[1]
-                worker = _WorkerHandle(index, processes[index], conn)
-                self._workers[index] = worker
-                thread = threading.Thread(
-                    target=self._receive_loop,
-                    args=(worker,),
-                    name=f"repro-worker-recv-{index}",
-                    daemon=True,
-                )
-                worker.thread = thread
-                thread.start()
+                self._register_worker(index, processes[index], conn)
         except BaseException:
             for proc in processes.values():
                 if proc.poll() is None:
                     proc.kill()
             self.close()
             raise
+
+    def _register_worker(
+        self, index: int, process: subprocess.Popen, conn: Connection
+    ) -> _WorkerHandle:
+        worker = _WorkerHandle(index, process, conn)
+        self._workers[index] = worker
+        thread = threading.Thread(
+            target=self._receive_loop,
+            args=(worker,),
+            name=f"repro-worker-recv-{index}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+        return worker
+
+    def _respawn_worker(self) -> _WorkerHandle | None:
+        """Replace one lost worker, if the respawn budget allows.
+
+        A failed respawn (spawn error, startup timeout) consumes budget
+        and returns ``None`` — the pool simply stays smaller, exactly
+        as if no budget had been configured.
+        """
+        if self._respawns_left <= 0 or self._launcher is None:
+            return None
+        self._respawns_left -= 1
+        index = next(self._worker_indices)
+        process: subprocess.Popen | None = None
+        try:
+            process = self._launcher.spawn(index)
+            accepted_index, conn = self._launcher.accept(
+                timeout=self.startup_timeout
+            )
+            return self._register_worker(accepted_index, process, conn)
+        except Exception:
+            if process is not None and process.poll() is None:
+                process.kill()
+            return None
 
     def _receive_loop(self, worker: _WorkerHandle) -> None:
         """Pump one worker's messages into the completion queue; a
@@ -496,7 +599,8 @@ class DistributedRuntime(LocalRuntime):
     def _fail_worker(
         self, worker: _WorkerHandle, reason: str, requeued: "deque[_Task]"
     ) -> None:
-        """Write a worker off: kill it, requeue its task (bounded).
+        """Write a worker off: kill it, respawn within budget, requeue
+        its task (bounded).
 
         Raising here fails the whole job — cleanup happens in
         :meth:`close` via the backend's ``finally``.
@@ -505,6 +609,9 @@ class DistributedRuntime(LocalRuntime):
         task = worker.task
         worker.task = None
         worker.shutdown(kill=True)
+        # Heal the pool before deciding the task's fate: a successful
+        # respawn is one more survivor for the unchanged requeue path.
+        self._respawn_worker()
         if task is None:
             return
         task.attempts += 1
@@ -527,7 +634,8 @@ class DistributedRuntime(LocalRuntime):
 class DistributedBackend(ExecutingBackendBase):
     """Executes the workflow on :class:`DistributedRuntime` worker
     processes; registry name ``"distributed"`` (CLI: ``--backend
-    distributed --workers N --task-timeout S``)."""
+    distributed --workers N --task-timeout S --max-worker-respawns
+    K``)."""
 
     name = "distributed"
 
@@ -540,6 +648,7 @@ class DistributedBackend(ExecutingBackendBase):
         max_task_retries: int = 2,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float | None = 15.0,
+        max_worker_respawns: int = 0,
     ):
         self._dfs = dfs
         self.num_workers = num_workers
@@ -547,6 +656,7 @@ class DistributedBackend(ExecutingBackendBase):
         self.max_task_retries = max_task_retries
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
+        self.max_worker_respawns = max_worker_respawns
 
     def make_runtime(self) -> DistributedRuntime:
         return DistributedRuntime(
@@ -556,6 +666,7 @@ class DistributedBackend(ExecutingBackendBase):
             max_task_retries=self.max_task_retries,
             heartbeat_interval=self.heartbeat_interval,
             heartbeat_timeout=self.heartbeat_timeout,
+            max_worker_respawns=self.max_worker_respawns,
         )
 
     def __repr__(self) -> str:

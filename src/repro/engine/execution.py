@@ -156,6 +156,82 @@ class _StageState:
         )
 
 
+class ExecutionStateMirror:
+    """Rebuilds the observable state of one run from its event stream.
+
+    Feed it every :class:`~repro.mapreduce.events.ExecutionEvent` of an
+    execution (in emission order) and it maintains per-stage progress
+    and surfaces the matching job's streamed outputs.  It is the one
+    place the event-stream → progress/matches derivation lives: the
+    in-process :class:`PipelineExecution` drives it from its event
+    channel, and the remote client handle of :mod:`repro.serve` drives
+    an identical instance from events forwarded over the wire — which
+    is why local and remote handles report byte-identical progress and
+    match streams.
+
+    Not thread-safe; callers serialize :meth:`update` themselves (both
+    handles update under their condition lock).
+    """
+
+    __slots__ = ("_stages", "_stage_order")
+
+    def __init__(self) -> None:
+        self._stages: dict[str, _StageState] = {}
+        self._stage_order: list[str] = []
+
+    def update(self, event: ExecutionEvent) -> "tuple[MatchPair, ...]":
+        """Absorb one event; returns any newly streamed matches.
+
+        The matching job's reduce outputs are the matches, in emission
+        order — every other event contributes to progress only.
+        """
+        self._update_progress(event)
+        if (
+            event.kind == EventKind.TASK_FINISHED
+            and event.phase == "reduce"
+            and event.stage == STAGE_MATCHING
+        ):
+            output = event.data.get("output", ())
+            if output:
+                return tuple(record.value for record in output)
+        return ()
+
+    def _update_progress(self, event: ExecutionEvent) -> None:
+        key = event.stage or event.job
+        if event.kind == EventKind.JOB_STARTED:
+            state = _StageState(
+                stage=key,
+                job=event.job,
+                map_total=event.data.get("num_map_tasks", 0),
+                reduce_total=event.data.get("num_reduce_tasks", 0),
+            )
+            if key not in self._stages:
+                self._stage_order.append(key)
+            self._stages[key] = state
+            return
+        state = self._stages.get(key)
+        if state is None:
+            return
+        if event.kind == EventKind.TASK_FINISHED:
+            if event.phase == "map":
+                state.map_done += 1
+            elif event.phase == "reduce":
+                state.reduce_done += 1
+                state.comparisons += event.data.get("comparisons", 0)
+                state.matches += event.data.get("matches", 0)
+        elif event.kind == EventKind.JOB_FINISHED:
+            state.finished = True
+
+    def progress(self, state: str) -> ExecutionProgress:
+        """The stages seen so far as a progress snapshot in ``state``."""
+        return ExecutionProgress(
+            state=state,
+            stages=tuple(
+                self._stages[key].snapshot() for key in self._stage_order
+            ),
+        )
+
+
 class PipelineExecution:
     """A live handle on one submitted pipeline run.
 
@@ -178,8 +254,7 @@ class PipelineExecution:
         self._matcher = matcher
         self._cond = threading.Condition()
         self._streamed: list["MatchPair"] = []
-        self._stages: dict[str, _StageState] = {}
-        self._stage_order: list[str] = []
+        self._mirror = ExecutionStateMirror()
         self._state = RUNNING
         self._result: "PipelineResult | None" = None
         self._error: BaseException | None = None
@@ -234,44 +309,8 @@ class PipelineExecution:
 
     def _observe(self, event: ExecutionEvent) -> None:
         with self._cond:
-            self._update_progress(event)
-            if (
-                event.kind == EventKind.TASK_FINISHED
-                and event.phase == "reduce"
-                and event.stage == STAGE_MATCHING
-            ):
-                output = event.data.get("output", ())
-                if output:
-                    # The matching job's reduce outputs are the matches,
-                    # in emission order — stream them out task by task.
-                    self._streamed.extend(record.value for record in output)
+            self._streamed.extend(self._mirror.update(event))
             self._cond.notify_all()
-
-    def _update_progress(self, event: ExecutionEvent) -> None:
-        key = event.stage or event.job
-        if event.kind == EventKind.JOB_STARTED:
-            state = _StageState(
-                stage=key,
-                job=event.job,
-                map_total=event.data.get("num_map_tasks", 0),
-                reduce_total=event.data.get("num_reduce_tasks", 0),
-            )
-            if key not in self._stages:
-                self._stage_order.append(key)
-            self._stages[key] = state
-            return
-        state = self._stages.get(key)
-        if state is None:
-            return
-        if event.kind == EventKind.TASK_FINISHED:
-            if event.phase == "map":
-                state.map_done += 1
-            elif event.phase == "reduce":
-                state.reduce_done += 1
-                state.comparisons += event.data.get("comparisons", 0)
-                state.matches += event.data.get("matches", 0)
-        elif event.kind == EventKind.JOB_FINISHED:
-            state.finished = True
 
     # -- state ---------------------------------------------------------------
 
@@ -378,12 +417,7 @@ class PipelineExecution:
     def progress(self) -> ExecutionProgress:
         """A point-in-time snapshot of task completion per stage."""
         with self._cond:
-            return ExecutionProgress(
-                state=self._state,
-                stages=tuple(
-                    self._stages[key].snapshot() for key in self._stage_order
-                ),
-            )
+            return self._mirror.progress(self._state)
 
     def matcher_stats(self) -> MatcherStats:
         """This run's matcher counter deltas (see :class:`MatcherStats`).

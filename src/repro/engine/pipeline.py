@@ -214,7 +214,7 @@ class ERPipeline:
         manual ``reset_counters()``; ``self.matcher.comparisons`` keeps
         the old accumulate-across-runs behaviour.
         """
-        request = self._build_request(
+        request = self.build_request(
             r,
             s,
             num_r_partitions=num_r_partitions,
@@ -251,14 +251,24 @@ class ERPipeline:
             on_event=on_event,
         )
 
-    def _build_request(
+    def build_request(
         self,
         r: Sequence[Entity] | Sequence[Partition] | RecordSource,
-        s: Sequence[Entity] | RecordSource | None,
+        s: Sequence[Entity] | RecordSource | None = None,
         *,
-        num_r_partitions: int | None,
-        num_s_partitions: int | None,
+        num_r_partitions: int | None = None,
+        num_s_partitions: int | None = None,
     ) -> PipelineRequest:
+        """The resolved :class:`~repro.engine.backend.PipelineRequest`
+        this pipeline would submit for the given inputs.
+
+        This is the backend-independent half of :meth:`submit`:
+        strategy, blocking, matcher and partitioning are resolved, but
+        nothing executes.  It is how remote submission works — a
+        :class:`~repro.serve.ServeClient` builds the request locally
+        and ships it to a server, whose shared pool executes it exactly
+        as a local backend would.
+        """
         source: RecordSource | None = None
         if s is None:
             if isinstance(r, RecordSource):

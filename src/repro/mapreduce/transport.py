@@ -188,14 +188,19 @@ class Connection:
 
 
 class Listener:
-    """The driver's accept socket: loopback only, ephemeral port."""
+    """An accept socket for the pickled-message protocol.
 
-    def __init__(self, host: str = "127.0.0.1"):
+    The distributed driver uses the defaults (loopback only, ephemeral
+    port); the serve daemon passes an explicit ``port`` (and possibly
+    a non-loopback ``host``) so clients can find it.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((host, 0))
+        self._sock.bind((host, port))
         self._sock.listen()
-        #: ``(host, port)`` workers are told to connect to.
+        #: ``(host, port)`` peers are told to connect to.
         self.address: tuple[str, int] = self._sock.getsockname()[:2]
 
     def accept(self, timeout: float | None = None) -> Connection:

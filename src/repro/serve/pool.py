@@ -1,0 +1,584 @@
+"""The shared worker pool: many jobs, one set of worker processes.
+
+:class:`~repro.engine.distributed.DistributedRuntime` owns its workers
+for the lifetime of one job pool and schedules exactly one job at a
+time.  A server cannot afford either: startup cost must be paid once,
+and several clients' pipelines must make progress *simultaneously*.
+:class:`SharedWorkerPool` is the answer — the same worker processes,
+transport and failure taxonomy as the distributed backend, behind a
+scheduler that multiplexes task units from any number of concurrent
+jobs over one pool:
+
+* **Fair interleaving** — dispatch rotates round-robin over the jobs
+  that have runnable task units, so a large job cannot starve a small
+  one; with a single active job the whole pool is its.
+* **Per-job isolation** — a task that raises, or exhausts its retry
+  budget after worker losses, fails *its* job only; every other job
+  keeps running.  Cancelling a job drops its queued task units and
+  discards results of its in-flight ones.
+* **Pool healing** — a lost worker is killed, its task requeued
+  (bounded per task by ``max_task_retries``, exactly the distributed
+  backend's rule), and a replacement spawned within the pool-level
+  ``max_worker_respawns`` budget.  Only when the pool empties out with
+  no budget left do the active jobs fail.
+
+All scheduler state is owned by one thread; job channels and worker
+receiver threads communicate with it exclusively through the inbox
+queue, so there are no locks to get wrong.
+
+Determinism per job is preserved exactly as in the distributed
+backend: each job's task units are pulled in submission order, at most
+``num_workers`` in flight per job, and merged in task-index order by
+:class:`PooledRuntime` — so a job's matches, counters and event stream
+are byte-identical to the serial backend no matter how many neighbours
+it shares the pool with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import subprocess
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from ..engine.distributed import (
+    DistributedExecutionError,
+    WorkerLauncher,
+    _Task,
+    _WorkerHandle,
+)
+from ..engine.executing import ExecutingBackendBase
+from ..mapreduce.runtime import (
+    LocalRuntime,
+    TaskCall,
+    execute_map_task,
+    execute_reduce_task,
+)
+from ..mapreduce.transport import TransportError, encode_message
+
+#: Task-unit functions → wire names (same registry as repro.worker).
+_UNIT_NAMES: dict[Callable[..., Any], str] = {
+    execute_map_task: "map",
+    execute_reduce_task: "reduce",
+}
+
+
+class WorkerPoolError(DistributedExecutionError):
+    """The shared pool itself is unusable (startup failed, every worker
+    lost with no respawn budget left, or the pool was closed)."""
+
+
+class _PoolJob:
+    """Scheduler-side state of one registered job."""
+
+    __slots__ = ("job_id", "name", "pending", "outbox", "closed")
+
+    def __init__(self, job_id: int, name: str):
+        self.job_id = job_id
+        self.name = name
+        #: Runnable task units, in submission order (requeues go back
+        #: to the front so retry order matches the first attempt).
+        self.pending: deque[_Task] = deque()
+        #: Completions/failures for the job channel to drain.
+        self.outbox: "queue.Queue[tuple]" = queue.Queue()
+        self.closed = False
+
+
+class PoolJobChannel:
+    """One job's handle on the shared pool.
+
+    Created by :meth:`SharedWorkerPool.open_job`; used from the job's
+    driver thread.  ``submit`` enqueues one task unit, ordered
+    completions come back through ``next_completion``, and ``close``
+    withdraws the job — dropping queued tasks and telling the pool to
+    discard results of tasks still running on workers.
+    """
+
+    def __init__(self, pool: "SharedWorkerPool", job: _PoolJob):
+        self._pool = pool
+        self._job = job
+
+    @property
+    def job_id(self) -> int:
+        return self._job.job_id
+
+    def submit(self, unit: str, index: int, args: tuple) -> None:
+        """Enqueue one task unit (``unit`` is ``"map"``/``"reduce"``)."""
+        # Task ids come from the pool-wide counter (atomic under the
+        # GIL) so ids are unique across concurrent jobs and a stale
+        # reply can never be paired with another job's task.  The frame
+        # is encoded once, here in the submitting thread — pickling
+        # errors surface to the job synchronously, and a requeue
+        # re-ships the identical bytes.
+        task_id = next(self._pool._task_ids)
+        try:
+            frame = encode_message(("task", task_id, unit, args))
+        except Exception as exc:
+            raise DistributedExecutionError(
+                "the shared worker pool ships task units to worker "
+                f"processes, but this {unit} task cannot be pickled "
+                f"(job, matcher and blocking function must all support "
+                f"pickle): {exc!r}"
+            ) from exc
+        self._pool._post(("submit", self._job, _Task(task_id, index, unit, frame)))
+
+    def next_completion(self, timeout: float | None = None) -> tuple[int, Any]:
+        """Block for the next finished task: ``(task_index, result)``.
+
+        Raises the remote exception for a task that raised, and
+        :class:`DistributedExecutionError` /:class:`WorkerPoolError`
+        when the job or pool failed.
+        """
+        kind, *payload = self._job.outbox.get(timeout=timeout)
+        if kind == "result":
+            index, result = payload
+            return index, result
+        error = payload[0]
+        raise error
+
+    def close(self) -> None:
+        """Withdraw the job from the pool (idempotent)."""
+        self._pool._post(("close", self._job))
+
+
+class SharedWorkerPool:
+    """A long-lived pool of worker processes shared by many jobs.
+
+    Parameters mirror :class:`~repro.engine.distributed.
+    DistributedRuntime` — same worker protocol, same failure rules —
+    plus a pool-level ``max_worker_respawns`` budget, which defaults
+    to ``2 * num_workers`` (a server pool should heal; pass 0 to
+    disable).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_workers: int = 2,
+        task_timeout: float | None = None,
+        max_task_retries: int = 2,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float | None = 15.0,
+        startup_timeout: float = 60.0,
+        max_worker_respawns: int | None = None,
+    ):
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.num_workers = num_workers
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.startup_timeout = startup_timeout
+        self.max_worker_respawns = (
+            2 * num_workers if max_worker_respawns is None
+            else max_worker_respawns
+        )
+        self._respawns_left = self.max_worker_respawns
+        self._launcher: WorkerLauncher | None = None
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._jobs: dict[int, _PoolJob] = {}
+        self._rotation: deque[_PoolJob] = deque()
+        self._inbox: "queue.Queue[tuple]" = queue.Queue()
+        self._job_ids = itertools.count()
+        self._task_ids = itertools.count()
+        self._worker_indices = itertools.count(num_workers)
+        self._scheduler: threading.Thread | None = None
+        self._broken: BaseException | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SharedWorkerPool":
+        """Spawn and authenticate the workers, start the scheduler."""
+        if self._scheduler is not None:
+            return self
+        launcher = WorkerLauncher(heartbeat_interval=self.heartbeat_interval)
+        self._launcher = launcher
+        processes: dict[int, subprocess.Popen] = {}
+        try:
+            for index in range(self.num_workers):
+                processes[index] = launcher.spawn(index)
+            deadline = time.monotonic() + self.startup_timeout
+            for _ in range(self.num_workers):
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    index, conn = launcher.accept(timeout=remaining)
+                except TransportError as exc:
+                    exits = {i: p.poll() for i, p in processes.items()}
+                    raise WorkerPoolError(
+                        f"worker startup failed: {exc} "
+                        f"(worker exit codes so far: {exits})"
+                    ) from exc
+                self._register_worker(index, processes[index], conn)
+        except BaseException:
+            for proc in processes.values():
+                if proc.poll() is None:
+                    proc.kill()
+            for worker in self._workers.values():
+                worker.shutdown(kill=True)
+            self._workers.clear()
+            launcher.close()
+            self._launcher = None
+            raise
+        self._scheduler = threading.Thread(
+            target=self._run_scheduler, name="repro-serve-pool", daemon=True
+        )
+        self._scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the scheduler and shut every worker down (idempotent).
+
+        Jobs still registered fail with :class:`WorkerPoolError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._scheduler is not None:
+            self._post(("stop",))
+            self._scheduler.join(timeout=30)
+            self._scheduler = None
+        for worker in list(self._workers.values()):
+            worker.shutdown(kill=False)
+        self._workers.clear()
+        if self._launcher is not None:
+            self._launcher.close()
+            self._launcher = None
+
+    def __enter__(self) -> "SharedWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def alive_workers(self) -> int:
+        """Current pool size (scheduler-owned; read for observability)."""
+        return len(self._workers)
+
+    # -- job interface -------------------------------------------------------
+
+    def open_job(self, name: str = "job") -> PoolJobChannel:
+        """Register one job; its channel is ready for submissions."""
+        if self._scheduler is None or self._closed:
+            raise WorkerPoolError("the shared worker pool is not running")
+        job = _PoolJob(next(self._job_ids), name)
+        self._post(("open", job))
+        return PoolJobChannel(self, job)
+
+    def _post(self, message: tuple) -> None:
+        self._inbox.put(message)
+
+    def _register_worker(
+        self, index: int, process: subprocess.Popen, conn
+    ) -> None:
+        worker = _WorkerHandle(index, process, conn)
+        self._workers[index] = worker
+        thread = threading.Thread(
+            target=self._receive_loop,
+            args=(worker,),
+            name=f"repro-serve-recv-{index}",
+            daemon=True,
+        )
+        worker.thread = thread
+        thread.start()
+
+    def _receive_loop(self, worker: _WorkerHandle) -> None:
+        while True:
+            try:
+                message = worker.conn.recv()
+            except Exception:
+                self._post(("worker", worker.index, ("died",)))
+                return
+            self._post(("worker", worker.index, message))
+
+    # -- the scheduler thread ------------------------------------------------
+
+    def _run_scheduler(self) -> None:
+        while True:
+            try:
+                message = self._inbox.get(timeout=self._tick())
+            except queue.Empty:
+                self._reap_expired()
+                self._dispatch_ready()
+                continue
+            kind = message[0]
+            if kind == "stop":
+                self._fail_all_jobs(WorkerPoolError(
+                    "the shared worker pool was shut down"
+                ))
+                return
+            if kind == "open":
+                job = message[1]
+                self._jobs[job.job_id] = job
+            elif kind == "submit":
+                self._on_submit(message[1], message[2])
+            elif kind == "close":
+                self._on_close(message[1])
+            elif kind == "worker":
+                self._on_worker_message(message[1], message[2])
+            self._reap_expired()
+            self._dispatch_ready()
+
+    def _on_submit(self, job: _PoolJob, task: _Task) -> None:
+        if job.closed or job.job_id not in self._jobs:
+            return
+        if self._broken is not None:
+            job.outbox.put(("failed", self._broken))
+            return
+        if not job.pending:
+            self._rotation.append(job)
+        job.pending.append(task)
+
+    def _on_close(self, job: _PoolJob) -> None:
+        job.closed = True
+        job.pending.clear()
+        self._jobs.pop(job.job_id, None)
+        # In-flight tasks of this job finish on their workers; their
+        # results are discarded on arrival (the job is gone) and the
+        # workers become free for other jobs.
+
+    def _on_worker_message(self, worker_index: int, message: tuple) -> None:
+        worker = self._workers.get(worker_index)
+        if worker is None:
+            return  # stale: that worker was already written off
+        worker.last_seen = time.monotonic()
+        kind = message[0]
+        if kind == "died":
+            self._fail_worker(worker, "worker process died")
+            return
+        if kind not in ("result", "error"):
+            return  # heartbeat (or unknown chatter): liveness recorded
+        assignment = worker.task
+        if assignment is None or assignment[1].task_id != message[1]:
+            return  # stale reply for a task requeued elsewhere
+        worker.task = None
+        job, task = assignment
+        if job.closed or job.job_id not in self._jobs:
+            return  # the job was cancelled/closed: discard the result
+        if kind == "error":
+            # Deterministic failure: not retried, fails this job only.
+            job.outbox.put(("task-error", message[2]))
+        else:
+            job.outbox.put(("result", task.index, message[2]))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_ready(self) -> None:
+        for worker in [w for w in self._workers.values() if w.task is None]:
+            assignment = self._next_pending()
+            if assignment is None:
+                return
+            self._dispatch(worker, *assignment)
+
+    def _next_pending(self) -> "tuple[_PoolJob, _Task] | None":
+        """Round-robin over jobs with runnable tasks: pop one task from
+        the job at the head of the rotation, then rotate it to the
+        back — fair interleaving across however many jobs are active."""
+        while self._rotation:
+            job = self._rotation.popleft()
+            if job.closed or job.job_id not in self._jobs or not job.pending:
+                continue
+            task = job.pending.popleft()
+            if job.pending:
+                self._rotation.append(job)
+            return job, task
+        return None
+
+    def _dispatch(self, worker: _WorkerHandle, job: _PoolJob, task: _Task) -> None:
+        worker.task = (job, task)
+        task.sent_at = time.monotonic()
+        try:
+            worker.conn.send_bytes(task.frame)
+        except TransportError:
+            self._fail_worker(worker, "connection failed at dispatch")
+
+    # -- failure handling ----------------------------------------------------
+
+    def _tick(self) -> float | None:
+        deadlines: list[float] = []
+        for worker in self._workers.values():
+            if self.heartbeat_timeout is not None:
+                deadlines.append(worker.last_seen + self.heartbeat_timeout)
+            if self.task_timeout is not None and worker.task is not None:
+                deadlines.append(worker.task[1].sent_at + self.task_timeout)
+        if not deadlines:
+            return None
+        return max(0.01, min(deadlines) - time.monotonic())
+
+    def _reap_expired(self) -> None:
+        now = time.monotonic()
+        expired: list[tuple[_WorkerHandle, str]] = []
+        for worker in self._workers.values():
+            if (
+                self.task_timeout is not None
+                and worker.task is not None
+                and now - worker.task[1].sent_at > self.task_timeout
+            ):
+                expired.append((
+                    worker,
+                    f"{worker.task[1].describe()} exceeded "
+                    f"task_timeout={self.task_timeout}s",
+                ))
+            elif (
+                self.heartbeat_timeout is not None
+                and now - worker.last_seen > self.heartbeat_timeout
+            ):
+                expired.append((
+                    worker,
+                    f"no heartbeat for {self.heartbeat_timeout}s",
+                ))
+        for worker, reason in expired:
+            self._fail_worker(worker, reason)
+
+    def _fail_worker(self, worker: _WorkerHandle, reason: str) -> None:
+        """Write a worker off: kill, respawn within budget, requeue its
+        task (bounded) — failing only the task's own job on exhaustion,
+        and all jobs only when the pool itself is gone."""
+        self._workers.pop(worker.index, None)
+        assignment = worker.task
+        worker.task = None
+        worker.shutdown(kill=True)
+        self._respawn_worker()
+        if assignment is not None:
+            job, task = assignment
+            if not job.closed and job.job_id in self._jobs:
+                task.attempts += 1
+                if task.attempts > self.max_task_retries:
+                    job.outbox.put(("failed", DistributedExecutionError(
+                        f"{task.describe()} failed {task.attempts} time(s) "
+                        f"and exhausted its retry budget "
+                        f"(max_task_retries={self.max_task_retries}); "
+                        f"last failure: worker {worker.index}: {reason}"
+                    )))
+                    self._on_close(job)
+                else:
+                    job.pending.appendleft(task)
+                    if job not in self._rotation:
+                        self._rotation.append(job)
+        if not self._workers:
+            self._broken = WorkerPoolError(
+                f"every pool worker was lost (last: worker "
+                f"{worker.index}: {reason}) and the respawn budget "
+                f"(max_worker_respawns={self.max_worker_respawns}) "
+                f"is exhausted"
+            )
+            self._fail_all_jobs(self._broken)
+
+    def _respawn_worker(self) -> None:
+        if self._respawns_left <= 0 or self._launcher is None:
+            return
+        self._respawns_left -= 1
+        index = next(self._worker_indices)
+        process: subprocess.Popen | None = None
+        try:
+            process = self._launcher.spawn(index)
+            accepted_index, conn = self._launcher.accept(
+                timeout=self.startup_timeout
+            )
+            self._register_worker(accepted_index, process, conn)
+        except Exception:
+            if process is not None and process.poll() is None:
+                process.kill()
+
+    def _fail_all_jobs(self, error: BaseException) -> None:
+        for job in list(self._jobs.values()):
+            job.outbox.put(("failed", error))
+            self._on_close(job)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedWorkerPool(num_workers={self.num_workers}, "
+            f"alive={self.alive_workers}, jobs={len(self._jobs)})"
+        )
+
+
+class PooledRuntime(LocalRuntime):
+    """A job executor whose task units run on a :class:`SharedWorkerPool`.
+
+    One runtime = one job on the pool.  Scheduling semantics match
+    :class:`~repro.engine.distributed.DistributedRuntime` exactly from
+    the job's point of view: task units are pulled lazily in submission
+    order (``task-started`` events and cancellation checks fire at the
+    pull, at most ``num_workers`` payloads of this job in flight) and
+    results are merged — and drained through the sink — in task-index
+    order.  What order the *pool* runs them in, interleaved with other
+    jobs, is invisible to the result.
+    """
+
+    def __init__(self, pool: SharedWorkerPool, *, name: str = "job"):
+        super().__init__()
+        self._pool = pool
+        self._name = name
+
+    def _run_calls(
+        self, calls: Iterable[TaskCall], sink: "Callable | None"
+    ) -> list:
+        channel = self._pool.open_job(self._name)
+        try:
+            return self._run_on_channel(channel, calls, sink)
+        finally:
+            # Normal completion: everything was drained, close is a
+            # cheap unregister.  On error/cancel: queued tasks are
+            # dropped and in-flight results discarded by the pool.
+            channel.close()
+
+    def _run_on_channel(
+        self,
+        channel: PoolJobChannel,
+        calls: Iterable[TaskCall],
+        sink: "Callable | None",
+    ) -> list:
+        drain = sink if sink is not None else (lambda result: result)
+        window = self._pool.num_workers
+        calls_iter = iter(calls)
+        exhausted = False
+        pulled = 0
+        completed = 0
+        next_index = 0
+        buffered: dict[int, Any] = {}
+        ordered: list = []
+        while True:
+            while not exhausted and pulled - completed < window:
+                try:
+                    fn, args = next(calls_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                channel.submit(_UNIT_NAMES[fn], pulled, args)
+                pulled += 1
+            if exhausted and completed == pulled:
+                return ordered
+            index, result = channel.next_completion()
+            buffered[index] = result
+            completed += 1
+            while next_index in buffered:
+                ordered.append(drain(buffered.pop(next_index)))
+                next_index += 1
+
+
+class PooledBackend(ExecutingBackendBase):
+    """Executes pipeline requests on a shared pool it does **not** own.
+
+    This is the server's execution backend: every submitted job gets a
+    fresh :class:`PooledRuntime` (fresh per-job DFS, exactly like every
+    other backend), all multiplexed over the one long-lived pool.  Not
+    in the backend registry — it only makes sense wired to a running
+    :class:`SharedWorkerPool`.
+    """
+
+    name = "serve-pool"
+
+    def __init__(self, pool: SharedWorkerPool, *, job_name: str = "job"):
+        self._pool = pool
+        self.job_name = job_name
+
+    def make_runtime(self) -> PooledRuntime:
+        return PooledRuntime(self._pool, name=self.job_name)
+
+    def __repr__(self) -> str:
+        return f"PooledBackend(pool={self._pool!r})"

@@ -1,0 +1,112 @@
+"""The client/server wire protocol of the ER service.
+
+Messages travel over the same authenticated length-prefixed transport
+(:mod:`repro.mapreduce.transport`) the worker protocol uses, and the
+security invariant is identical: a client opens its connection by
+sending the shared service token as a **raw fixed-length byte
+preamble**, which the server compares (constant-time) *before* the
+first pickled message is read.  An unauthenticated peer never gets a
+byte into ``pickle.loads``.
+
+The token is shared out of band — via :data:`ENV_SERVE_TOKEN` in the
+environment on both ends (never argv), or printed once by the daemon
+when it generated one itself.
+
+Conversation (all messages are tuples; first element is the verb):
+
+Client → server::
+
+    <raw token preamble>                 authentication, no framing
+    ("hello", pid)                       introduce this session
+    ("submit", ticket, request)          run one PipelineRequest
+    ("cancel", job_id)                   cooperatively cancel one job
+    ("bye",)                             end the session cleanly
+
+Server → client::
+
+    ("welcome", info)                    session accepted; server info
+    ("accepted", ticket, job_id)         submission registered
+    ("rejected", ticket, reason)         submission refused (str)
+    ("event", job_id, event)             one ExecutionEvent, in order
+    ("done", job_id, result)             final PipelineResult
+    ("failed", job_id, exc)              the job raised; exc shippable
+    ("cancelled", job_id)                cancel honoured
+    ("shutting-down",)                   daemon is draining; no new
+                                         submissions will be accepted
+
+``ticket`` is a client-chosen integer pairing each ``submit`` with its
+``accepted``/``rejected`` reply (several submissions may be in flight
+on one connection); ``job_id`` is the server-wide id all later
+messages about that job carry.
+
+Events are shipped through :func:`wire_event`, which drops bulky
+payloads that only the server-side merge needs — except the matching
+stage's reduce outputs, which *are* the streamed matches and the whole
+point of a remote ``iter_matches()``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..engine.executing import STAGE_MATCHING
+from ..mapreduce.events import EventKind, ExecutionEvent
+
+#: Environment variable carrying the shared service token on both the
+#: daemon and client side (the environment, unlike argv, is not
+#: readable by other local users).
+ENV_SERVE_TOKEN = "REPRO_SERVE_TOKEN"
+
+#: Raw-preamble token length in bytes; both sides must agree so the
+#: server knows how many bytes to read before comparing.
+TOKEN_BYTES = 32
+
+
+def service_token(explicit: "str | None" = None) -> "str | None":
+    """The shared token: ``explicit`` argument, else the environment."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get(ENV_SERVE_TOKEN)
+
+
+def encode_token(token: str) -> bytes:
+    """The fixed-length raw preamble for ``token``.
+
+    Tokens are ASCII (the daemon generates hex); the preamble is padded
+    or rejected to exactly :data:`TOKEN_BYTES` so the server can read a
+    known count before authenticating.
+    """
+    raw = token.encode("ascii", errors="replace")
+    if len(raw) > TOKEN_BYTES:
+        raise ValueError(
+            f"service token longer than {TOKEN_BYTES} bytes"
+        )
+    return raw.ljust(TOKEN_BYTES, b"\0")
+
+
+def wire_event(event: ExecutionEvent) -> ExecutionEvent:
+    """``event`` trimmed for the wire.
+
+    Reduce outputs of the **matching** stage are the streamed matches
+    and stay; every other ``output`` payload (map-side partitions, BDM
+    fragments) is server-side plumbing a remote observer never reads,
+    and is dropped so events stay small.
+    """
+    data = event.data
+    if not data or "output" not in data:
+        return event
+    if (
+        event.kind == EventKind.TASK_FINISHED
+        and event.stage == STAGE_MATCHING
+        and event.phase == "reduce"
+    ):
+        return event
+    slim = {k: v for k, v in data.items() if k != "output"}
+    return ExecutionEvent(
+        kind=event.kind,
+        stage=event.stage,
+        job=event.job,
+        phase=event.phase,
+        task_index=event.task_index,
+        data=slim,
+    )

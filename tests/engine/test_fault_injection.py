@@ -136,6 +136,46 @@ class TestHungWorker:
             ).run(entities)
 
 
+class TestWorkerRespawn:
+    """Worker replacement under ``max_worker_respawns`` (the service
+    pool's healing knob, surfaced on the distributed backend)."""
+
+    def test_losing_every_initial_worker_heals_within_budget(self, monkeypatch):
+        entities = generate_products(180, seed=78)
+        reference = _fingerprint(_pipeline().run(entities))
+        # Both original workers die at their first task.  Replacements
+        # get fresh indices (>= the initial pool size), so the "0,1"
+        # selection never re-arms them: the job must finish on the
+        # respawned pool, byte-identical to serial.
+        _arm(monkeypatch, "crash:1", workers="0,1")
+        survived = _pipeline(
+            backend="distributed", max_worker_respawns=4
+        ).run(entities)
+        assert _fingerprint(survived) == reference
+
+    def test_exhausted_respawn_budget_fails_cleanly(self, monkeypatch):
+        entities = generate_products(120, seed=79)
+        # Every worker — respawned ones included — crashes immediately;
+        # once the budget is gone the pool is empty and the job must
+        # fail with a clean error instead of deadlocking.
+        _arm(monkeypatch, "crash:1", workers="all")
+        with pytest.raises(
+            DistributedExecutionError,
+            match="no workers survive|all workers were lost|"
+                  "exhausted its retry budget",
+        ):
+            _pipeline(
+                backend="distributed", max_worker_respawns=2
+            ).run(entities)
+
+    def test_negative_budget_rejected(self):
+        entities = generate_products(20, seed=80)
+        with pytest.raises(ValueError, match="max_worker_respawns"):
+            _pipeline(backend="distributed", max_worker_respawns=-1).run(
+                entities
+            )
+
+
 class TestFaultInjectorHook:
     """The env-hook parser itself (driven in-process, no sockets)."""
 

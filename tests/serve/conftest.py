@@ -1,0 +1,22 @@
+"""Shared helpers for the serve test suite."""
+
+from __future__ import annotations
+
+from repro.er.entity import Entity
+
+
+def key_entities(count: int, *, keys: int = 2) -> list[Entity]:
+    """Entities tailored for :class:`.matchers.SlowMatcher` jobs.
+
+    Titles spread over eight 3-character prefixes so PrefixBlocking
+    yields small blocks (the comparison count — and so a slow job's
+    wall-clock — stays bounded); the ``key`` attribute cycles over
+    ``keys`` values, which is what SlowMatcher compares.
+    """
+    return [
+        Entity(
+            f"e{i:03d}",
+            {"title": f"b{i % 8}x item {i:03d}", "key": str(i % keys)},
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,39 @@
+"""Picklable matchers for the serve tests.
+
+These live in a real module (not inside a test function) because served
+jobs ship their matcher to worker *processes*: pickle must be able to
+re-import the class on the other side.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.er.entity import Entity
+from repro.er.matching import Matcher
+
+
+class SlowMatcher(Matcher):
+    """Burns ``delay`` seconds per comparison — makes a job long enough
+    to disconnect from / cancel / shut down while it runs."""
+
+    def __init__(self, delay: float = 0.005):
+        super().__init__()
+        self.delay = delay
+
+    def similarity(self, e1: Entity, e2: Entity) -> float:
+        time.sleep(self.delay)
+        return 1.0 if e1.get("key") == e2.get("key") else 0.0
+
+    def is_match(self, similarity: float) -> bool:
+        return similarity >= 1.0
+
+
+class ExplodingMatcher(Matcher):
+    """Raises on the first comparison — a deterministic task failure."""
+
+    def similarity(self, e1: Entity, e2: Entity) -> float:
+        raise ValueError("exploding matcher detonated")
+
+    def is_match(self, similarity: float) -> bool:  # pragma: no cover
+        return False
