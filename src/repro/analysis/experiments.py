@@ -115,6 +115,12 @@ def bdm_from_result(
     This is the bridge from execution to analysis-at-rest: every
     BDM-based run persists its block distribution matrix, which is all
     the planners need — so sweeps replay from the file alone.
+
+    Incremental (delta) results work too, for *every* strategy: a
+    delta run always persists the merged matrix — persisted corpus
+    columns plus the delta's — so the BDM returned here covers the
+    whole corpus as of that ingest, not just the delta batch.  (A
+    ``basic`` *full* run is the one result kind that carries no BDM.)
     """
     if not isinstance(result, PipelineResult):
         result = PipelineResult.load(result)
@@ -146,7 +152,9 @@ def sweep_from_result(
     Accepts a :class:`~repro.engine.PipelineResult` or a path to one
     saved with ``result.save(path)``; the sweep uses only the
     persisted BDM, so nothing is re-executed and the original input
-    data is not needed.
+    data is not needed.  Incremental (delta) results replan the whole
+    corpus as of that ingest — their merged BDM spans old and new
+    records alike (see :func:`bdm_from_result`).
     """
     return sweep_reduce_tasks(
         strategies,

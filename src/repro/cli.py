@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Seven subcommands cover the library's main entry points::
+Eight subcommands cover the library's main entry points::
 
     repro-er generate  --kind products --num 5000 --output products.csv
     repro-er dedup     --input products.csv --output matches.csv
     repro-er link      --input-r a.csv --input-s b.csv --output links.csv
+    repro-er ingest    --state state/ --input batch.csv --output new.csv
     repro-er serve     --workers 4 --port 7311
     repro-er submit    --server HOST:PORT --input products.csv --output m.csv
     repro-er simulate  --dataset ds1 --nodes 10 --reduce-tasks 100
@@ -25,6 +26,17 @@ JSON.  The ``--output`` CSV is a **streaming sink**: match rows are
 written as reduce task units complete, not buffered until the end — so
 a long run's output is inspectable while it executes, and local and
 remote runs of the same pipeline produce byte-identical files.
+
+``ingest`` is the incremental path: ``dedup --save-state DIR`` seeds a
+persisted :class:`~repro.engine.CorpusState`, and each later ``ingest
+--state DIR --input batch.csv`` matches only the *new* records against
+it (delta runs — new-vs-old and new-vs-new pairs per block, never
+old-vs-old again), appends the new matches to the state atomically,
+and writes them to ``--output``.  The union of the seed's and every
+ingest's output CSVs equals a full ``dedup`` of all records combined.
+With ``--server`` the ingest runs against a *server-resident* state
+instead (a daemon started with ``--state-root``; ``--state`` then
+names the state, not a local directory).
 
 ``serve`` runs the persistent ER daemon (one shared worker pool, many
 concurrent jobs over TCP — see :mod:`repro.serve`); ``submit`` ships a
@@ -152,6 +164,64 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the full PipelineResult as versioned "
                               "JSON (replayable with 'simulate "
                               "--from-result PATH')")
+        if name == "dedup":
+            sub.add_argument("--save-state", metavar="DIR", default=None,
+                             help="seed a persisted corpus state in DIR "
+                                  "from this run, for later incremental "
+                                  "'ingest --state DIR' batches (DIR must "
+                                  "not already hold a state)")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="incrementally match a batch of new records against a "
+             "persisted corpus state (delta run; old records never "
+             "re-compare)",
+    )
+    ingest.add_argument("--state", required=True, metavar="DIR",
+                        help="state directory (seeded by 'dedup "
+                             "--save-state' or a first ingest into an "
+                             "empty directory); with --server: the name "
+                             "of a server-resident state instead")
+    ingest.add_argument("--input", required=True,
+                        help="CSV of the *new* records only")
+    ingest.add_argument("--output", required=True,
+                        help="CSV of the newly found matches (the "
+                             "cumulative set lives in the state)")
+    ingest.add_argument("--server", default=None, metavar="HOST:PORT",
+                        help="run the ingest on a remote ER server "
+                             "started with --state-root (the state "
+                             "stays server-resident)")
+    ingest.add_argument("--token", default=None,
+                        help="service token for --server (default: the "
+                             "REPRO_SERVE_TOKEN environment variable)")
+    ingest.add_argument("--strategy", choices=["basic", "blocksplit", "pairrange"],
+                        default="blocksplit")
+    ingest.add_argument("--attribute", default="title")
+    ingest.add_argument("--prefix-length", type=int, default=3)
+    ingest.add_argument("--threshold", type=float, default=0.8)
+    ingest.add_argument("-m", "--map-tasks", type=int, default=4)
+    ingest.add_argument("-r", "--reduce-tasks", type=int, default=8)
+    ingest.add_argument("--backend",
+                        choices=["serial", "parallel", "async", "distributed"],
+                        default="serial",
+                        help="execution backend for the delta run "
+                             "(ignored with --server: the daemon's "
+                             "shared pool executes)")
+    ingest.add_argument("--workers", type=_positive_int, default=None,
+                        help="pool size for --backend parallel/async, "
+                             "worker-process count for distributed")
+    ingest.add_argument("--task-timeout", type=_positive_float, default=None,
+                        help="for --backend distributed: per-task "
+                             "timeout before a worker is presumed hung")
+    ingest.add_argument("--max-worker-respawns", type=int, default=None,
+                        metavar="N",
+                        help="for --backend distributed: replacement "
+                             "workers after losses (default 0)")
+    ingest.add_argument("--memory-budget", type=_positive_int, default=None,
+                        help="max map-output records buffered in memory "
+                             "during the shuffle (rest spills to disk)")
+    ingest.add_argument("--progress", action="store_true",
+                        help="stream task lifecycle events to stderr")
 
     serve = subparsers.add_parser(
         "serve",
@@ -353,6 +423,25 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_dedup(args: argparse.Namespace) -> int:
     blocking = PrefixBlocking(args.attribute, args.prefix_length)
+    if args.save_state is not None:
+        from .engine.persistence import STATE_FILE
+
+        if args.allow_missing_keys:
+            print(
+                "error: --save-state is not supported with "
+                "--allow-missing-keys (the Cartesian fallback merges "
+                "several pipeline runs; a corpus state tracks one)",
+                file=sys.stderr,
+            )
+            return 2
+        if (Path(args.save_state) / STATE_FILE).exists():
+            print(
+                f"error: {args.save_state} already holds a corpus state; "
+                "append batches to it with 'repro-er ingest --state "
+                f"{args.save_state}'",
+                file=sys.stderr,
+            )
+            return 2
     if args.input_format == "csv-shards":
         shards = args.shards if args.shards is not None else args.map_tasks
         record_input: CsvShardSource | list = CsvShardSource(
@@ -407,12 +496,38 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             backend=_backend(args),
             memory_budget=args.memory_budget,
         )
-        result, count = _run_pipeline(pipeline, args, record_input)
+        run_input = record_input
+        partitions = None
+        if args.save_state is not None:
+            # Seeding a state needs the raw partitions for the
+            # analytic advance, so a streamed input is materialized.
+            from .mapreduce.types import make_partitions
+
+            entities = (
+                list(record_input.iter_records())
+                if isinstance(record_input, CsvShardSource)
+                else record_input
+            )
+            partitions = make_partitions(entities, args.map_tasks)
+            run_input = partitions
+        result, count = _run_pipeline(pipeline, args, run_input)
         stats = WorkloadStats.from_workloads(result.reduce_comparisons())
         print(
             f"{input_note}, {result.total_comparisons():,} comparisons "
             f"(imbalance {stats.imbalance:.2f}), {count} duplicate pairs"
         )
+        if args.save_state is not None:
+            from .engine.incremental import CorpusState
+            from .engine.persistence import save_state
+
+            assert partitions is not None
+            state = CorpusState.empty().advanced(result, partitions, blocking)
+            save_state(state, args.save_state)
+            print(
+                f"seeded corpus state in {args.save_state} "
+                f"({state.num_entities} keyed entities, "
+                f"{state.num_matches} matches)"
+            )
     print(f"wrote matches to {args.output}")
     return 0
 
@@ -446,6 +561,106 @@ def cmd_link(args: argparse.Namespace) -> int:
         f"{count} links"
     )
     print(f"wrote links to {args.output}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    blocking = PrefixBlocking(args.attribute, args.prefix_length)
+    entities = load_entities_csv(args.input)
+    if args.server is not None:
+        # Remote ingest: the state lives under the daemon's
+        # --state-root and --state names it; the local backend flags
+        # are irrelevant (the server's shared pool executes).
+        from .serve.client import (
+            ServeClient,
+            ServeConnectionError,
+            SubmissionRejected,
+        )
+
+        host, _, port_text = args.server.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"error: --server must be HOST:PORT, got {args.server!r}",
+                  file=sys.stderr)
+            return 2
+        pipeline = ERPipeline(
+            args.strategy,
+            blocking,
+            ThresholdMatcher(args.attribute, args.threshold),
+            num_map_tasks=args.map_tasks,
+            num_reduce_tasks=args.reduce_tasks,
+        )
+        on_event = _progress_printer(sys.stderr) if args.progress else None
+        try:
+            with ServeClient(
+                host, int(port_text), token=args.token, on_event=on_event
+            ) as client:
+                execution = client.submit_delta(pipeline, entities, args.state)
+                count = _stream_matches(execution, args.output)
+                result = execution.result()
+        except ValueError as exc:  # no token available
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except (ServeConnectionError, SubmissionRejected) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"ingested {len(entities)} new entities into state "
+            f"{args.state!r} on {args.server}: "
+            f"{result.total_comparisons():,} delta comparisons, "
+            f"{count} new duplicate pairs"
+        )
+        print(f"wrote new matches to {args.output}")
+        return 0
+
+    from .engine.incremental import CorpusState
+    from .engine.persistence import (
+        STATE_FILE,
+        PersistenceError,
+        load_state,
+        save_state,
+    )
+    from .mapreduce.types import make_partitions
+
+    directory = Path(args.state)
+    try:
+        if (directory / STATE_FILE).exists():
+            state = load_state(directory)
+        else:
+            state = CorpusState.empty()
+    except PersistenceError as exc:
+        print(f"error: cannot load state from {args.state}: {exc}",
+              file=sys.stderr)
+        return 2
+    pipeline = ERPipeline(
+        args.strategy,
+        blocking,
+        ThresholdMatcher(args.attribute, args.threshold),
+        num_map_tasks=args.map_tasks,
+        num_reduce_tasks=args.reduce_tasks,
+        backend=_backend(args),
+        memory_budget=args.memory_budget,
+    )
+    partitions = make_partitions(entities, args.map_tasks)
+    on_event = _progress_printer(sys.stderr) if args.progress else None
+    execution = pipeline.submit_delta(partitions, state, on_event=on_event)
+    count = _stream_matches(execution, args.output)
+    result = execution.result()
+    # The state only advances after the run fully succeeded (a raised
+    # result above leaves the directory untouched), and the save itself
+    # is write-then-rename with state.json as the commit point.
+    advanced = state.advanced(result, partitions, blocking)
+    save_state(advanced, directory)
+    print(
+        f"ingested {len(entities)} new entities: "
+        f"{result.total_comparisons():,} delta comparisons, "
+        f"{count} new duplicate pairs"
+    )
+    print(
+        f"state {args.state}: {advanced.num_entities} entities, "
+        f"{advanced.num_matches} matches over {advanced.num_ingests} "
+        f"ingest(s), {advanced.comparisons:,} cumulative comparisons"
+    )
+    print(f"wrote new matches to {args.output}")
     return 0
 
 
@@ -584,6 +799,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "dedup": cmd_dedup,
     "link": cmd_link,
+    "ingest": cmd_ingest,
     "serve": cmd_serve,
     "submit": cmd_submit,
     "simulate": cmd_simulate,

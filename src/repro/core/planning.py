@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from ..mapreduce.job import stable_hash
 from .bdm import BlockDistributionMatrix
@@ -33,6 +33,9 @@ from .enumeration import (
 )
 from .match_tasks import plan_block_split
 from .two_source import SOURCE_R, SOURCE_S, DualSourceBDM, generate_dual_match_tasks
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .delta import DeltaBDM
 
 
 @dataclass(frozen=True, slots=True)
@@ -381,6 +384,156 @@ def plan_dual_pairrange(
             map_out[bdm.s_partitions[local_p]] += count
     return StrategyPlan(
         strategy="pairrange-2src",
+        num_map_tasks=bdm.num_partitions,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=total,
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(reduce_comps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Incremental (delta) planners
+# ---------------------------------------------------------------------------
+
+
+def plan_delta_basic(
+    bdm: "DeltaBDM",
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Delta Basic plan: mirrors :class:`~repro.core.delta.DeltaBasicJob`.
+
+    Blocks with no remaining pairs are suppressed by the map, so they
+    contribute neither shuffle volume nor comparisons; everything else
+    routes like the plain Basic job, but the comparison count per block
+    is ``T(n) − T(o)``.
+    """
+    if num_reduce_tasks <= 0:
+        raise ValueError(f"num_reduce_tasks must be positive, got {num_reduce_tasks}")
+    m = bdm.num_partitions
+    reduce_kv = [0] * num_reduce_tasks
+    reduce_comps = [0] * num_reduce_tasks
+    map_out = [0] * m
+    for k in range(bdm.num_blocks):
+        pairs = bdm.block_pairs(k)
+        if pairs == 0:
+            continue
+        target = stable_hash(bdm.key_of(k)) % num_reduce_tasks
+        reduce_kv[target] += bdm.size(k)
+        reduce_comps[target] += pairs
+        for p in range(m):
+            map_out[p] += bdm.size(k, p)
+    return StrategyPlan(
+        strategy="basic-delta",
+        num_map_tasks=m,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=bdm.pairs(),
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(reduce_comps),
+    )
+
+
+def plan_delta_blocksplit(
+    bdm: "DeltaBDM",
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Delta BlockSplit plan: the same
+    :func:`~repro.core.delta.generate_delta_match_tasks` + greedy
+    assignment the executing job uses, with shuffle volumes derived
+    from which tasks each partition's entities feed:
+
+    * unsplit block with remaining pairs: every entity shipped once;
+    * split block: an *old* entity feeds one cross task per occupied
+      new partition; a *new* entity feeds its self task plus one cross
+      task per other occupied partition — once per occupied partition
+      in total.
+    """
+    from .delta import generate_delta_match_tasks
+    from .match_tasks import assign_greedy
+
+    tasks, split_blocks, _threshold = generate_delta_match_tasks(
+        bdm, num_reduce_tasks
+    )
+    assignment, loads = assign_greedy(tasks, num_reduce_tasks)
+    m = bdm.num_partitions
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * m
+    for task in tasks:
+        target = assignment[task.key]
+        k = task.block
+        if task.is_whole_block and k not in split_blocks:
+            reduce_kv[target] += bdm.size(k)
+        elif task.is_cross_product:
+            reduce_kv[target] += bdm.size(k, task.i) + bdm.size(k, task.j)
+        else:
+            reduce_kv[target] += bdm.size(k, task.i)
+    for k in range(bdm.num_blocks):
+        if bdm.block_pairs(k) == 0:
+            continue
+        if k in split_blocks:
+            occupied = bdm.occupied_partitions(k)
+            occupied_new = sum(1 for p in occupied if bdm.is_new_partition(p))
+            for p in range(m):
+                fan_out = len(occupied) if bdm.is_new_partition(p) else occupied_new
+                map_out[p] += bdm.size(k, p) * fan_out
+        else:
+            for p in range(m):
+                map_out[p] += bdm.size(k, p)
+    return StrategyPlan(
+        strategy="blocksplit-delta",
+        num_map_tasks=m,
+        num_reduce_tasks=num_reduce_tasks,
+        total_pairs=bdm.pairs(),
+        map_input_records=_map_inputs(bdm, map_input_records),
+        map_output_kv=tuple(map_out),
+        reduce_input_kv=tuple(reduce_kv),
+        reduce_comparisons=tuple(loads),
+    )
+
+
+def plan_delta_pairrange(
+    bdm: "DeltaBDM",
+    num_reduce_tasks: int,
+    *,
+    map_input_records: Sequence[int] | None = None,
+) -> StrategyPlan:
+    """Delta PairRange plan: equal contiguous ranges over the
+    ``T(n) − T(o)`` remaining pairs; KV counts via the delta interval
+    algebra (:func:`~repro.core.delta.delta_entities_in_cell_interval`)
+    — an entity is shipped to a range iff it participates in at least
+    one of the range's remaining pairs."""
+    from .delta import delta_entities_in_cell_interval, delta_pair_count
+
+    delta_sizes = bdm.delta_block_sizes()
+    total = bdm.pairs()
+    spec = PairRangeSpec(total, num_reduce_tasks)
+    offsets = [0]
+    for old, n in delta_sizes:
+        offsets.append(offsets[-1] + delta_pair_count(old, n))
+
+    reduce_comps = spec.sizes()
+    reduce_kv = [0] * num_reduce_tasks
+    map_out = [0] * bdm.num_partitions
+
+    for block, range_index, cell_lo, cell_hi in _block_range_overlaps(offsets, spec):
+        old, n = delta_sizes[block]
+        intervals = delta_entities_in_cell_interval(old, n, cell_lo, cell_hi)
+        reduce_kv[range_index] += interval_total(intervals)
+        cumulative = [0]
+        for p in range(bdm.num_partitions):
+            cumulative.append(cumulative[-1] + bdm.size(block, p))
+        for p, count in _partition_slice_counts(cumulative, intervals).items():
+            map_out[p] += count
+    return StrategyPlan(
+        strategy="pairrange-delta",
         num_map_tasks=bdm.num_partitions,
         num_reduce_tasks=num_reduce_tasks,
         total_pairs=total,

@@ -22,11 +22,15 @@ from ..mapreduce.job import MapReduceJob
 from .basic import BasicMatchJob
 from .bdm import BlockDistributionMatrix
 from .blocksplit import BlockSplitJob
+from .delta import DeltaBasicJob, DeltaBDM, DeltaBlockSplitJob, DeltaPairRangeJob
 from .pairrange import PairRangeJob
 from .planning import (
     StrategyPlan,
     plan_basic,
     plan_blocksplit,
+    plan_delta_basic,
+    plan_delta_blocksplit,
+    plan_delta_pairrange,
     plan_dual_blocksplit,
     plan_dual_pairrange,
     plan_pairrange,
@@ -93,6 +97,30 @@ class LoadBalancingStrategy(ABC):
             f"strategy {self.name!r} has no two-source planner"
         )
 
+    def build_delta_job(
+        self,
+        bdm: DeltaBDM,
+        matcher: Matcher,
+        num_reduce_tasks: int,
+    ) -> MapReduceJob:
+        """The matching job for the incremental (delta) case: new
+        records against a persisted corpus, comparing only new-vs-old
+        and new-vs-new pairs per block."""
+        raise NotImplementedError(
+            f"strategy {self.name!r} has no incremental (delta) variant"
+        )
+
+    def plan_delta(
+        self,
+        bdm: DeltaBDM,
+        num_reduce_tasks: int,
+        *,
+        map_input_records: Sequence[int] | None = None,
+    ) -> StrategyPlan:
+        raise NotImplementedError(
+            f"strategy {self.name!r} has no incremental (delta) planner"
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -138,6 +166,17 @@ class BasicStrategy(LoadBalancingStrategy):
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_basic(bdm, num_reduce_tasks, map_input_records=map_input_records)
 
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
+        # The delta path always has the merged BDM in hand (it needs
+        # the delta's block counts anyway), so even Basic consumes
+        # annotated input here.
+        return DeltaBasicJob(bdm, matcher)
+
+    def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_delta_basic(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
 
 @register_strategy
 class BlockSplitStrategy(LoadBalancingStrategy):
@@ -161,6 +200,14 @@ class BlockSplitStrategy(LoadBalancingStrategy):
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
+        return DeltaBlockSplitJob(bdm, matcher, num_reduce_tasks)
+
+    def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_delta_blocksplit(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
 
 @register_strategy
 class PairRangeStrategy(LoadBalancingStrategy):
@@ -181,6 +228,14 @@ class PairRangeStrategy(LoadBalancingStrategy):
 
     def plan_dual(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_dual_pairrange(
+            bdm, num_reduce_tasks, map_input_records=map_input_records
+        )
+
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
+        return DeltaPairRangeJob(bdm, matcher, num_reduce_tasks)
+
+    def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
+        return plan_delta_pairrange(
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 

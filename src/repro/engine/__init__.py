@@ -48,6 +48,7 @@ from ..mapreduce.events import (
 from .async_backend import AsyncBackend, AsyncRuntime
 from .backend import (
     BACKENDS,
+    DeltaSpec,
     ExecutionBackend,
     PipelineRequest,
     get_backend,
@@ -65,13 +66,18 @@ from .execution import (
     PipelineExecution,
     StageProgress,
 )
+from .incremental import CorpusState, ingest
 from .parallel import ParallelBackend, ParallelRuntime
 from .persistence import (
     PersistenceError,
     load_result,
+    load_state,
     result_from_dict,
     result_to_dict,
     save_result,
+    save_state,
+    state_from_dict,
+    state_to_dict,
 )
 from .pipeline import ERPipeline
 from .planned import PlannedBackend
@@ -87,6 +93,8 @@ __all__ = [
     "BACKENDS",
     "AsyncBackend",
     "AsyncRuntime",
+    "CorpusState",
+    "DeltaSpec",
     "DistributedBackend",
     "DistributedExecutionError",
     "DistributedRuntime",
@@ -109,11 +117,16 @@ __all__ = [
     "SerialBackend",
     "StageProgress",
     "get_backend",
+    "ingest",
     "load_result",
+    "load_state",
     "register_backend",
     "result_from_dict",
     "result_to_dict",
     "save_result",
+    "save_state",
+    "state_from_dict",
+    "state_to_dict",
     "simulate_executed_workflow",
     "simulate_planned_workflow",
     "simulate_strategy",

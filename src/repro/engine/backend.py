@@ -30,6 +30,7 @@ from typing import Any, TypeVar
 
 from ..cluster.costmodel import CostModel
 from ..cluster.simulation import ClusterSpec
+from ..core.bdm import BlockDistributionMatrix
 from ..core.strategy import LoadBalancingStrategy
 from ..er.blocking import BlockingFunction
 from ..er.matching import Matcher
@@ -37,6 +38,37 @@ from ..io.sources import RecordSource
 from ..mapreduce.events import EventChannel
 from ..mapreduce.types import Partition
 from .result import PipelineResult
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaSpec:
+    """The persisted-corpus side of an incremental (delta) request.
+
+    ``old_partitions`` are the corpus's *annotated* partitions — the
+    Job-1 side output that produced ``old_bdm``, i.e. ``(block key,
+    entity)`` records in BDM partition order.  They seed Job 2 directly:
+    Job 1 never re-runs over old records.  ``old_bdm`` may be ``None``
+    only for a corpus with no keyed entity (every block empty).
+    """
+
+    old_partitions: tuple[Partition, ...]
+    old_bdm: BlockDistributionMatrix | None
+
+    def __post_init__(self) -> None:
+        if not self.old_partitions:
+            raise ValueError(
+                "a delta request needs at least one persisted corpus "
+                "partition (an empty corpus is a plain full run)"
+            )
+        if (
+            self.old_bdm is not None
+            and self.old_bdm.num_blocks > 0
+            and self.old_bdm.num_partitions != len(self.old_partitions)
+        ):
+            raise ValueError(
+                f"persisted BDM spans {self.old_bdm.num_partitions} "
+                f"partitions but {len(self.old_partitions)} were given"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,11 +98,23 @@ class PipelineRequest:
     cost_model: CostModel | None = None
     source: RecordSource | None = None
     memory_budget: int | None = None
+    delta: DeltaSpec | None = None
     properties: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.partitions and self.source is None:
             raise ValueError("at least one input partition is required")
+        if self.delta is not None:
+            if self.dual:
+                raise ValueError(
+                    "incremental (delta) and two-source matching cannot "
+                    "be combined in one request"
+                )
+            if not self.partitions:
+                raise ValueError(
+                    "incremental (delta) requests require materialized "
+                    "partitions (a streaming source alone is not supported)"
+                )
         if self.dual and not self.partitions:
             # Two-source matching needs source-homogeneous, R-before-S
             # partitions; a bare record source cannot express that.

@@ -13,10 +13,12 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..core.bdm import analytic_bdm, compute_bdm
+from ..core.delta import merge_delta_bdm
 from ..core.planning import BdmJobPlan, StrategyPlan, plan_bdm_job
 from ..core.two_source import analytic_dual_bdm, compute_dual_bdm
 from ..er.matching import MatchResult
 from ..mapreduce.runtime import LocalRuntime
+from ..mapreduce.types import Partition
 from .backend import ExecutionBackend, PipelineRequest
 from .result import PipelineResult
 from .simulate import simulate_executed_workflow
@@ -112,6 +114,8 @@ class ExecutingBackendBase(ExecutionBackend):
             runtime.events.stage = stage
 
     def _execute_on(self, runtime: LocalRuntime, request: PipelineRequest) -> PipelineResult:
+        if request.delta is not None:
+            return self._execute_delta(runtime, request)
         strategy = request.strategy
         r = request.num_reduce_tasks
         budget = request.memory_budget
@@ -166,6 +170,78 @@ class ExecutingBackendBase(ExecutionBackend):
             backend=self.name,
             matches=MatchResult(record.value for record in job2.output),
             bdm=bdm,
+            job1=job1,
+            job2=job2,
+            plan=plan,
+            bdm_plan=bdm_plan,
+        )
+        if request.cluster is not None:
+            timeline = simulate_executed_workflow(
+                result, request.cluster, request.cost_model
+            )
+            result = replace(result, timeline=timeline)
+        return result
+
+    def _execute_delta(
+        self, runtime: LocalRuntime, request: PipelineRequest
+    ) -> PipelineResult:
+        """The incremental path: Job 1 over the *delta only*, then Job 2
+        over persisted-annotated + delta-annotated partitions with a
+        delta-aware matching job.
+
+        Old records never pass through Job 1 again — their blocking keys
+        and block counts come from the persisted :class:`~repro.engine.
+        backend.DeltaSpec`.  Every strategy runs Job 1 on the delta
+        (even Basic, which skips it on full runs): the merged BDM is
+        needed to enumerate the remaining ``T(n) − T(o)`` pairs, and the
+        uniform counters keep incremental results plannable.
+        """
+        spec = request.delta
+        assert spec is not None
+        strategy = request.strategy
+        r = request.num_reduce_tasks
+        budget = request.memory_budget
+        self._set_stage(runtime, STAGE_BDM)
+        delta_plain, job1, delta_annotated = compute_bdm(
+            runtime,
+            request.partitions,
+            request.blocking,
+            num_reduce_tasks=r,
+            use_combiner=request.use_bdm_combiner,
+            memory_budget=budget,
+        )
+        merged = merge_delta_bdm(spec.old_bdm, delta_plain, len(request.partitions))
+        # Job 2's input: the persisted annotated corpus followed by the
+        # delta's fresh annotation, re-indexed contiguously — old before
+        # new is what lets the delta reduces buffer old entities first.
+        job2_input = [
+            Partition(list(p), index=i)
+            for i, p in enumerate(list(spec.old_partitions) + list(delta_annotated))
+        ]
+        job = strategy.build_delta_job(merged, request.matcher, r)
+        self._set_stage(runtime, STAGE_MATCHING)
+        job2 = runtime.run(
+            job, job2_input, r,
+            properties=request.properties, memory_budget=budget,
+        )
+        plan = (
+            strategy.plan_delta(merged, r) if merged.num_blocks else None
+        )
+        bdm_plan = (
+            plan_bdm_job(
+                delta_plain,
+                r,
+                use_combiner=request.use_bdm_combiner,
+                raw_partition_sizes=request.raw_partition_sizes,
+            )
+            if delta_plain.num_blocks
+            else None
+        )
+        result = PipelineResult(
+            strategy=strategy.name,
+            backend=self.name,
+            matches=MatchResult(record.value for record in job2.output),
+            bdm=merged.matrix,
             job1=job1,
             job2=job2,
             plan=plan,

@@ -22,6 +22,7 @@ reject documents they do not understand instead of misreading them.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -34,15 +35,22 @@ from ..cluster.timeline import (
 from ..core.bdm import BlockDistributionMatrix
 from ..core.planning import BdmJobPlan, StrategyPlan
 from ..core.two_source import DualSourceBDM
+from ..er.entity import Entity
 from ..er.matching import MatchPair, MatchResult
 from ..mapreduce.counters import Counters
 from ..mapreduce.job import JobConfig
 from ..mapreduce.runtime import JobResult, MapTaskResult, ReduceTaskResult
+from ..mapreduce.types import Partition
+from .incremental import CorpusState
 from .result import PipelineResult
 
 #: Document type tag and the newest schema version this code writes.
 RESULT_FORMAT = "repro.pipeline-result"
 RESULT_VERSION = 1
+
+#: Corpus-state document tag / newest version (see ``save_state``).
+STATE_FORMAT = "repro.corpus-state"
+STATE_VERSION = 1
 
 
 class PersistenceError(ValueError):
@@ -384,3 +392,186 @@ def load_result(path: "str | Path") -> PipelineResult:
         except json.JSONDecodeError as exc:
             raise PersistenceError(f"{path}: not valid JSON ({exc})") from exc
     return result_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Corpus state (incremental ER)
+# ---------------------------------------------------------------------------
+# A state directory holds two files:
+#
+#   matches.log  — one JSON line per ingest: that ingest's new matches.
+#                  Append-only in content: an advanced state's log is
+#                  the old log plus one line.
+#   state.json   — the versioned document: annotated partitions, BDM,
+#                  cumulative comparisons, and ``num_ingests`` — the
+#                  number of *valid* log lines.
+#
+# Both files are written tmp-then-``os.replace``, the log strictly
+# before the state, so ``state.json`` is the single atomic commit
+# point: a crash mid-save leaves the previous state fully readable
+# (extra trailing log lines from an uncommitted ingest are ignored),
+# never a torn one.
+
+STATE_FILE = "state.json"
+MATCH_LOG_FILE = "matches.log"
+
+
+def _encode_entity(entity: Entity) -> dict:
+    return {
+        "id": entity.entity_id,
+        "attrs": dict(entity.attributes),
+        "source": entity.source,
+    }
+
+
+def _decode_entity(data: dict) -> Entity:
+    return Entity(data["id"], data["attrs"], data["source"])
+
+
+def _encode_annotated_partition(partition: Partition) -> list:
+    return [
+        [_encode_key(record.key), _encode_entity(record.value)]
+        for record in partition
+    ]
+
+
+def _decode_annotated_partition(data: list, index: int) -> Partition:
+    return Partition.from_pairs(
+        [(_decode_key(key), _decode_entity(entity)) for key, entity in data],
+        index=index,
+    )
+
+
+def state_to_dict(state: CorpusState) -> dict:
+    """The ``state.json`` form of ``state`` (everything but the match log)."""
+    return {
+        "format": STATE_FORMAT,
+        "version": STATE_VERSION,
+        "partitions": [
+            _encode_annotated_partition(p) for p in state.partitions
+        ],
+        "bdm": _encode_bdm(state.bdm),
+        "comparisons": state.comparisons,
+        "num_ingests": state.num_ingests,
+        "match_counts": [len(entry) for entry in state.match_log],
+    }
+
+
+def state_from_dict(
+    data: dict, match_log: "tuple[tuple[MatchPair, ...], ...]" = ()
+) -> CorpusState:
+    """Rebuild a :class:`CorpusState` from its persisted form.
+
+    ``match_log`` supplies the decoded ``matches.log`` entries
+    (:func:`load_state` wires the two files together).
+    """
+    if not isinstance(data, dict) or data.get("format") != STATE_FORMAT:
+        raise PersistenceError(
+            f"not a {STATE_FORMAT} document "
+            f"(format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"expected a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("version")
+    if version != STATE_VERSION:
+        raise PersistenceError(
+            f"unsupported {STATE_FORMAT} version {version!r} "
+            f"(this build reads version {STATE_VERSION})"
+        )
+    try:
+        num_ingests = data["num_ingests"]
+        match_counts = data["match_counts"]
+        if len(match_log) < num_ingests:
+            raise ValueError(
+                f"match log has {len(match_log)} ingests, state "
+                f"expects {num_ingests}"
+            )
+        # Trailing log entries beyond num_ingests belong to an ingest
+        # whose state.json commit never happened — drop them.
+        match_log = tuple(match_log[:num_ingests])
+        for i, (entry, count) in enumerate(zip(match_log, match_counts)):
+            if len(entry) != count:
+                raise ValueError(
+                    f"ingest {i} logged {len(entry)} matches, state "
+                    f"expects {count}"
+                )
+        return CorpusState(
+            partitions=tuple(
+                _decode_annotated_partition(p, index=i)
+                for i, p in enumerate(data["partitions"])
+            ),
+            bdm=_decode_bdm(data["bdm"]),
+            match_log=match_log,
+            comparisons=data["comparisons"],
+        )
+    except PersistenceError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"malformed {STATE_FORMAT} v{STATE_VERSION} document: {exc!r}"
+        ) from exc
+
+
+def _replace_into(directory: Path, name: str, content: str) -> None:
+    """Write ``content`` to ``directory/name`` atomically (tmp + rename)."""
+    tmp = directory / f".{name}.tmp"
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(content)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / name)
+
+
+def save_state(state: CorpusState, state_dir: "str | Path") -> Path:
+    """Persist ``state`` into ``state_dir``; returns the directory.
+
+    The match log is written first, the state document last — each
+    atomically — so a reader (or a crash) can never observe a state
+    that references log entries which are not durably on disk.
+    """
+    directory = Path(state_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    log_lines = [
+        json.dumps(
+            [[p.id1, p.id2, p.similarity] for p in entry],
+            separators=(",", ":"),
+        )
+        for entry in state.match_log
+    ]
+    _replace_into(
+        directory, MATCH_LOG_FILE, "".join(line + "\n" for line in log_lines)
+    )
+    _replace_into(
+        directory,
+        STATE_FILE,
+        json.dumps(state_to_dict(state), separators=(",", ":")) + "\n",
+    )
+    return directory
+
+
+def load_state(state_dir: "str | Path") -> CorpusState:
+    """Read a state saved by :func:`save_state`."""
+    directory = Path(state_dir)
+    state_path = directory / STATE_FILE
+    with state_path.open("r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"{state_path}: not valid JSON ({exc})") from exc
+    log_path = directory / MATCH_LOG_FILE
+    entries: list[tuple[MatchPair, ...]] = []
+    if log_path.exists():
+        with log_path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle):
+                if not line.strip():
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(
+                        f"{log_path}:{lineno + 1}: not valid JSON ({exc})"
+                    ) from exc
+                entries.append(
+                    tuple(MatchPair(id1, id2, sim) for id1, id2, sim in row)
+                )
+    return state_from_dict(data, tuple(entries))

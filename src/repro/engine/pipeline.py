@@ -48,8 +48,9 @@ from ..mapreduce.events import ExecutionEvent
 from ..mapreduce.types import Partition, make_partitions
 from ..core.strategy import LoadBalancingStrategy, get_strategy
 from ..core.two_source import SOURCE_R, SOURCE_S
-from .backend import ExecutionBackend, PipelineRequest, get_backend
+from .backend import DeltaSpec, ExecutionBackend, PipelineRequest, get_backend
 from .execution import PipelineExecution
+from .incremental import CorpusState
 from .result import PipelineResult
 
 #: Distinguishes "not passed" from an explicit None in with_cluster.
@@ -249,6 +250,69 @@ class ERPipeline:
             num_r_partitions=num_r_partitions,
             num_s_partitions=num_s_partitions,
             on_event=on_event,
+        )
+
+    def run_delta(
+        self,
+        new_records: Sequence[Entity] | Sequence[Partition],
+        state: CorpusState,
+    ) -> PipelineResult:
+        """Match a batch of new records against a persisted corpus.
+
+        Sugar for ``submit_delta(...).result()``.  The result's matches
+        are the *new* pairs only (new-vs-old and new-vs-new per block);
+        old-vs-old pairs were matched by the runs that produced
+        ``state`` and are never recompared.
+        """
+        return self.submit_delta(new_records, state).result()
+
+    def submit_delta(
+        self,
+        new_records: Sequence[Entity] | Sequence[Partition],
+        state: CorpusState,
+        *,
+        on_event: Callable[[ExecutionEvent], None] | None = None,
+    ) -> PipelineExecution:
+        """Submit an incremental run and return its live execution handle.
+
+        Job 1 runs over ``new_records`` only; Job 2 is seeded from the
+        persisted BDM merged with the delta's block counts, so the
+        comparison work is ``T(n) − T(o)`` pairs per block instead of
+        ``T(n)``.  The handle is a normal
+        :class:`~repro.engine.execution.PipelineExecution` — streamed
+        matches, progress, cooperative cancel and ``result()`` all work
+        unchanged, on every executing backend.
+
+        An empty ``state`` degrades to a plain full run of
+        ``new_records`` (the two are the same computation).
+        """
+        request = self.build_delta_request(new_records, state)
+        return PipelineExecution(
+            self.backend, request, matcher=self.matcher, on_event=on_event
+        )
+
+    def build_delta_request(
+        self,
+        new_records: Sequence[Entity] | Sequence[Partition],
+        state: CorpusState,
+    ) -> PipelineRequest:
+        """The resolved incremental :class:`~repro.engine.backend.
+        PipelineRequest` (the backend-independent half of
+        :meth:`submit_delta`, mirroring :meth:`build_request`)."""
+        if not state.partitions:
+            # Empty corpus: the delta IS the corpus — a plain full run.
+            return self.build_request(new_records)
+        return PipelineRequest(
+            strategy=self.strategy,
+            blocking=self.blocking,
+            matcher=self.matcher,
+            partitions=tuple(self._as_partitions(new_records)),
+            num_reduce_tasks=self.num_reduce_tasks,
+            use_bdm_combiner=self.use_bdm_combiner,
+            cluster=self.cluster,
+            cost_model=self.cost_model,
+            memory_budget=self.memory_budget,
+            delta=DeltaSpec(tuple(state.partitions), state.bdm),
         )
 
     def build_request(

@@ -51,6 +51,12 @@ def add_server_arguments(parser: argparse.ArgumentParser) -> None:
         help="append one JSON line per finished job to PATH",
     )
     parser.add_argument(
+        "--state-root", default=None, metavar="DIR",
+        help="directory of server-resident corpus states (one "
+             "subdirectory per state name); enables submit-delta "
+             "incremental ingests",
+    )
+    parser.add_argument(
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="how long shutdown waits for active jobs (default 30)",
     )
@@ -66,6 +72,7 @@ def server_from_args(args: argparse.Namespace) -> ERServer:
         max_task_retries=args.max_task_retries,
         max_worker_respawns=args.max_worker_respawns,
         workload_log=args.workload_log,
+        state_root=args.state_root,
         drain_timeout=args.drain_timeout,
     )
 

@@ -299,13 +299,56 @@ class ServeClient:
             num_r_partitions=num_r_partitions,
             num_s_partitions=num_s_partitions,
         )
-        if request.source is not None:
-            request = replace(
-                request,
-                partitions=request.partitions
-                or tuple(request.source.as_partitions()),
-                source=None,
-            )
+        return self._roundtrip("submit", (self._shipped(request),), timeout)
+
+    def submit_delta(
+        self,
+        pipeline: "ERPipeline",
+        new_records,
+        state_name: str,
+        *,
+        num_partitions: int | None = None,
+        timeout: float = 60.0,
+    ) -> RemoteExecution:
+        """Ingest a batch of records into the server-resident corpus
+        state ``state_name``; returns the live handle on the delta run.
+
+        The batch is resolved into a plain request locally (strategy,
+        blocking, matcher, partitioning — exactly as :meth:`submit`
+        would); the *server* merges the corpus state persisted under
+        its ``--state-root`` into the run as a delta, serializes
+        ingests per state name, and advances the state atomically
+        before reporting success.  The handle's matches and result are
+        the *new* pairs only — the old corpus never re-compares.
+
+        Raises :class:`SubmissionRejected` when the server refuses
+        (no state root, bad state name, draining) and
+        :class:`ServeConnectionError` when the connection fails.
+        """
+        request = pipeline.build_request(
+            new_records, num_r_partitions=num_partitions
+        )
+        return self._roundtrip(
+            "submit-delta", (state_name, self._shipped(request)), timeout
+        )
+
+    @staticmethod
+    def _shipped(request):
+        """``request`` with any streaming source materialized (sources
+        — generators, open files — rarely survive pickling)."""
+        if request.source is None:
+            return request
+        return replace(
+            request,
+            partitions=request.partitions
+            or tuple(request.source.as_partitions()),
+            source=None,
+        )
+
+    def _roundtrip(
+        self, verb: str, tail: tuple, timeout: float
+    ) -> RemoteExecution:
+        """Ship one submission, wait for accepted/rejected."""
         with self._lock:
             if self._closed:
                 raise ServeConnectionError("client is closed")
@@ -313,7 +356,7 @@ class ServeClient:
             pending = _PendingSubmit()
             self._pending[ticket] = pending
         try:
-            self._conn.send(("submit", ticket, request))
+            self._conn.send((verb, ticket, *tail))
         except (TransportError, OSError) as exc:
             with self._lock:
                 self._pending.pop(ticket, None)

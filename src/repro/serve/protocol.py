@@ -19,6 +19,13 @@ Client → server::
     <raw token preamble>                 authentication, no framing
     ("hello", pid)                       introduce this session
     ("submit", ticket, request)          run one PipelineRequest
+    ("submit-delta", ticket, name,       ingest the request's partitions
+                     request)            into the server-resident corpus
+                                         state ``name`` (an incremental
+                                         delta run; the server merges
+                                         its persisted state in and
+                                         advances it atomically on
+                                         success — needs --state-root)
     ("cancel", job_id)                   cooperatively cancel one job
     ("bye",)                             end the session cleanly
 

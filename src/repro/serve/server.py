@@ -38,11 +38,11 @@ import json
 import secrets
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
-from ..engine.backend import PipelineRequest
+from ..engine.backend import DeltaSpec, PipelineRequest
 from ..engine.execution import PipelineExecution
 from ..mapreduce.events import ExecutionEvent
 from ..mapreduce.transport import (
@@ -73,6 +73,9 @@ class _ServedJob:
     #: written by the job's driver thread (event order), read by the
     #: waiter thread after completion.
     stage_times: dict[str, list[float]] = field(default_factory=dict)
+    #: Set for ``submit-delta`` jobs: the server-resident corpus state
+    #: this ingest runs against (and advances on success).
+    state_name: str | None = None
 
 
 class _Session:
@@ -127,6 +130,11 @@ class ERServer:
         ``2 * num_workers`` (a service pool should heal).
     workload_log:
         Path of the JSONL workload log; ``None`` disables logging.
+    state_root:
+        Directory holding the server-resident corpus states, one
+        subdirectory per state name; enables the ``submit-delta`` verb
+        (incremental ingests against persisted state).  ``None``
+        (the default) rejects delta submissions.
     drain_timeout:
         Seconds :meth:`shutdown` waits for active jobs before
         cancelling them (0 cancels immediately).
@@ -147,6 +155,7 @@ class ERServer:
         heartbeat_timeout: float | None = 15.0,
         max_worker_respawns: int | None = None,
         workload_log: "str | Path | None" = None,
+        state_root: "str | Path | None" = None,
         drain_timeout: float = 30.0,
         client_timeout: float = 30.0,
     ):
@@ -168,6 +177,11 @@ class ERServer:
         self._host = host
         self._port = port
         self.workload_log = Path(workload_log) if workload_log else None
+        self.state_root = Path(state_root) if state_root else None
+        #: One lock per state name: ingests against the same state are
+        #: strictly serialized (load -> run -> advance -> save is one
+        #: critical section); different states ingest concurrently.
+        self._state_locks: dict[str, threading.Lock] = {}
         self.drain_timeout = drain_timeout
         self.client_timeout = client_timeout
         self._listener: Listener | None = None
@@ -351,6 +365,10 @@ class ERServer:
                 return
             if verb == "submit" and len(message) == 3:
                 self._handle_submit(session, message[1], message[2])
+            elif verb == "submit-delta" and len(message) == 4:
+                self._handle_submit_delta(
+                    session, message[1], message[2], message[3]
+                )
             elif verb == "cancel" and len(message) == 2:
                 self._handle_cancel(session, message[1])
 
@@ -433,8 +451,167 @@ class ERServer:
     def _handle_cancel(self, session: _Session, job_id: Any) -> None:
         with session.lock:
             job = session.jobs.get(job_id)
-        if job is not None:
+        # ``execution`` is still None in the registration window (and
+        # while a delta job queues on its state lock); a cancel landing
+        # there is simply too early and is dropped, like one landing
+        # after completion.
+        if job is not None and job.execution is not None:
             job.execution.cancel()
+
+    # -- incremental ingests -------------------------------------------------
+
+    def _state_lock(self, name: str) -> threading.Lock:
+        with self._lock:
+            return self._state_locks.setdefault(name, threading.Lock())
+
+    @staticmethod
+    def _valid_state_name(name: Any) -> bool:
+        """One safe path component: letters, digits, ``-``, ``_``, ``.``
+        (and not the directory dots) — state names come off the wire."""
+        return (
+            isinstance(name, str)
+            and 0 < len(name) <= 200
+            and name not in (".", "..")
+            and all(ch.isalnum() or ch in "-_." for ch in name)
+        )
+
+    def _handle_submit_delta(
+        self, session: _Session, ticket: Any, state_name: Any, request: Any
+    ) -> None:
+        """Accept one incremental ingest against a server-resident state.
+
+        The client ships a *plain* request over the delta partitions;
+        merging the persisted corpus in (as a
+        :class:`~repro.engine.backend.DeltaSpec`) is the server's job,
+        so clients never hold or transfer the accumulated state.
+        Mirrors :meth:`_handle_submit`'s critical section; the work
+        itself runs on a dedicated thread because ingests of the same
+        state serialize on the state lock.
+        """
+        if self.state_root is None:
+            session.send((
+                "rejected", ticket,
+                "this server keeps no corpus states "
+                "(start it with --state-root)",
+            ))
+            return
+        if not self._valid_state_name(state_name):
+            session.send((
+                "rejected", ticket,
+                f"invalid state name {state_name!r} (one path component: "
+                "letters, digits, '-', '_', '.')",
+            ))
+            return
+        if not isinstance(request, PipelineRequest):
+            session.send((
+                "rejected", ticket,
+                f"expected a PipelineRequest, got {type(request).__name__}",
+            ))
+            return
+        if request.delta is not None or request.dual:
+            session.send((
+                "rejected", ticket,
+                "a submit-delta request ships plain delta partitions; "
+                "the server merges its persisted state itself",
+            ))
+            return
+        job_id = next(self._job_ids)
+        job = _ServedJob(
+            job_id=job_id,
+            session=session,
+            request=request,
+            execution=None,
+            started_at=time.monotonic(),
+            state_name=state_name,
+        )
+        with self._lock:
+            if self._draining:
+                session.send(("rejected", ticket, "server is shutting down"))
+                return
+            self._jobs[job_id] = job
+        with session.lock:
+            session.jobs[job_id] = job
+        session.send(("accepted", ticket, job_id))
+        threading.Thread(
+            target=self._run_delta_job,
+            args=(job,),
+            name=f"repro-serve-delta-{job_id}",
+            daemon=True,
+        ).start()
+
+    def _run_delta_job(self, job: _ServedJob) -> None:
+        """One ingest, under its state's lock: load the persisted
+        :class:`~repro.engine.incremental.CorpusState`, run the request
+        as a delta against it (or as a plain full run when the state is
+        still empty), advance and save atomically on success.  A failed
+        or cancelled ingest leaves the persisted state untouched, so
+        retrying the same batch converges."""
+        from ..engine.incremental import CorpusState
+        from ..engine.persistence import STATE_FILE, load_state, save_state
+        from ..mapreduce.transport import shippable_exception
+        from .pool import PooledBackend
+
+        assert self.state_root is not None and job.state_name is not None
+        state_dir = self.state_root / job.state_name
+
+        def forward(event: ExecutionEvent) -> None:
+            times = job.stage_times.setdefault(
+                event.stage, [time.monotonic(), 0.0]
+            )
+            times[1] = time.monotonic()
+            job.session.send(("event", job.job_id, wire_event(event)))
+
+        terminal = "failed"
+        try:
+            with self._state_lock(job.state_name):
+                if (state_dir / STATE_FILE).exists():
+                    corpus = load_state(state_dir)
+                else:
+                    corpus = CorpusState.empty()
+                request = job.request
+                if corpus.partitions:
+                    request = replace(
+                        request,
+                        delta=DeltaSpec(
+                            old_partitions=corpus.partitions,
+                            old_bdm=corpus.bdm,
+                        ),
+                    )
+                job.execution = PipelineExecution(
+                    PooledBackend(self._pool, job_name=f"job-{job.job_id}"),
+                    request,
+                    on_event=forward,
+                )
+                job.execution.wait()
+                terminal = job.execution.state
+                if terminal == "succeeded":
+                    result = job.execution.result()
+                    advanced = corpus.advanced(
+                        result, job.request.partitions, job.request.blocking
+                    )
+                    # The save happens before "done" goes out: a client
+                    # that saw its ingest succeed can rely on the state
+                    # having committed.
+                    save_state(advanced, state_dir)
+                    job.session.send(("done", job.job_id, result))
+                elif terminal == "cancelled":
+                    job.session.send(("cancelled", job.job_id))
+                else:
+                    try:
+                        job.execution.result()
+                    except BaseException as exc:
+                        job.session.send(
+                            ("failed", job.job_id, shippable_exception(exc))
+                        )
+        except BaseException as exc:
+            terminal = "failed"
+            job.session.send(("failed", job.job_id, shippable_exception(exc)))
+        finally:
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+            with job.session.lock:
+                job.session.jobs.pop(job.job_id, None)
+            self._log_job(job, terminal)
 
     def _finish_job(self, job: _ServedJob) -> None:
         """Wait one job out, report its terminal state, log it."""
@@ -463,7 +640,12 @@ class ERServer:
     def _log_job(self, job: _ServedJob, state: str) -> None:
         if self.workload_log is None:
             return
-        progress = job.execution.progress()
+        if job.execution is None:
+            # A delta job can fail before its execution exists (e.g. a
+            # corrupt persisted state); log the outcome without counters.
+            progress = None
+        else:
+            progress = job.execution.progress()
         entry = {
             "ts": time.time(),
             "job_id": job.job_id,
@@ -482,10 +664,12 @@ class ERServer:
                 }
                 for stage, times in job.stage_times.items()
             },
-            "comparisons": progress.comparisons,
-            "matches": progress.matches,
+            "comparisons": progress.comparisons if progress else 0,
+            "matches": progress.matches if progress else 0,
         }
-        for stage in progress.stages:
+        if job.state_name is not None:
+            entry["corpus_state"] = job.state_name
+        for stage in progress.stages if progress else ():
             entry["stages"].setdefault(stage.stage, {})
             entry["stages"][stage.stage].update(
                 comparisons=stage.comparisons, matches=stage.matches

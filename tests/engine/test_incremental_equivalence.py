@@ -1,0 +1,267 @@
+"""Incremental ER == full recompute, proven over the whole matrix.
+
+The headline invariant of the incremental path: for any corpus split
+``A ∪ B``, running ``full(A)`` and then ingesting ``B`` as a delta
+against the persisted state yields *exactly* the match set of
+``full(A ∪ B)`` — for every strategy, every executing backend, with
+and without a shuffle memory budget, at every split point — while the
+delta run performs **strictly fewer** comparisons than the full
+recompute (only new-vs-old and new-vs-new pairs per block; old-vs-old
+never re-compares).  The comparison counters are exact receipts:
+``base + delta == full`` per ``T(n) − T(o)`` block arithmetic.
+
+Edge cases get their own pins: an empty delta, a delta landing only in
+brand-new blocks, a single-record delta, and long chains of successive
+ingests.  The distributed backend must additionally be byte-identical
+to the serial reference on a delta run — same matches in the same
+order, same per-task counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bdm import analytic_bdm
+from repro.engine import ERPipeline
+from repro.engine.incremental import CorpusState, ingest
+from repro.engine.persistence import load_state
+from repro.er.blocking import AttributeBlocking
+from repro.er.matching import ThresholdMatcher
+from repro.mapreduce.types import make_partitions
+
+from ..conftest import blocked_pairs, make_entity, random_keyed_entities
+
+ALL_STRATEGIES = ["basic", "blocksplit", "pairrange"]
+BACKENDS = {
+    "serial": {},
+    "parallel": {"max_workers": 2, "executor": "thread"},
+    "distributed": {"num_workers": 2},
+}
+MAP_TASKS = 3
+
+
+def _pipeline(strategy, backend="serial", memory_budget=None):
+    options = BACKENDS.get(backend, {})
+    # AttributeBlocking (not the conftest lambda blocking): the
+    # distributed backend pickles the blocking function to workers.
+    return ERPipeline(
+        strategy,
+        AttributeBlocking("key"),
+        ThresholdMatcher("title", 0.6),
+        num_map_tasks=MAP_TASKS,
+        num_reduce_tasks=4,
+        memory_budget=memory_budget,
+    ).with_backend(backend, **options)
+
+
+def _match_set(result):
+    return {(p.id1, p.id2, p.similarity) for p in result.matches}
+
+
+def _state_after(pipeline, entities):
+    """The corpus state a full run of ``entities`` seeds (the on-disk
+    ``dedup --save-state`` flow, without the disk)."""
+    partitions = make_partitions(list(entities), MAP_TASKS)
+    if not entities:
+        return CorpusState.empty()
+    result = pipeline.run(partitions)
+    return CorpusState.empty().advanced(result, partitions, pipeline.blocking)
+
+
+class TestIncrementalEqualsFull:
+    """The full strategy × backend × ±memory-budget matrix, one split."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("backend", list(BACKENDS))
+    @pytest.mark.parametrize("memory_budget", [None, 32])
+    def test_matches_and_counters(self, strategy, backend, memory_budget):
+        entities = random_keyed_entities(90, 6, seed=211)
+        old, new = entities[:60], entities[60:]
+        serial = _pipeline(strategy, memory_budget=memory_budget)
+        full = serial.run(entities)
+        base = serial.run(old)
+        state = _state_after(serial, old)
+        delta = _pipeline(strategy, backend, memory_budget).run_delta(
+            new, state
+        )
+        # The delta's matches are disjoint from the base run's (every
+        # delta pair involves a new entity) and together they are the
+        # full recompute, exactly — ids and similarity scores.
+        assert _match_set(base).isdisjoint(_match_set(delta))
+        assert _match_set(base) | _match_set(delta) == _match_set(full)
+        # Strictly fewer comparisons than recomputing, and the counter
+        # arithmetic is exact: T(o) + (T(n) − T(o)) == T(n) per block.
+        assert delta.total_comparisons() < full.total_comparisons()
+        assert (
+            base.total_comparisons() + delta.total_comparisons()
+            == full.total_comparisons()
+        )
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_distributed_delta_is_byte_identical_to_serial(self, strategy):
+        entities = random_keyed_entities(80, 5, seed=212)
+        old, new = entities[:50], entities[50:]
+        state = _state_after(_pipeline(strategy), old)
+        reference = _pipeline(strategy).run_delta(new, state)
+        survived = _pipeline(strategy, "distributed").run_delta(new, state)
+        assert [
+            (p.id1, p.id2, p.similarity) for p in survived.matches
+        ] == [(p.id1, p.id2, p.similarity) for p in reference.matches]
+        assert (
+            survived.reduce_comparisons() == reference.reduce_comparisons()
+        )
+        assert (
+            survived.job2.counters.as_dict()
+            == reference.job2.counters.as_dict()
+        )
+
+
+class TestSplitPoints:
+    """Random corpora, every kind of split — including the degenerate
+    ends (empty base, empty delta)."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize(
+        "seed,num_entities,num_keys,split",
+        [
+            (301, 70, 5, 0),    # empty base: the delta IS the corpus
+            (302, 70, 5, 1),    # base of one record
+            (303, 70, 5, 35),
+            (304, 70, 5, 69),   # single-record delta
+            (305, 70, 5, 70),   # empty delta
+            (306, 120, 9, 40),
+            (307, 50, 2, 25),   # few huge blocks (heavy splitting)
+            (308, 60, 30, 30),  # many tiny blocks
+        ],
+    )
+    def test_split_equivalence(self, strategy, seed, num_entities, num_keys, split):
+        entities = random_keyed_entities(num_entities, num_keys, seed=seed)
+        old, new = entities[:split], entities[split:]
+        pipeline = _pipeline(strategy)
+        full = pipeline.run(entities)
+        state = _state_after(pipeline, old)
+        base_matches = set(
+            (p.id1, p.id2, p.similarity) for p in state.matches
+        )
+        delta = pipeline.run_delta(new, state)
+        assert base_matches | _match_set(delta) == _match_set(full)
+        assert (
+            state.comparisons + delta.total_comparisons()
+            == full.total_comparisons()
+        )
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_empty_delta_compares_nothing(self, strategy):
+        entities = random_keyed_entities(50, 4, seed=309)
+        pipeline = _pipeline(strategy)
+        state = _state_after(pipeline, entities)
+        delta = pipeline.run_delta([], state)
+        assert delta.total_comparisons() == 0
+        assert list(delta.matches) == []
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_delta_landing_only_in_new_blocks(self, strategy):
+        # No new-vs-old pairs exist: the delta work is exactly a full
+        # run of the new records alone, and the old corpus adds zero.
+        old = [make_entity(f"o{i}", f"old{i % 3}") for i in range(30)]
+        new = [make_entity(f"n{i}", f"new{i % 2}") for i in range(16)]
+        pipeline = _pipeline(strategy)
+        state = _state_after(pipeline, old)
+        delta = pipeline.run_delta(new, state)
+        alone = pipeline.run(new)
+        assert _match_set(delta) == _match_set(alone)
+        assert delta.total_comparisons() == alone.total_comparisons()
+        assert _match_set(delta) | set(
+            (p.id1, p.id2, p.similarity) for p in state.matches
+        ) == _match_set(pipeline.run(old + new))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_successive_deltas_converge_to_full(self, strategy):
+        entities = random_keyed_entities(100, 7, seed=310)
+        pipeline = _pipeline(strategy)
+        full = pipeline.run(entities)
+        state = CorpusState.empty()
+        comparisons = []
+        for lo, hi in [(0, 25), (25, 30), (30, 75), (75, 100)]:
+            batch = entities[lo:hi]
+            partitions = make_partitions(batch, MAP_TASKS)
+            result = pipeline.submit_delta(partitions, state).result()
+            state = state.advanced(result, partitions, pipeline.blocking)
+            comparisons.append(result.total_comparisons())
+        assert state.num_ingests == 4
+        assert set(
+            (p.id1, p.id2, p.similarity) for p in state.matches
+        ) == _match_set(full)
+        assert state.comparisons == sum(comparisons)
+        assert state.comparisons == full.total_comparisons()
+        # The cumulative pair coverage is the blocked reference set.
+        assert {
+            (p.id1, p.id2) for p in state.matches
+        } <= blocked_pairs(entities, pipeline.blocking)
+
+
+class TestIngestOnDisk:
+    """The durable loop: ``ingest()`` against a state directory."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_ingest_round_trips_and_converges(self, strategy, tmp_path):
+        entities = random_keyed_entities(80, 6, seed=411)
+        pipeline = _pipeline(strategy)
+        full = pipeline.run(entities)
+        state_dir = tmp_path / "corpus"
+        _, s1 = ingest(pipeline, entities[:50], state_dir)
+        result2, s2 = ingest(pipeline, entities[50:], state_dir)
+        loaded = load_state(state_dir)
+        assert loaded.num_ingests == 2
+        assert loaded.num_entities == s2.num_entities
+        assert set(
+            (p.id1, p.id2, p.similarity) for p in loaded.matches
+        ) == _match_set(full)
+        assert loaded.comparisons == full.total_comparisons()
+        assert result2.total_comparisons() < full.total_comparisons()
+        # The reloaded state keeps ingesting: a third batch against the
+        # disk state equals the recompute of the tripled corpus.
+        extra = [
+            make_entity(f"x{i}", f"k{i % 6}") for i in range(20)
+        ]
+        _, s3 = ingest(pipeline, extra, state_dir)
+        assert set(
+            (p.id1, p.id2, p.similarity) for p in s3.matches
+        ) == _match_set(pipeline.run(entities + extra))
+
+    def test_ingest_with_distributed_backend(self, tmp_path):
+        entities = random_keyed_entities(60, 5, seed=413)
+        serial = _pipeline("blocksplit")
+        distributed = _pipeline("blocksplit", "distributed")
+        ingest(serial, entities[:40], tmp_path / "a")
+        ingest(serial, entities[40:], tmp_path / "a")
+        ingest(distributed, entities[:40], tmp_path / "b")
+        ingest(distributed, entities[40:], tmp_path / "b")
+        a, b = load_state(tmp_path / "a"), load_state(tmp_path / "b")
+        assert [
+            (p.id1, p.id2, p.similarity) for p in a.matches
+        ] == [(p.id1, p.id2, p.similarity) for p in b.matches]
+        assert a.comparisons == b.comparisons
+
+
+class TestPlannedDelta:
+    """The planned backend plans the same delta the executors run."""
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_plan_matches_executed_counters(self, strategy):
+        entities = random_keyed_entities(70, 5, seed=511)
+        old, new = entities[:45], entities[45:]
+        state = _state_after(_pipeline(strategy), old)
+        executed = _pipeline(strategy).run_delta(new, state)
+        planned = _pipeline(strategy, "planned").run_delta(new, state)
+        assert planned.matches is None
+        assert planned.plan is not None
+        assert list(planned.plan.reduce_comparisons) == list(
+            executed.reduce_comparisons()
+        )
+        assert planned.bdm.pairs() == executed.bdm.pairs()
+        # The merged matrix covers the whole corpus as of this ingest.
+        full_bdm = analytic_bdm(
+            make_partitions(entities, MAP_TASKS), AttributeBlocking("key")
+        )
+        assert planned.bdm.pairs() == full_bdm.pairs()

@@ -1,0 +1,151 @@
+"""Crash-mid-ingest: the persisted corpus state is atomic.
+
+The durability contract of :func:`repro.engine.incremental.ingest`:
+whatever happens during the delta run — a worker process dying
+mid-protocol, a retry budget exhausting, the very first ingest of an
+empty directory failing — the on-disk state is either **untouched** or
+**fully advanced**, never torn.  Saving is write-tmp-then-rename with
+``state.json`` as the single commit point, and the save only happens
+after the run fully succeeded.
+
+Faults are genuine process deaths (``os._exit`` mid-protocol) armed
+through the :mod:`repro.worker` environment hooks, exactly as in
+``test_fault_injection.py`` — not mocks.  And because a retried ingest
+re-runs the same delta against the same unadvanced state, convergence
+is byte-for-byte: the recovered state equals the one an uninterrupted
+serial run would have produced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import DistributedExecutionError, ERPipeline
+from repro.engine.incremental import ingest
+from repro.engine.persistence import MATCH_LOG_FILE, STATE_FILE, load_state
+from repro.er.blocking import AttributeBlocking
+from repro.er.matching import ThresholdMatcher
+from repro.worker import ENV_FAULT, ENV_FAULT_WORKERS
+
+from ..conftest import random_keyed_entities
+
+WORKERS = 2
+
+
+def _pipeline(backend="serial", **options):
+    if backend == "distributed":
+        options.setdefault("num_workers", WORKERS)
+    return ERPipeline(
+        "blocksplit",
+        AttributeBlocking("key"),
+        ThresholdMatcher("title", 0.6),
+        num_map_tasks=3,
+        num_reduce_tasks=4,
+    ).with_backend(backend, **options)
+
+
+def _arm(monkeypatch, fault, workers="0"):
+    monkeypatch.setenv(ENV_FAULT, fault)
+    monkeypatch.setenv(ENV_FAULT_WORKERS, workers)
+
+
+def _disarm(monkeypatch):
+    monkeypatch.delenv(ENV_FAULT, raising=False)
+    monkeypatch.delenv(ENV_FAULT_WORKERS, raising=False)
+
+
+def _snapshot(state_dir):
+    """Byte-level content of the state directory."""
+    if not state_dir.exists():
+        return None
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(state_dir.iterdir())
+    }
+
+
+def _reference_states(entities, split, tmp_path):
+    """The states an uninterrupted serial run of the same two ingests
+    produces (the convergence target)."""
+    serial = _pipeline()
+    ref_dir = tmp_path / "reference"
+    ingest(serial, entities[:split], ref_dir)
+    after_first = _snapshot(ref_dir)
+    ingest(serial, entities[split:], ref_dir)
+    return after_first, _snapshot(ref_dir)
+
+
+class TestCrashLeavesStateUntouched:
+    # Worker 0's 1st task dies in the delta's BDM job, its 4th in the
+    # matching job: the state must survive a crash in either stage.
+    @pytest.mark.parametrize("crash_at", [1, 4])
+    def test_failed_ingest_changes_nothing_on_disk(
+        self, monkeypatch, tmp_path, crash_at
+    ):
+        entities = random_keyed_entities(70, 5, seed=611)
+        after_first, converged = _reference_states(entities, 45, tmp_path)
+        state_dir = tmp_path / "corpus"
+        ingest(_pipeline(), entities[:45], state_dir)
+        assert _snapshot(state_dir) == after_first
+        # Retries exhausted mid-delta: the distributed run fails...
+        _arm(monkeypatch, f"crash:{crash_at}")
+        with pytest.raises(DistributedExecutionError):
+            ingest(
+                _pipeline("distributed", max_task_retries=0),
+                entities[45:],
+                state_dir,
+            )
+        # ...and the persisted state is byte-identical to before: no
+        # partial matches.log append, no torn state.json, no tmp files.
+        assert _snapshot(state_dir) == after_first
+        # The retried ingest (workers healthy again) converges to the
+        # exact state an uninterrupted run would have written.
+        _disarm(monkeypatch)
+        ingest(_pipeline("distributed"), entities[45:], state_dir)
+        assert _snapshot(state_dir) == converged
+
+    def test_failed_first_ingest_creates_no_state(
+        self, monkeypatch, tmp_path
+    ):
+        entities = random_keyed_entities(60, 4, seed=612)
+        state_dir = tmp_path / "corpus"
+        _arm(monkeypatch, "crash:1")
+        with pytest.raises(DistributedExecutionError):
+            ingest(
+                _pipeline("distributed", max_task_retries=0),
+                entities,
+                state_dir,
+            )
+        assert not (state_dir / STATE_FILE).exists()
+        assert not (state_dir / MATCH_LOG_FILE).exists()
+        _disarm(monkeypatch)
+        _, state = ingest(_pipeline("distributed"), entities, state_dir)
+        ingest(_pipeline(), entities, tmp_path / "ref")
+        reference = load_state(tmp_path / "ref")
+        assert [
+            (p.id1, p.id2, p.similarity) for p in state.matches
+        ] == [(p.id1, p.id2, p.similarity) for p in reference.matches]
+        assert state.comparisons == reference.comparisons
+
+
+class TestCrashAbsorbedByRetries:
+    @pytest.mark.parametrize("crash_at", [1, 4])
+    def test_requeued_ingest_advances_exactly_once(
+        self, monkeypatch, tmp_path, crash_at
+    ):
+        entities = random_keyed_entities(70, 5, seed=613)
+        _, converged = _reference_states(entities, 45, tmp_path)
+        state_dir = tmp_path / "corpus"
+        ingest(_pipeline(), entities[:45], state_dir)
+        # The default retry budget absorbs the crash: the ingest
+        # succeeds and the state advances to the exact serial bytes —
+        # the requeued task neither lost nor double-counted anything.
+        _arm(monkeypatch, f"crash:{crash_at}")
+        result, state = ingest(
+            _pipeline("distributed"), entities[45:], state_dir
+        )
+        assert _snapshot(state_dir) == converged
+        assert state.num_ingests == 2
+        loaded = load_state(state_dir)
+        assert loaded.comparisons == state.comparisons
+        assert result.total_comparisons() > 0

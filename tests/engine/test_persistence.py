@@ -18,12 +18,21 @@ from repro.core.bdm import BlockDistributionMatrix
 from repro.core.two_source import DualSourceBDM
 from repro.datasets.generators import generate_products
 from repro.engine import ERPipeline, PipelineResult
+from repro.engine.incremental import CorpusState, ingest
 from repro.engine.persistence import (
+    MATCH_LOG_FILE,
     PersistenceError,
     RESULT_FORMAT,
     RESULT_VERSION,
+    STATE_FILE,
+    STATE_FORMAT,
+    STATE_VERSION,
+    load_state,
     result_from_dict,
     result_to_dict,
+    save_state,
+    state_from_dict,
+    state_to_dict,
 )
 from repro.er.blocking import PrefixBlocking
 from repro.er.matching import ThresholdMatcher
@@ -279,3 +288,196 @@ class TestSweepFromResult:
         )
         with pytest.raises(ValueError, match="two-source"):
             bdm_from_result(dual)
+
+    def test_no_bdm_error_message_is_stable(self):
+        # Pinned verbatim: callers (and the CLI's 'simulate
+        # --from-result' error path) rely on this exact explanation.
+        basic = _pipeline("basic").run(generate_products(60, seed=66))
+        with pytest.raises(ValueError) as info:
+            bdm_from_result(basic)
+        assert str(info.value) == (
+            "result (strategy 'basic') carries no BDM — only BDM-based "
+            "runs (blocksplit/pairrange) can seed sweeps"
+        )
+
+    def test_dual_error_message_is_stable(self):
+        dual = _pipeline("pairrange").run(
+            generate_products(50, seed=67), generate_products(50, seed=68)
+        )
+        with pytest.raises(ValueError) as info:
+            bdm_from_result(dual)
+        assert str(info.value) == (
+            "two-source results cannot seed the one-source sweep planners"
+        )
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_incremental_results_seed_sweeps(self, strategy, tmp_path):
+        # A delta run always persists the *merged* BDM (old corpus
+        # columns + the delta's), so incremental results replan the
+        # whole corpus — for every strategy, including basic, whose
+        # full runs carry no BDM at all.
+        entities = generate_products(140, seed=69)
+        pipeline = _pipeline(strategy)
+        ingest(pipeline, entities[:90], tmp_path / "state")
+        delta, _ = ingest(pipeline, entities[90:], tmp_path / "state")
+        full = _pipeline("blocksplit").run(entities)
+        assert bdm_from_result(delta).pairs() == full.bdm.pairs()
+        path = delta.save(tmp_path / "delta.json")
+        sweep = sweep_from_result(
+            ["blocksplit", "pairrange"], [4, 8], path, num_nodes=4
+        )
+        assert sorted(sweep) == [4, 8]
+        for r in sweep:
+            for name in sweep[r]:
+                assert sweep[r][name].total_pairs == full.bdm.pairs()
+
+
+def _state_on_disk(tmp_path, *, splits=((0, 70), (70, 110))):
+    """A two-ingest corpus state saved to disk; returns its directory."""
+    entities = generate_products(110, seed=81)
+    pipeline = _pipeline("blocksplit")
+    directory = tmp_path / "corpus"
+    for lo, hi in splits:
+        ingest(pipeline, entities[lo:hi], directory)
+    return directory
+
+
+class TestStateRoundTrip:
+    def test_save_load_round_trips_exactly(self, tmp_path):
+        directory = _state_on_disk(tmp_path)
+        state = load_state(directory)
+        assert state.num_ingests == 2
+        # A reload of a resave is byte-stable and equal field by field.
+        save_state(state, tmp_path / "copy")
+        again = load_state(tmp_path / "copy")
+        assert state_to_dict(again) == state_to_dict(state)
+        assert [
+            (p.id1, p.id2, p.similarity) for p in again.matches
+        ] == [(p.id1, p.id2, p.similarity) for p in state.matches]
+        assert again.comparisons == state.comparisons
+        assert (tmp_path / "copy" / STATE_FILE).read_bytes() == (
+            directory / STATE_FILE
+        ).read_bytes()
+
+    def test_dict_round_trip_is_json_stable(self, tmp_path):
+        state = load_state(_state_on_disk(tmp_path))
+        data = json.loads(json.dumps(state_to_dict(state)))
+        rebuilt = state_from_dict(data, state.match_log)
+        assert state_to_dict(rebuilt) == state_to_dict(state)
+
+    def test_uncommitted_trailing_log_lines_are_dropped(self, tmp_path):
+        # A crash between the matches.log write and the state.json
+        # commit leaves an extra trailing log line; loading ignores it.
+        directory = _state_on_disk(tmp_path)
+        before = load_state(directory)
+        with (directory / MATCH_LOG_FILE).open("a") as handle:
+            handle.write('[["ghost1","ghost2",1.0]]\n')
+        after = load_state(directory)
+        assert after.num_ingests == before.num_ingests
+        assert [
+            (p.id1, p.id2) for p in after.matches
+        ] == [(p.id1, p.id2) for p in before.matches]
+
+    def test_save_leaves_no_tmp_files(self, tmp_path):
+        directory = _state_on_disk(tmp_path)
+        assert sorted(p.name for p in directory.iterdir()) == [
+            MATCH_LOG_FILE,
+            STATE_FILE,
+        ]
+
+
+class TestStateLoadErrorMessages:
+    """Corpus-state load failures must explain themselves, exactly as
+    result-file failures do (same format/version/malformed grammar)."""
+
+    def test_wrong_format_reports_what_it_found(self, tmp_path):
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        (directory / STATE_FILE).write_text(
+            json.dumps({"format": "acme.state", "version": 1})
+        )
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        message = str(info.value)
+        assert f"not a {STATE_FORMAT} document" in message
+        assert "format='acme.state'" in message
+
+    def test_future_version_reports_both_versions(self, tmp_path):
+        # The version-bump drill: a state written by a newer build
+        # names both the file's version and the one this build reads.
+        directory = _state_on_disk(tmp_path)
+        data = json.loads((directory / STATE_FILE).read_text())
+        data["version"] = STATE_VERSION + 1
+        (directory / STATE_FILE).write_text(json.dumps(data))
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        message = str(info.value)
+        assert (
+            f"unsupported {STATE_FORMAT} version {STATE_VERSION + 1}"
+            in message
+        )
+        assert f"this build reads version {STATE_VERSION}" in message
+
+    def test_non_object_document_reports_its_type(self, tmp_path):
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        (directory / STATE_FILE).write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        assert "expected a JSON object, got list" in str(info.value)
+
+    def test_truncated_state_file_names_the_file(self, tmp_path):
+        directory = _state_on_disk(tmp_path)
+        payload = (directory / STATE_FILE).read_bytes()
+        (directory / STATE_FILE).write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        message = str(info.value)
+        assert "not valid JSON" in message
+        assert STATE_FILE in message
+
+    def test_corrupt_log_line_names_file_and_line(self, tmp_path):
+        directory = _state_on_disk(tmp_path)
+        with (directory / MATCH_LOG_FILE).open("a") as handle:
+            handle.write("not json at all\n")
+        log_lines = sum(
+            1 for _ in (directory / MATCH_LOG_FILE).open()
+        )
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        message = str(info.value)
+        assert "not valid JSON" in message
+        assert f"{MATCH_LOG_FILE}:{log_lines}" in message
+
+    def test_missing_log_entries_are_malformed(self, tmp_path):
+        # state.json promises two ingests; a truncated matches.log
+        # cannot satisfy it — that is corruption, not a crash artifact.
+        directory = _state_on_disk(tmp_path)
+        (directory / MATCH_LOG_FILE).write_text("")
+        with pytest.raises(PersistenceError) as info:
+            load_state(directory)
+        message = str(info.value)
+        assert f"malformed {STATE_FORMAT} v{STATE_VERSION} document" in message
+        assert "match log has 0 ingests, state expects 2" in message
+
+    def test_mismatched_log_entry_count_is_malformed(self, tmp_path):
+        directory = _state_on_disk(tmp_path)
+        state = load_state(directory)
+        truncated = state.match_log[0][:-1]
+        with pytest.raises(PersistenceError) as info:
+            state_from_dict(
+                state_to_dict(state), (truncated,) + state.match_log[1:]
+            )
+        message = str(info.value)
+        assert f"malformed {STATE_FORMAT} v{STATE_VERSION} document" in message
+        assert (
+            f"ingest 0 logged {len(truncated)} matches, state expects "
+            f"{len(state.match_log[0])}" in message
+        )
+
+    def test_planned_result_cannot_advance_state(self):
+        planned = _pipeline("pairrange", "planned").run(
+            generate_products(60, seed=82)
+        )
+        with pytest.raises(ValueError, match="planned runs do not execute"):
+            CorpusState.empty().advanced(planned, (), PrefixBlocking("title"))

@@ -328,3 +328,172 @@ class TestWorkloadLog:
         assert done["wall_s"] > 0
         assert cancelled["state"] == "cancelled"
         assert cancelled["job_id"] != done["job_id"]
+
+
+class TestDeltaIngest:
+    """The ``submit-delta`` job kind: server-resident corpus states."""
+
+    @pytest.fixture(scope="class")
+    def delta_server(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("states")
+        with ERServer(
+            num_workers=2, token=TOKEN, state_root=root
+        ) as daemon:
+            yield daemon, root
+
+    def test_ingests_equal_full_recompute(self, delta_server):
+        from repro.engine.persistence import load_state
+
+        server, root = delta_server
+        entities = generate_products(200, seed=95)
+        full = _pipeline().run(entities)
+        host, port = server.address
+        with ServeClient(host, port, token=TOKEN) as client:
+            first = client.submit_delta(
+                _pipeline(), entities[:130], "corpus"
+            ).result(timeout=120)
+            handle = client.submit_delta(_pipeline(), entities[130:], "corpus")
+            streamed = [
+                (p.id1, p.id2, p.similarity) for p in handle.iter_matches()
+            ]
+            second = handle.result(timeout=120)
+        # The remote handle streams exactly the delta run's matches
+        # (stream order is reduce-task order; the result sorts).
+        assert len(streamed) == len(set(streamed))
+        assert set(streamed) == {
+            (p.id1, p.id2, p.similarity) for p in second.matches
+        }
+        # ...the two ingests together are the full recompute, and the
+        # state on disk has committed both (cumulative counters too).
+        state = load_state(root / "corpus")
+        assert state.num_ingests == 2
+        assert {
+            (p.id1, p.id2, p.similarity) for p in state.matches
+        } == {(p.id1, p.id2, p.similarity) for p in full.matches}
+        assert (
+            first.total_comparisons() + second.total_comparisons()
+            == full.total_comparisons()
+        )
+        assert state.comparisons == full.total_comparisons()
+        assert second.total_comparisons() < full.total_comparisons()
+
+    def test_concurrent_states_do_not_interfere(self, delta_server):
+        from repro.engine.persistence import load_state
+
+        server, root = delta_server
+        a = generate_products(90, seed=96)
+        b = generate_products(90, seed=97)
+        host, port = server.address
+        with ServeClient(host, port, token=TOKEN) as client:
+            handles = [
+                client.submit_delta(_pipeline(), a, "state-a"),
+                client.submit_delta(_pipeline(), b, "state-b"),
+            ]
+            for handle in handles:
+                handle.result(timeout=120)
+        expected_a = _pipeline().run(a)
+        state_a = load_state(root / "state-a")
+        assert {
+            (p.id1, p.id2) for p in state_a.matches
+        } == {(p.id1, p.id2) for p in expected_a.matches}
+        assert load_state(root / "state-b").num_ingests == 1
+
+    def test_failed_ingest_leaves_state_untouched(self, delta_server):
+        from repro.engine.persistence import load_state
+        from .matchers import ExplodingMatcher
+
+        server, root = delta_server
+        entities = generate_products(80, seed=98)
+        host, port = server.address
+        with ServeClient(host, port, token=TOKEN) as client:
+            client.submit_delta(
+                _pipeline(), entities[:50], "fragile"
+            ).result(timeout=120)
+            snapshot = {
+                path.name: path.read_bytes()
+                for path in sorted((root / "fragile").iterdir())
+            }
+            broken = client.submit_delta(
+                _pipeline(matcher=ExplodingMatcher()),
+                entities[50:],
+                "fragile",
+            )
+            with pytest.raises(Exception, match="exploding matcher"):
+                broken.result(timeout=120)
+            # Untouched on disk — and the retried ingest still lands.
+            assert {
+                path.name: path.read_bytes()
+                for path in sorted((root / "fragile").iterdir())
+            } == snapshot
+            client.submit_delta(
+                _pipeline(), entities[50:], "fragile"
+            ).result(timeout=120)
+        assert load_state(root / "fragile").num_ingests == 2
+
+    def test_corrupt_state_fails_cleanly_and_server_survives(
+        self, delta_server
+    ):
+        server, root = delta_server
+        (root / "rotten").mkdir()
+        (root / "rotten" / "state.json").write_text("not json at all")
+        host, port = server.address
+        with ServeClient(host, port, token=TOKEN) as client:
+            doomed = client.submit_delta(
+                _pipeline(), generate_products(40, seed=99), "rotten"
+            )
+            with pytest.raises(Exception, match="not valid JSON"):
+                doomed.result(timeout=60)
+            # The daemon took the failure in stride: a healthy ingest
+            # on the same connection still works.
+            client.submit_delta(
+                _pipeline(), generate_products(40, seed=99), "healthy"
+            ).result(timeout=120)
+
+    def test_rejects_bad_state_names(self, delta_server):
+        server, _ = delta_server
+        host, port = server.address
+        entities = generate_products(30, seed=99)
+        with ServeClient(host, port, token=TOKEN) as client:
+            for name in ("../escape", "a/b", "", "..", "x" * 201):
+                with pytest.raises(
+                    SubmissionRejected, match="invalid state name"
+                ):
+                    client.submit_delta(_pipeline(), entities, name)
+
+    def test_rejects_without_state_root(self, server):
+        host, port = server.address
+        with ServeClient(host, port, token=TOKEN) as client:
+            with pytest.raises(
+                SubmissionRejected, match="no corpus states"
+            ):
+                client.submit_delta(
+                    _pipeline(), generate_products(30, seed=99), "corpus"
+                )
+
+    def test_workload_log_keeps_lifecycle_state_for_ingests(self, tmp_path):
+        # The corpus-state name must not clobber the entry's lifecycle
+        # ``state`` field ("succeeded"/"failed"/...): it gets its own
+        # ``corpus_state`` key.
+        log_path = tmp_path / "workload.jsonl"
+        entities = generate_products(60, seed=97)
+        with ERServer(
+            num_workers=2,
+            token=TOKEN,
+            state_root=tmp_path / "states",
+            workload_log=log_path,
+        ) as daemon:
+            host, port = daemon.address
+            with ServeClient(host, port, token=TOKEN) as client:
+                client.submit_delta(
+                    _pipeline(), entities, "corpus"
+                ).result(timeout=120)
+                deadline = time.monotonic() + 30
+                while daemon.active_jobs:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+        (entry,) = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert entry["state"] == "succeeded"
+        assert entry["corpus_state"] == "corpus"
