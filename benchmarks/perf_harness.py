@@ -3,11 +3,14 @@
 Runs the comparison hot path both ways — the legacy configuration
 (reference two-row DP kernel, per-pair attribute extraction, tuple
 shuffle keys) against the optimised one (Myers bit-parallel kernel,
-prepared matchers with LRU memoisation, packed-int keys) — plus the
-fig-13/fig-14 analytic scalability sweeps, and writes everything to a
-``BENCH_<n>.json`` at the repo root.  Each PR that claims a hot-path
-win appends a new ``BENCH_<n>.json``; diffing them is the perf
-trajectory this repository tracks.
+prepared matchers with LRU memoisation, packed-int keys), and the
+scalar per-pair reduce loops against the columnar batch kernel
+(``batch_kernel=True``, micro and end-to-end) — plus columnar-shard
+loading vs CSV parsing and the fig-13/fig-14 analytic scalability
+sweeps, and writes everything to a ``BENCH_<n>.json`` at the repo
+root.  Each PR that claims a hot-path win appends a new
+``BENCH_<n>.json``; diffing them is the perf trajectory this
+repository tracks.
 
 Usage::
 
@@ -16,11 +19,11 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_harness.py --assert-speedups
 
 The exit status reflects *functional* health only: non-zero when the
-legacy and optimised configurations disagree on matches or counters
-(they must be byte-identical), never because a timing regressed —
-except under ``--assert-speedups``, which additionally enforces the
-PR's headline targets (≥3× similarity microbench, ≥1.5× end-to-end)
-for local verification.
+before and after configurations disagree on matches or counters (they
+must be byte-identical), never because a timing regressed — except
+under ``--assert-speedups``, which additionally enforces the headline
+targets (≥3× similarity microbench, ≥2× batch-kernel microbench,
+≥1.5× end-to-end both ways) for local verification.
 """
 
 from __future__ import annotations
@@ -52,7 +55,7 @@ from repro.er.similarity import (  # noqa: E402
 from repro.mapreduce.shuffle import shuffle_bucket  # noqa: E402
 from repro.mapreduce.types import KeyValue, packed_keys  # noqa: E402
 
-BENCH_NUMBER = 3
+BENCH_NUMBER = 8
 SEED = 20260727
 THRESHOLD = 0.8
 
@@ -70,6 +73,35 @@ def best_of(fn, repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def measure(fn, repeats: int) -> dict:
+    """Warm-up + median-of-N timing for IO-touching workloads.
+
+    ``best_of`` is right for CPU-bound loops, but sections that hit the
+    filesystem (spill files, shard loading) see one-sided first-touch
+    noise: the first run pays cold caches and file creation, and a
+    single lucky/unlucky run can swing a before/after ratio either way
+    (BENCH_3 recorded a spurious 0.90× on the external-shuffle section
+    from exactly this).  One untimed warm-up absorbs the first-touch
+    cost, the median of ``repeats`` timed runs resists stragglers in
+    both directions, and the recorded spread ``(max − min) / median``
+    says how trustworthy the number is.
+    """
+    fn()  # warm-up: first-touch IO (file creation, page cache) untimed
+    times = []
+    for _ in range(max(3, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    median = times[len(times) // 2]
+    return {
+        "median_s": median,
+        "best_s": times[0],
+        "spread": (times[-1] - times[0]) / median if median else 0.0,
+        "runs": len(times),
+    }
 
 
 def section(title: str) -> None:
@@ -253,7 +285,10 @@ def bench_micro_shuffle(small: bool) -> dict:
                 return [len(b) for b in spill.buckets()]
 
         in_memory = best_of(sort_group, repeats)
-        external = best_of(spill_drain, max(1, repeats // 2))
+        # Spilling hits the filesystem: median-of-N with a warm-up, not
+        # best-of (see measure() — this section is where BENCH_3 logged
+        # a spurious 0.90×).
+        external = measure(spill_drain, max(3, repeats // 2))
         fingerprint = [(g.key, g.values) for g in sort_group()]
         return in_memory, external, fingerprint
 
@@ -264,15 +299,146 @@ def bench_micro_shuffle(small: bool) -> dict:
         "before_s": before,
         "after_s": after,
         "speedup": before / after,
-        "external_before_s": before_ext,
-        "external_after_s": after_ext,
-        "external_speedup": before_ext / after_ext,
+        "external_before_s": before_ext["median_s"],
+        "external_after_s": after_ext["median_s"],
+        "external_speedup": before_ext["median_s"] / after_ext["median_s"],
+        "external_before_spread": before_ext["spread"],
+        "external_after_spread": after_ext["spread"],
+        "external_runs": after_ext["runs"],
     }
     print(f"packed-key shuffle  before={before * 1e3:8.2f}ms  "
           f"after={after * 1e3:8.2f}ms  speedup={result['speedup']:.2f}x")
-    print(f"  + spill-to-disk   before={before_ext * 1e3:8.2f}ms  "
-          f"after={after_ext * 1e3:8.2f}ms  "
-          f"speedup={result['external_speedup']:.2f}x")
+    print(f"  + spill-to-disk   before={result['external_before_s'] * 1e3:8.2f}ms  "
+          f"after={result['external_after_s'] * 1e3:8.2f}ms  "
+          f"speedup={result['external_speedup']:.2f}x  "
+          f"(median of {result['external_runs']}, spread "
+          f"{result['external_before_spread']:.0%}/"
+          f"{result['external_after_spread']:.0%})")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Micro: columnar batch kernel vs scalar pair loop
+# ---------------------------------------------------------------------------
+
+
+def bench_micro_batch_kernel(small: bool) -> dict:
+    from repro.er.batch_kernel import TrianglePairs, active_numpy
+
+    # One skewed reduce group, the batch kernel's target workload: a
+    # dirty catalog block where most listings are verbatim repeats of a
+    # small base set plus typo'd near-duplicates around them.  The
+    # kernel packs the group once, settles repeat pairs through the
+    # vectorized equality/length filters, and runs Myers once per
+    # *distinct* surviving pair; the scalar loop pays a Python call and
+    # a memo probe for every single pair.  Both use the pipeline's
+    # default matcher configuration.
+    n = 150 if small else 400
+    rng = random.Random(SEED % 613)
+    words = ["panasonic", "lumix", "camera", "digital", "zoom", "kit",
+             "sony", "alpha", "lens", "black", "silver", "battery",
+             "dmc", "fz", "hd", "travel", "pack", "bundle"]
+    base = [" ".join(rng.choices(words, k=rng.randrange(2, 8)))
+            for _ in range(max(10, n // 10))]
+    titles = []
+    for _ in range(n):
+        if rng.random() < 0.75:
+            titles.append(rng.choice(base))  # verbatim repeat
+        else:
+            chars = list(rng.choice(base))
+            chars[rng.randrange(len(chars))] = rng.choice("abcdxyz ")
+            titles.append("".join(chars))  # near-duplicate
+    entities = [Entity(f"e{i}", {"title": t}) for i, t in enumerate(titles)]
+    spec = TrianglePairs(n)
+    repeats = 3 if small else 6
+
+    def run_scalar():
+        matcher = ThresholdMatcher("title", THRESHOLD)
+        prepared = [matcher.prepare(e) for e in entities]
+        match_prepared = matcher.match_prepared
+        out = []
+        for i, j in spec.iter_pairs():
+            pair = match_prepared(prepared[i], prepared[j])
+            if pair is not None:
+                out.append(pair)
+        return out
+
+    def run_batched():
+        matcher = ThresholdMatcher("title", THRESHOLD)
+        prepared = [matcher.prepare(e) for e in entities]
+        return matcher.match_batch(prepared, spec)
+
+    fp = lambda pairs: [(p.id1, p.id2, p.similarity) for p in pairs]  # noqa: E731
+    assert fp(run_scalar()) == fp(run_batched())  # byte-identical matches
+    before = best_of(run_scalar, repeats)
+    after = best_of(run_batched, repeats)
+    result = {
+        "entities": n,
+        "pairs": spec.count,
+        "numpy": active_numpy() is not None,
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+    }
+    print(f"batch kernel        before={before * 1e3:8.2f}ms  "
+          f"after={after * 1e3:8.2f}ms  speedup={result['speedup']:.2f}x  "
+          f"(numpy={'yes' if result['numpy'] else 'no'})")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Micro: columnar shard loading vs CSV parsing
+# ---------------------------------------------------------------------------
+
+
+def bench_micro_columnar_load(small: bool) -> dict:
+    import tempfile
+
+    from repro.datasets.loaders import save_entities_csv
+    from repro.io import ColumnarShardSource, CsvShardSource, write_columnar
+
+    n = 1_000 if small else 10_000
+    num_shards = 4
+    entities = generate_products(n, seed=SEED % 1009)
+    repeats = 3 if small else 6
+
+    with tempfile.TemporaryDirectory(prefix="repro-er-bench-") as tmp:
+        tmp_path = Path(tmp)
+        csv_path = tmp_path / "entities.csv"
+        save_entities_csv(entities, csv_path)
+        cols_dir = write_columnar(
+            CsvShardSource(csv_path, num_shards=num_shards), tmp_path / "cols"
+        )
+
+        def load_csv():
+            return list(
+                CsvShardSource(csv_path, num_shards=num_shards).iter_records()
+            )
+
+        def load_columnar():
+            source = ColumnarShardSource(cols_dir)
+            try:
+                return list(source.iter_records())
+            finally:
+                source.close()
+
+        assert load_csv() == load_columnar()  # byte-identical entities
+        # Both loaders read files: warm-up + median (see measure()).
+        before = measure(load_csv, repeats)
+        after = measure(load_columnar, repeats)
+
+    result = {
+        "entities": n,
+        "num_shards": num_shards,
+        "before_s": before["median_s"],
+        "after_s": after["median_s"],
+        "speedup": before["median_s"] / after["median_s"],
+        "before_spread": before["spread"],
+        "after_spread": after["spread"],
+    }
+    print(f"columnar load       before={result['before_s'] * 1e3:8.2f}ms  "
+          f"after={result['after_s'] * 1e3:8.2f}ms  "
+          f"speedup={result['speedup']:.2f}x")
     return result
 
 
@@ -342,6 +508,73 @@ def bench_e2e(strategy: str, num_entities: int, small: bool) -> dict:
     }
     marker = "" if functional_ok else "  ** FUNCTIONAL MISMATCH **"
     print(f"e2e {strategy:<11}     before={before:8.3f}s   "
+          f"after={after:8.3f}s   speedup={result['speedup']:.2f}x{marker}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: batched reduce loops vs scalar pair loops
+# ---------------------------------------------------------------------------
+
+
+def _dirty_feed(num_base: int, repeat_factor: float, seed: int) -> list[Entity]:
+    """A catalog-aggregation corpus: base listings plus verbatim repeats.
+
+    Aggregating multiple feeds of the same catalog re-ingests the same
+    listing verbatim under a fresh id — the duplicate-heavy regime the
+    paper's dirty DS2 corpus exhibits and the batch kernel targets
+    (repeat pairs settle in the vectorized equality filter and each
+    distinct near-duplicate pair runs Myers once per group).
+    """
+    base = generate_products(num_base, seed=seed)
+    rng = random.Random(seed + 1)
+    out = list(base)
+    next_id = len(base)
+    for _ in range(int(num_base * repeat_factor)):
+        entity = rng.choice(base)
+        out.append(Entity(f"p{next_id}", dict(entity.attributes), entity.source))
+        next_id += 1
+    rng.shuffle(out)
+    return out
+
+
+def bench_e2e_batched(strategy: str, num_base: int, small: bool) -> dict:
+    entities = _dirty_feed(num_base, 1.0, SEED % 1000)
+    m, r = (3, 5) if small else (4, 10)
+
+    def run(batch: bool):
+        pipeline = ERPipeline(
+            strategy,
+            PrefixBlocking("title"),
+            ThresholdMatcher("title", THRESHOLD),
+            num_map_tasks=m,
+            num_reduce_tasks=r,
+            batch_kernel=batch,
+        )
+        return pipeline.run(entities)
+
+    repeats = 1 if small else 2
+    scalar_result = run(batch=False)
+    batched_result = run(batch=True)
+    before = best_of(lambda: run(batch=False), repeats)
+    after = best_of(lambda: run(batch=True), repeats)
+
+    functional_ok = (
+        _e2e_fingerprint(batched_result) == _e2e_fingerprint(scalar_result)
+    )
+    result = {
+        "entities": len(entities),
+        "num_map_tasks": m,
+        "num_reduce_tasks": r,
+        "comparisons": batched_result.total_comparisons(),
+        "matches": len(batched_result.matches),
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "functional_ok": functional_ok,
+    }
+    marker = "" if functional_ok else "  ** FUNCTIONAL MISMATCH **"
+    print(f"e2e batched {strategy:<11} before={before:8.3f}s   "
           f"after={after:8.3f}s   speedup={result['speedup']:.2f}x{marker}")
     return result
 
@@ -421,6 +654,10 @@ def main(argv: list[str] | None = None) -> int:
     report["micro_matcher"] = bench_micro_matcher(args.small)
     report["micro_shuffle"] = bench_micro_shuffle(args.small)
 
+    section("Micro: batch kernel and columnar shards")
+    report["micro_batch_kernel"] = bench_micro_batch_kernel(args.small)
+    report["micro_columnar_load"] = bench_micro_columnar_load(args.small)
+
     section("End-to-end pipelines (serial backend, real matching)")
     n = 400 if args.small else 2500
     report["e2e"] = {
@@ -428,11 +665,22 @@ def main(argv: list[str] | None = None) -> int:
         "pairrange": bench_e2e("pairrange", n, args.small),
     }
 
+    section("End-to-end batched reduce loops (dirty-feed corpus)")
+    n_base = 300 if args.small else 1500
+    report["e2e_batched"] = {
+        "blocksplit": bench_e2e_batched("blocksplit", n_base, args.small),
+        "pairrange": bench_e2e_batched("pairrange", n_base, args.small),
+    }
+
     if not args.skip_figures:
         section("Paper scalability figures (analytic planning, full scale)")
         report["figures"] = bench_figures(args.small)
 
-    functional_ok = all(e["functional_ok"] for e in report["e2e"].values())
+    functional_ok = all(
+        e["functional_ok"]
+        for group in (report["e2e"], report["e2e_batched"])
+        for e in group.values()
+    )
     report["functional_ok"] = functional_ok
 
     output.write_text(json.dumps(report, indent=2) + "\n")
@@ -445,6 +693,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.assert_speedups:
         micro = report["micro_similarity"]["speedup"]
         e2e_best = max(e["speedup"] for e in report["e2e"].values())
+        batch_micro = report["micro_batch_kernel"]["speedup"]
+        batch_e2e_best = max(
+            e["speedup"] for e in report["e2e_batched"].values()
+        )
         if micro < 3.0:
             print(f"SPEEDUP MISS: similarity microbench {micro:.2f}x < 3x",
                   file=sys.stderr)
@@ -453,8 +705,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"SPEEDUP MISS: best end-to-end {e2e_best:.2f}x < 1.5x",
                   file=sys.stderr)
             return 1
+        if batch_micro < 2.0:
+            print(f"SPEEDUP MISS: batch-kernel microbench "
+                  f"{batch_micro:.2f}x < 2x", file=sys.stderr)
+            return 1
+        if batch_e2e_best < 1.5:
+            print(f"SPEEDUP MISS: best batched end-to-end "
+                  f"{batch_e2e_best:.2f}x < 1.5x", file=sys.stderr)
+            return 1
         print(f"speedup targets met: micro {micro:.2f}x (>=3x), "
-              f"e2e {e2e_best:.2f}x (>=1.5x)")
+              f"e2e {e2e_best:.2f}x (>=1.5x), "
+              f"batch micro {batch_micro:.2f}x (>=2x), "
+              f"batched e2e {batch_e2e_best:.2f}x (>=1.5x)")
     return 0
 
 

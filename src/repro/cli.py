@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Eight subcommands cover the library's main entry points::
+Nine subcommands cover the library's main entry points::
 
     repro-er generate  --kind products --num 5000 --output products.csv
+    repro-er pack      --input products.csv --out products.cols
     repro-er dedup     --input products.csv --output matches.csv
     repro-er link      --input-r a.csv --input-s b.csv --output links.csv
     repro-er ingest    --state state/ --input batch.csv --output new.csv
@@ -18,7 +19,10 @@ loop, ``distributed`` over worker processes connected by loopback
 sockets, with ``--task-timeout`` guarding against hung workers and
 ``--max-worker-respawns`` letting the pool heal after losses),
 ``--input-format csv-shards`` streams the input through the
-:mod:`repro.io` record-source layer, ``--memory-budget`` bounds shuffle
+:mod:`repro.io` record-source layer (``columnar`` serves it from a
+memory-mapped dataset written by ``pack``), ``--no-batch-kernel``
+disables the batched similarity kernel (results are byte-identical
+either way), ``--memory-budget`` bounds shuffle
 buffering by spilling sorted run files to disk, ``--progress`` streams
 task lifecycle events to stderr as they happen, and ``--save-result``
 persists the full :class:`~repro.engine.PipelineResult` as versioned
@@ -74,7 +78,7 @@ from .datasets.loaders import load_entities_csv, save_entities_csv
 from .datasets.skew import zipf_block_sizes
 from .er.blocking import PrefixBlocking
 from .er.matching import MatchResult, ThresholdMatcher
-from .io.sources import CsvShardSource
+from .io.sources import CsvShardSource, RecordSource
 
 
 def _positive_int(text: str) -> int:
@@ -105,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=42)
     generate.add_argument("--output", required=True)
 
+    pack = subparsers.add_parser(
+        "pack",
+        help="pack a CSV dataset into memory-mapped columnar shards",
+    )
+    pack.add_argument("--input", required=True, help="entity CSV to pack")
+    pack.add_argument("--out", required=True, metavar="DIR",
+                      help="output directory for the columnar dataset "
+                           "(must not already hold one)")
+    pack.add_argument("--shards", type=_positive_int, default=4,
+                      help="shard count preserved in the packed dataset "
+                           "(default: 4, matching the dedup -m default)")
+
     for name, helptext in (
         ("dedup", "deduplicate one CSV source"),
         ("link", "link two CSV sources (R x S)"),
@@ -115,17 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--allow-missing-keys", action="store_true",
                              help="apply the Section III Cartesian fallback "
                                   "for entities without a blocking key")
-            sub.add_argument("--input-format", choices=["memory", "csv-shards"],
+            sub.add_argument("--input-format",
+                             choices=["memory", "csv-shards", "columnar"],
                              default="memory",
                              help="memory = load the CSV up front; "
                                   "csv-shards = stream it as --shards "
-                                  "contiguous shards (RecordSource layer)")
+                                  "contiguous shards (RecordSource layer); "
+                                  "columnar = --input is a memory-mapped "
+                                  "dataset directory written by 'pack'")
             sub.add_argument("--shards", type=_positive_int, default=None,
                              help="shard count for --input-format csv-shards "
-                                  "(default: --map-tasks)")
+                                  "(default: --map-tasks); invalid with "
+                                  "columnar, whose manifest fixes the shards")
         else:
             sub.add_argument("--input-r", required=True)
             sub.add_argument("--input-s", required=True)
+            sub.add_argument("--input-format", choices=["memory", "columnar"],
+                             default="memory",
+                             help="memory = CSV inputs; columnar = both "
+                                  "inputs are dataset directories written "
+                                  "by 'pack'")
         sub.add_argument("--output", required=True)
         sub.add_argument("--strategy", choices=["basic", "blocksplit", "pairrange"],
                          default="blocksplit")
@@ -157,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max map-output records buffered in memory "
                               "during the shuffle; the rest spills through "
                               "sorted run files on disk (same results)")
+        sub.add_argument("--no-batch-kernel", action="store_true",
+                         help="score pairs one at a time instead of through "
+                              "the batched similarity kernel (byte-identical "
+                              "results; mainly for benchmarking)")
         sub.add_argument("--progress", action="store_true",
                          help="stream task lifecycle events to stderr while "
                               "the pipeline runs")
@@ -184,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "of a server-resident state instead")
     ingest.add_argument("--input", required=True,
                         help="CSV of the *new* records only")
+    ingest.add_argument("--input-format", choices=["memory", "columnar"],
+                        default="memory",
+                        help="memory = CSV input; columnar = --input is a "
+                             "dataset directory written by 'pack'")
     ingest.add_argument("--output", required=True,
                         help="CSV of the newly found matches (the "
                              "cumulative set lives in the state)")
@@ -220,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--memory-budget", type=_positive_int, default=None,
                         help="max map-output records buffered in memory "
                              "during the shuffle (rest spills to disk)")
+    ingest.add_argument("--no-batch-kernel", action="store_true",
+                        help="score pairs one at a time instead of through "
+                             "the batched similarity kernel (byte-identical "
+                             "results)")
     ingest.add_argument("--progress", action="store_true",
                         help="stream task lifecycle events to stderr")
 
@@ -242,7 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="service token (default: the REPRO_SERVE_TOKEN "
                              "environment variable)")
     submit.add_argument("--input", required=True)
+    submit.add_argument("--input-format", choices=["memory", "columnar"],
+                        default="memory",
+                        help="memory = CSV input; columnar = --input is a "
+                             "dataset directory written by 'pack'")
     submit.add_argument("--output", required=True)
+    submit.add_argument("--no-batch-kernel", action="store_true",
+                        help="ask the server to score pairs one at a time "
+                             "instead of through the batched similarity "
+                             "kernel (byte-identical results)")
     submit.add_argument("--strategy", choices=["basic", "blocksplit", "pairrange"],
                         default="blocksplit")
     submit.add_argument("--attribute", default="title")
@@ -401,6 +446,26 @@ def _run_pipeline(pipeline: ERPipeline, args: argparse.Namespace, *run_args, **r
     return result, count
 
 
+def _columnar_source(path: str, command: str, *, source: str | None = None):
+    """Open a packed dataset, turning layout errors into pinned exits."""
+    from .io.columnar import ColumnarShardSource
+
+    try:
+        return ColumnarShardSource(path, source=source)
+    except ValueError as exc:
+        raise SystemExit(f"repro-er {command}: error: {exc}") from None
+
+
+def _load_entities(args: argparse.Namespace, path: str, *, source: str | None = None):
+    """Materialize one entity input honouring --input-format
+    (``memory`` = CSV, ``columnar`` = packed dataset directory)."""
+    if getattr(args, "input_format", "memory") == "columnar":
+        return list(
+            _columnar_source(path, args.command, source=source).iter_records()
+        )
+    return load_entities_csv(path, source=source)
+
+
 def _write_matches(matches: MatchResult, path: str) -> None:
     """Buffered sink for code paths without an execution handle (the
     missing-keys fallback merges several runs into bare matches)."""
@@ -409,6 +474,23 @@ def _write_matches(matches: MatchResult, path: str) -> None:
         writer.writerow(["id1", "id2", "similarity"])
         for pair in matches:
             writer.writerow([pair.id1, pair.id2, f"{pair.similarity:.6f}"])
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    from .io.columnar import write_columnar
+
+    source = CsvShardSource(args.input, num_shards=args.shards)
+    try:
+        out = write_columnar(source, args.out)
+    except (OSError, ValueError) as exc:
+        print(f"repro-er pack: error: {exc}", file=sys.stderr)
+        return 2
+    sizes = source.shard_sizes()
+    print(
+        f"packed {sum(sizes)} entities into {len(sizes)} columnar "
+        f"shard(s) at {out}"
+    )
+    return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -442,13 +524,26 @@ def cmd_dedup(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.shards is not None and args.input_format != "csv-shards":
+        raise SystemExit(
+            f"repro-er {args.command}: error: --shards requires "
+            "--input-format csv-shards (a columnar dataset's manifest "
+            "fixes its shard count)"
+        )
     if args.input_format == "csv-shards":
         shards = args.shards if args.shards is not None else args.map_tasks
-        record_input: CsvShardSource | list = CsvShardSource(
+        record_input: RecordSource | list = CsvShardSource(
             args.input, num_shards=shards
         )
         num_entities = sum(record_input.shard_sizes())
         input_note = f"{num_entities} entities ({shards} csv shards)"
+    elif args.input_format == "columnar":
+        record_input = _columnar_source(args.input, args.command)
+        num_entities = sum(record_input.shard_sizes())
+        input_note = (
+            f"{num_entities} entities "
+            f"({record_input.num_shards} columnar shards)"
+        )
     else:
         record_input = load_entities_csv(args.input)
         num_entities = len(record_input)
@@ -471,7 +566,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             )
         entities = (
             list(record_input.iter_records())
-            if isinstance(record_input, CsvShardSource)
+            if isinstance(record_input, RecordSource)
             else record_input
         )
         matches = resolve_with_missing_keys(
@@ -483,6 +578,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             num_reduce_tasks=args.reduce_tasks,
             backend=_backend(args),
             memory_budget=args.memory_budget,
+            batch_kernel=not args.no_batch_kernel,
         )
         print(f"{input_note}, {len(matches)} duplicate pairs")
         _write_matches(matches, args.output)
@@ -495,6 +591,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             num_reduce_tasks=args.reduce_tasks,
             backend=_backend(args),
             memory_budget=args.memory_budget,
+            batch_kernel=not args.no_batch_kernel,
         )
         run_input = record_input
         partitions = None
@@ -505,7 +602,7 @@ def cmd_dedup(args: argparse.Namespace) -> int:
 
             entities = (
                 list(record_input.iter_records())
-                if isinstance(record_input, CsvShardSource)
+                if isinstance(record_input, RecordSource)
                 else record_input
             )
             partitions = make_partitions(entities, args.map_tasks)
@@ -533,8 +630,8 @@ def cmd_dedup(args: argparse.Namespace) -> int:
 
 
 def cmd_link(args: argparse.Namespace) -> int:
-    r_entities = load_entities_csv(args.input_r, source="R")
-    s_entities = load_entities_csv(args.input_s, source="S")
+    r_entities = _load_entities(args, args.input_r, source="R")
+    s_entities = _load_entities(args, args.input_s, source="S")
     if args.strategy == "basic":
         print("error: two-source matching requires blocksplit or pairrange",
               file=sys.stderr)
@@ -546,6 +643,7 @@ def cmd_link(args: argparse.Namespace) -> int:
         num_reduce_tasks=args.reduce_tasks,
         backend=_backend(args),
         memory_budget=args.memory_budget,
+        batch_kernel=not args.no_batch_kernel,
     )
     result, count = _run_pipeline(
         pipeline,
@@ -566,7 +664,7 @@ def cmd_link(args: argparse.Namespace) -> int:
 
 def cmd_ingest(args: argparse.Namespace) -> int:
     blocking = PrefixBlocking(args.attribute, args.prefix_length)
-    entities = load_entities_csv(args.input)
+    entities = _load_entities(args, args.input)
     if args.server is not None:
         # Remote ingest: the state lives under the daemon's
         # --state-root and --state names it; the local backend flags
@@ -588,6 +686,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             ThresholdMatcher(args.attribute, args.threshold),
             num_map_tasks=args.map_tasks,
             num_reduce_tasks=args.reduce_tasks,
+            batch_kernel=not args.no_batch_kernel,
         )
         on_event = _progress_printer(sys.stderr) if args.progress else None
         try:
@@ -639,6 +738,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         num_reduce_tasks=args.reduce_tasks,
         backend=_backend(args),
         memory_budget=args.memory_budget,
+        batch_kernel=not args.no_batch_kernel,
     )
     partitions = make_partitions(entities, args.map_tasks)
     on_event = _progress_printer(sys.stderr) if args.progress else None
@@ -682,15 +782,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: --server must be HOST:PORT, got {args.server!r}",
               file=sys.stderr)
         return 2
-    entities = load_entities_csv(args.input)
+    entities = _load_entities(args, args.input)
     # The pipeline's own backend is irrelevant for remote submission:
-    # only the resolved request ships, the server's shared pool runs it.
+    # only the resolved request ships, the server's shared pool runs it
+    # (the batch-kernel flag rides along inside the request).
     pipeline = ERPipeline(
         args.strategy,
         PrefixBlocking(args.attribute, args.prefix_length),
         ThresholdMatcher(args.attribute, args.threshold),
         num_map_tasks=args.map_tasks,
         num_reduce_tasks=args.reduce_tasks,
+        batch_kernel=not args.no_batch_kernel,
     )
     on_event = _progress_printer(sys.stderr) if args.progress else None
     try:
@@ -797,6 +899,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
 
 COMMANDS = {
     "generate": cmd_generate,
+    "pack": cmd_pack,
     "dedup": cmd_dedup,
     "link": cmd_link,
     "ingest": cmd_ingest,

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from ..er.batch_kernel import TrianglePairs
 from ..er.blocking import BlockingFunction
 from ..er.entity import Entity
 from ..er.matching import Matcher
 from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext, stable_hash
+from .match_tasks import run_batched_group
 
 
 class BasicMatchJob(MapReduceJob):
@@ -29,9 +31,16 @@ class BasicMatchJob(MapReduceJob):
 
     name = "basic-match"
 
-    def __init__(self, matcher: Matcher, blocking: BlockingFunction | None = None):
+    def __init__(
+        self,
+        matcher: Matcher,
+        blocking: BlockingFunction | None = None,
+        *,
+        batch_kernel: bool = False,
+    ):
         self.matcher = matcher
         self.blocking = blocking
+        self.batch_kernel = batch_kernel
 
     def map(self, key: Any, value: Entity, emit, context: TaskContext) -> None:
         if key is None:
@@ -53,6 +62,16 @@ class BasicMatchJob(MapReduceJob):
     def reduce(
         self, key: Any, values: Sequence[Entity], emit, context: TaskContext
     ) -> None:
+        if self.batch_kernel:
+            # The whole block is one triangular batch: prepare every
+            # entity once, then score all pairs in a single
+            # `match_batch` call.
+            prepare = self.matcher.prepare
+            prepared = [prepare(e) for e in values]
+            run_batched_group(
+                self.matcher, prepared, TrianglePairs(len(prepared)), emit, context
+            )
+            return
         # All-pairs comparison within the block, in the streaming-buffer
         # style of the paper's pseudo-code.  Entities are prepared once
         # per group; only `match_prepared` runs per pair.

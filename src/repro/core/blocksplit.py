@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from ..er.batch_kernel import CrossPairs, TrianglePairs
 from ..er.blocking import BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
@@ -20,7 +21,12 @@ from ..mapreduce.job import MapReduceJob, TaskContext
 from ..mapreduce.types import KeyCodec, PackedProjection, packed_keys_enabled
 from .bdm import BlockDistributionMatrix
 from .keys import BlockSplitKey
-from .match_tasks import MatchTaskAssignment, plan_block_split
+from .match_tasks import (
+    MatchTaskAssignment,
+    leading_run_split,
+    plan_block_split,
+    run_batched_group,
+)
 
 
 class BlockSplitJob(MapReduceJob):
@@ -46,10 +52,13 @@ class BlockSplitJob(MapReduceJob):
         bdm: BlockDistributionMatrix,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         # The paper computes this in every map task's configure(); the
         # computation is deterministic, so hoisting it is equivalent.
         self.assignment: MatchTaskAssignment = plan_block_split(bdm, num_reduce_tasks)
@@ -106,6 +115,13 @@ class BlockSplitJob(MapReduceJob):
 
     def _match_self(self, values, emit, context: TaskContext) -> None:
         """Self-join: a whole block (``k.*``) or one sub-block (``k.i``)."""
+        if self.batch_kernel:
+            prepare = self.matcher.prepare
+            prepared = [prepare(e) for e, _partition in values]
+            run_batched_group(
+                self.matcher, prepared, TrianglePairs(len(prepared)), emit, context
+            )
+            return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared
@@ -130,6 +146,22 @@ class BlockSplitJob(MapReduceJob):
         first partition index delimits the buffered sub-block —
         Algorithm 1 lines 56-65.
         """
+        if self.batch_kernel and values:
+            split = leading_run_split([partition for _e, partition in values])
+            if split is not None:
+                # One buffered run × one streamed run — a cross batch.
+                prepare = self.matcher.prepare
+                prepared = [prepare(e) for e, _partition in values]
+                run_batched_group(
+                    self.matcher,
+                    prepared,
+                    CrossPairs(split, len(prepared)),
+                    emit,
+                    context,
+                )
+                return
+            # Interleaved partitions (not produced by the stable
+            # shuffle): the scalar loop below defines the semantics.
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared

@@ -42,6 +42,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Any, Sequence
 
+from ..er.batch_kernel import CrossPairs, SpanPairs, TrianglePairs
 from ..er.blocking import BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
@@ -53,9 +54,10 @@ from .enumeration import (
     PairRangeSpec,
     block_pair_count,
     merge_intervals,
+    sorted_run_bounds,
 )
 from .keys import BlockSplitKey, PairRangeKey
-from .match_tasks import MatchTask
+from .match_tasks import MatchTask, leading_run_split, run_batched_group
 
 
 class DeltaBDM:
@@ -382,6 +384,26 @@ class DeltaPairEnumeration:
 # ---------------------------------------------------------------------------
 
 
+def _batched_whole_delta(job, values, emit, context) -> None:
+    """Batched whole-block delta group: each new entity vs the prefix.
+
+    Old partitions precede delta partitions in the stable shuffle, so
+    entity ``t`` being new means every earlier arrival (old or new) is
+    its comparison partner — the span ``(t, 0, t)``.  Shared by
+    :class:`DeltaBasicJob` and :class:`DeltaBlockSplitJob`'s unsplit
+    (``k.*``) groups.
+    """
+    num_old = job.bdm.num_old_partitions
+    prepare = job.matcher.prepare
+    prepared: list = []
+    spans: list[tuple[int, int, int]] = []
+    for t, (entity, p) in enumerate(values):
+        prepared.append(prepare(entity))
+        if p >= num_old and t > 0:
+            spans.append((t, 0, t))
+    run_batched_group(job.matcher, prepared, SpanPairs(spans), emit, context)
+
+
 class DeltaBasicJob(MapReduceJob):
     """Basic matching of a delta: whole blocks, old entities buffered.
 
@@ -393,9 +415,12 @@ class DeltaBasicJob(MapReduceJob):
 
     name = "job2-basic-delta"
 
-    def __init__(self, bdm: DeltaBDM, matcher: Matcher):
+    def __init__(
+        self, bdm: DeltaBDM, matcher: Matcher, *, batch_kernel: bool = False
+    ):
         self.bdm = bdm
         self.matcher = matcher
+        self.batch_kernel = batch_kernel
 
     def map(self, key: BlockKey, value: Entity, emit, context: TaskContext) -> None:
         k = self.bdm.block_index(key)
@@ -419,6 +444,9 @@ class DeltaBasicJob(MapReduceJob):
         # Old partitions precede delta partitions, so every old entity
         # is buffered before the first new one arrives (stable shuffle,
         # partition order).
+        if self.batch_kernel:
+            _batched_whole_delta(self, values, emit, context)
+            return
         num_old = self.bdm.num_old_partitions
         matcher = self.matcher
         prepare = matcher.prepare
@@ -504,12 +532,15 @@ class DeltaBlockSplitJob(MapReduceJob):
         bdm: DeltaBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         from .match_tasks import assign_greedy  # local import avoids cycle
 
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         tasks, split_blocks, threshold = generate_delta_match_tasks(
             bdm, num_reduce_tasks
         )
@@ -569,6 +600,13 @@ class DeltaBlockSplitJob(MapReduceJob):
 
     def _match_self(self, values, emit, context: TaskContext) -> None:
         """All-pairs self-join of one *new* sub-block (``k.i``)."""
+        if self.batch_kernel:
+            prepare = self.matcher.prepare
+            prepared = [prepare(e) for e, _partition in values]
+            run_batched_group(
+                self.matcher, prepared, TrianglePairs(len(prepared)), emit, context
+            )
+            return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared
@@ -593,6 +631,9 @@ class DeltaBlockSplitJob(MapReduceJob):
         so the buffer holds the full old sub-corpus before any new
         entity streams through.
         """
+        if self.batch_kernel:
+            _batched_whole_delta(self, values, emit, context)
+            return
         num_old = self.bdm.num_old_partitions
         matcher = self.matcher
         prepare = matcher.prepare
@@ -616,6 +657,19 @@ class DeltaBlockSplitJob(MapReduceJob):
         """Cartesian product of two sub-blocks (``k.i×j``) — identical
         to the full BlockSplit cross reduce: the first partition index
         delimits the buffered sub-block."""
+        if self.batch_kernel and values:
+            split = leading_run_split([partition for _e, partition in values])
+            if split is not None:
+                prepare = self.matcher.prepare
+                prepared = [prepare(e) for e, _partition in values]
+                run_batched_group(
+                    self.matcher,
+                    prepared,
+                    CrossPairs(split, len(prepared)),
+                    emit,
+                    context,
+                )
+                return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared
@@ -663,10 +717,13 @@ class DeltaPairRangeJob(MapReduceJob):
         bdm: DeltaBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         self.enumeration = DeltaPairEnumeration(bdm.delta_block_sizes())
         self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
         if packed_keys_enabled():
@@ -723,6 +780,22 @@ class DeltaPairRangeJob(MapReduceJob):
         old = self.enumeration.block_sizes[block][0]
         lo, hi = self.spec.bounds(key.range_index)
         partner_span = self.enumeration.partner_span
+        if self.batch_kernel:
+            prepare = self.matcher.prepare
+            buffer_x: list[int] = []
+            prepared: list = []
+            spans: list[tuple[int, int, int]] = []
+            for t, (e2, x2) in enumerate(values):
+                prepared.append(prepare(e2))
+                if x2 >= old:
+                    x_lo, x_hi = partner_span(block, x2, lo, hi)
+                    if x_lo <= x_hi:
+                        start, stop = sorted_run_bounds(buffer_x, x_lo, x_hi)
+                        if stop > start:
+                            spans.append((t, start, stop))
+                buffer_x.append(x2)
+            run_batched_group(self.matcher, prepared, SpanPairs(spans), emit, context)
+            return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared

@@ -32,7 +32,7 @@ pairs.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -148,6 +148,24 @@ def entities_in_cell_interval(n: int, lo: int, hi: int) -> list[tuple[int, int]]
 
 def entity_count_in_cell_interval(n: int, lo: int, hi: int) -> int:
     return interval_total(entities_in_cell_interval(n, lo, hi))
+
+
+def sorted_run_bounds(
+    sorted_values: Sequence[int], lo: int, hi: int
+) -> tuple[int, int]:
+    """Positions ``[start, stop)`` of values within ``[lo, hi]``.
+
+    ``sorted_values`` must be ascending; the qualifying values form one
+    contiguous run located by two binary searches.  This turns the
+    inclusive entity-index intervals of :meth:`PairEnumeration.row_span`
+    / :meth:`DualPairEnumeration.r_span` into *buffer index ranges* —
+    the form the batched reduce loops record in a
+    :class:`~repro.er.batch_kernel.SpanPairs` spec instead of
+    materialising the pairs.
+    """
+    start = bisect_left(sorted_values, lo)
+    stop = bisect_right(sorted_values, hi, start)
+    return start, stop
 
 
 # ---------------------------------------------------------------------------

@@ -155,3 +155,56 @@ def plan_block_split(bdm: BdmLike, num_reduce_tasks: int) -> MatchTaskAssignment
         split_blocks=split_blocks,
         threshold=threshold,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched match-task execution
+# ---------------------------------------------------------------------------
+#
+# With ``batch_kernel`` enabled the reduce functions stop walking their
+# candidate pairs one ``match_prepared`` call at a time: they describe
+# the group's pairs as one spec (triangle / cross / spans — see
+# :mod:`repro.er.batch_kernel`) and hand the whole match task to the
+# matcher in a single ``match_batch`` call.  These helpers hold the
+# pieces every batched reduce loop shares.
+
+
+def run_batched_group(matcher, prepared: list, spec, emit, context) -> None:
+    """Execute one reduce group's pair spec through ``match_batch``.
+
+    Emits the returned matches in spec pair order — the order the
+    scalar streaming loops emit them — and flushes the pair counters
+    once per batch with the spec's exact pair count, so per-task
+    outputs and counters are byte-identical to the scalar path.
+    """
+    from ..mapreduce.counters import flush_pair_counters
+
+    matches = matcher.match_batch(prepared, spec)
+    for pair in matches:
+        emit(None, pair)
+    flush_pair_counters(context, spec.count, len(matches))
+
+
+def leading_run_split(markers: Sequence) -> int | None:
+    """Split point of a sequence expected to be two contiguous runs.
+
+    Returns ``split`` such that ``markers[:split]`` all equal
+    ``markers[0]`` and ``markers[split:]`` never repeats it — the shape
+    a cross-product group has when the stable shuffle delivers one
+    sub-block contiguously before the other.  Returns ``None`` when the
+    leading marker reappears later: the runs are interleaved, no
+    cross-product batch can be formed, and the caller must fall back to
+    its scalar streaming loop (which defines the semantics for such
+    input).  An empty sequence yields 0, a single run its full length.
+    """
+    if not markers:
+        return 0
+    first = markers[0]
+    n = len(markers)
+    split = 1
+    while split < n and markers[split] == first:
+        split += 1
+    for marker in markers[split:]:
+        if marker == first:
+            return None
+    return split

@@ -12,6 +12,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Any, Sequence
 
+from ..er.batch_kernel import SpanPairs
 from ..er.blocking import BlockKey
 from ..er.entity import Entity
 from ..er.matching import Matcher
@@ -19,8 +20,9 @@ from ..mapreduce.counters import flush_pair_counters
 from ..mapreduce.job import MapReduceJob, TaskContext
 from ..mapreduce.types import KeyCodec, PackedProjection, packed_keys_enabled
 from .bdm import BlockDistributionMatrix
-from .enumeration import PairEnumeration, PairRangeSpec
+from .enumeration import PairEnumeration, PairRangeSpec, sorted_run_bounds
 from .keys import PairRangeKey
+from .match_tasks import run_batched_group
 
 
 class PairRangeJob(MapReduceJob):
@@ -51,10 +53,13 @@ class PairRangeJob(MapReduceJob):
         bdm: BlockDistributionMatrix,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         self.enumeration = PairEnumeration(bdm.block_sizes())
         self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
         if packed_keys_enabled():
@@ -114,6 +119,26 @@ class PairRangeJob(MapReduceJob):
         block = key.block
         enumeration = self.enumeration
         lo, hi = self.spec.bounds(key.range_index)
+        if self.batch_kernel:
+            # Same two binary searches per entity, but the in-range runs
+            # are recorded as (entity, start, stop) index spans instead
+            # of walked pair by pair; one `match_batch` call scores the
+            # whole group.
+            row_span = enumeration.row_span
+            prepare = self.matcher.prepare
+            buffer_x: list[int] = []
+            prepared: list = []
+            spans: list[tuple[int, int, int]] = []
+            for t, (e2, x2) in enumerate(values):
+                prepared.append(prepare(e2))
+                x_lo, x_hi = row_span(block, x2, lo, hi)
+                if x_lo <= x_hi:
+                    start, stop = sorted_run_bounds(buffer_x, x_lo, x_hi)
+                    if stop > start:
+                        spans.append((t, start, stop))
+                buffer_x.append(x2)
+            run_batched_group(self.matcher, prepared, SpanPairs(spans), emit, context)
+            return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared

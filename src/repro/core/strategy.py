@@ -57,12 +57,17 @@ class LoadBalancingStrategy(ABC):
         num_reduce_tasks: int,
         *,
         blocking: BlockingFunction | None = None,
+        batch_kernel: bool = False,
     ) -> MapReduceJob:
         """The matching job (Job 2) for the one-source case.
 
         ``blocking`` is the workflow's blocking function; strategies
         that consume raw (un-annotated) input — currently only Basic —
         use it to derive keys in their map phase, the rest ignore it.
+        ``batch_kernel`` turns on the batched reduce loops (whole
+        groups scored through ``Matcher.match_batch`` — see
+        :mod:`repro.er.batch_kernel`); results are byte-identical
+        either way.
         """
 
     @abstractmethod
@@ -80,6 +85,8 @@ class LoadBalancingStrategy(ABC):
         bdm: DualSourceBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ) -> MapReduceJob:
         """The matching job for the two-source case (Appendix I)."""
         raise NotImplementedError(
@@ -102,6 +109,8 @@ class LoadBalancingStrategy(ABC):
         bdm: DeltaBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ) -> MapReduceJob:
         """The matching job for the incremental (delta) case: new
         records against a persisted corpus, comparing only new-vs-old
@@ -160,17 +169,19 @@ class BasicStrategy(LoadBalancingStrategy):
     name = "basic"
     requires_bdm = False
 
-    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
-        return BasicMatchJob(matcher, blocking=blocking)
+    def build_job(
+        self, bdm, matcher, num_reduce_tasks, *, blocking=None, batch_kernel=False
+    ):
+        return BasicMatchJob(matcher, blocking=blocking, batch_kernel=batch_kernel)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_basic(bdm, num_reduce_tasks, map_input_records=map_input_records)
 
-    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks, *, batch_kernel=False):
         # The delta path always has the merged BDM in hand (it needs
         # the delta's block counts anyway), so even Basic consumes
         # annotated input here.
-        return DeltaBasicJob(bdm, matcher)
+        return DeltaBasicJob(bdm, matcher, batch_kernel=batch_kernel)
 
     def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_delta_basic(
@@ -184,24 +195,30 @@ class BlockSplitStrategy(LoadBalancingStrategy):
 
     name = "blocksplit"
 
-    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
-        return BlockSplitJob(bdm, matcher, num_reduce_tasks)
+    def build_job(
+        self, bdm, matcher, num_reduce_tasks, *, blocking=None, batch_kernel=False
+    ):
+        return BlockSplitJob(bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_blocksplit(
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 
-    def build_dual_job(self, bdm, matcher, num_reduce_tasks):
-        return DualBlockSplitJob(bdm, matcher, num_reduce_tasks)
+    def build_dual_job(self, bdm, matcher, num_reduce_tasks, *, batch_kernel=False):
+        return DualBlockSplitJob(
+            bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel
+        )
 
     def plan_dual(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_dual_blocksplit(
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 
-    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
-        return DeltaBlockSplitJob(bdm, matcher, num_reduce_tasks)
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks, *, batch_kernel=False):
+        return DeltaBlockSplitJob(
+            bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel
+        )
 
     def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_delta_blocksplit(
@@ -215,24 +232,30 @@ class PairRangeStrategy(LoadBalancingStrategy):
 
     name = "pairrange"
 
-    def build_job(self, bdm, matcher, num_reduce_tasks, *, blocking=None):
-        return PairRangeJob(bdm, matcher, num_reduce_tasks)
+    def build_job(
+        self, bdm, matcher, num_reduce_tasks, *, blocking=None, batch_kernel=False
+    ):
+        return PairRangeJob(bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel)
 
     def plan(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_pairrange(
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 
-    def build_dual_job(self, bdm, matcher, num_reduce_tasks):
-        return DualPairRangeJob(bdm, matcher, num_reduce_tasks)
+    def build_dual_job(self, bdm, matcher, num_reduce_tasks, *, batch_kernel=False):
+        return DualPairRangeJob(
+            bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel
+        )
 
     def plan_dual(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_dual_pairrange(
             bdm, num_reduce_tasks, map_input_records=map_input_records
         )
 
-    def build_delta_job(self, bdm, matcher, num_reduce_tasks):
-        return DeltaPairRangeJob(bdm, matcher, num_reduce_tasks)
+    def build_delta_job(self, bdm, matcher, num_reduce_tasks, *, batch_kernel=False):
+        return DeltaPairRangeJob(
+            bdm, matcher, num_reduce_tasks, batch_kernel=batch_kernel
+        )
 
     def plan_delta(self, bdm, num_reduce_tasks, *, map_input_records=None):
         return plan_delta_pairrange(

@@ -33,9 +33,10 @@ from .bdm import (
     analytic_bdm,
     compute_bdm,
 )
-from .enumeration import DualPairEnumeration, PairRangeSpec
+from ..er.batch_kernel import CrossPairs, SpanPairs
+from .enumeration import DualPairEnumeration, PairRangeSpec, sorted_run_bounds
 from .keys import DualBlockSplitKey, DualPairRangeKey
-from .match_tasks import MatchTask
+from .match_tasks import MatchTask, run_batched_group
 
 SOURCE_R = "R"
 SOURCE_S = "S"
@@ -43,6 +44,27 @@ SOURCE_S = "S"
 #: Packed-key rank of each source tag ("R" < "S" ⇒ 0 < 1, so packed
 #: order matches the tuple order the dual reduce functions rely on).
 _SOURCE_RANKS = {SOURCE_R: 0, SOURCE_S: 1}
+
+
+def _r_prefix_length(sources) -> int | None:
+    """Length of the leading R run; ``None`` when an R follows an S.
+
+    The dual reduce groups rely on full-key sorting to deliver every R
+    entity before any S entity, which makes buffer positions equal
+    arrival positions.  The batched paths verify that shape holds —
+    falling back to the scalar streaming loops (which define the
+    semantics for out-of-order input) when it does not.
+    """
+    split = 0
+    streamed = False
+    for position, source in enumerate(sources):
+        if source == SOURCE_R:
+            if streamed:
+                return None
+            split = position + 1
+        else:
+            streamed = True
+    return split
 
 
 class DualSourceBDM:
@@ -247,12 +269,15 @@ class DualBlockSplitJob(MapReduceJob):
         bdm: DualSourceBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         from .match_tasks import assign_greedy  # local import avoids cycle
 
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         tasks, split_blocks, threshold = generate_dual_match_tasks(
             bdm, num_reduce_tasks
         )
@@ -315,6 +340,22 @@ class DualBlockSplitJob(MapReduceJob):
         emit,
         context: TaskContext,
     ) -> None:
+        if self.batch_kernel:
+            split = _r_prefix_length(entity.source for entity in values)
+            if split is not None:
+                # R prefix × S suffix — one cross batch.
+                prepare = self.matcher.prepare
+                prepared = [prepare(e) for e in values]
+                run_batched_group(
+                    self.matcher,
+                    prepared,
+                    CrossPairs(split, len(prepared)),
+                    emit,
+                    context,
+                )
+                return
+            # An R arrived after an S (full-key sort would not produce
+            # this): the scalar loop below defines the semantics.
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared
@@ -356,10 +397,13 @@ class DualPairRangeJob(MapReduceJob):
         bdm: DualSourceBDM,
         matcher: Matcher,
         num_reduce_tasks: int,
+        *,
+        batch_kernel: bool = False,
     ):
         self.bdm = bdm
         self.matcher = matcher
         self.num_reduce_tasks = num_reduce_tasks
+        self.batch_kernel = batch_kernel
         self.enumeration = DualPairEnumeration(bdm.dual_block_sizes())
         self.spec = PairRangeSpec(self.enumeration.total_pairs, num_reduce_tasks)
         if packed_keys_enabled():
@@ -427,6 +471,30 @@ class DualPairRangeJob(MapReduceJob):
         block = key.block
         lo, hi = self.spec.bounds(key.range_index)
         r_span = self.enumeration.r_span
+        if self.batch_kernel:
+            split = _r_prefix_length(entity.source for entity, _index in values)
+            if split is not None:
+                # R's occupy positions [0, split), so buffer positions
+                # equal prepared positions; each S entity's qualifying
+                # R run becomes one index span.
+                prepare = self.matcher.prepare
+                buffer_x: list[int] = []
+                prepared: list = []
+                spans: list[tuple[int, int, int]] = []
+                for t, (entity, index) in enumerate(values):
+                    prepared.append(prepare(entity))
+                    if entity.source == SOURCE_R:
+                        buffer_x.append(index)
+                        continue
+                    x_lo, x_hi = r_span(block, index, lo, hi)
+                    if x_lo <= x_hi:
+                        start, stop = sorted_run_bounds(buffer_x, x_lo, x_hi)
+                        if stop > start:
+                            spans.append((t, start, stop))
+                run_batched_group(
+                    self.matcher, prepared, SpanPairs(spans), emit, context
+                )
+                return
         matcher = self.matcher
         prepare = matcher.prepare
         match_prepared = matcher.match_prepared

@@ -129,7 +129,9 @@ class ExecutingBackendBase(ExecutionBackend):
                 use_combiner=request.use_bdm_combiner,
                 memory_budget=budget,
             )
-            job = strategy.build_dual_job(bdm, request.matcher, r)
+            job = strategy.build_dual_job(
+                bdm, request.matcher, r, batch_kernel=request.batch_kernel
+            )
             self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
                 job, annotated, r,
@@ -146,7 +148,11 @@ class ExecutingBackendBase(ExecutionBackend):
                 memory_budget=budget,
             )
             job = strategy.build_job(
-                bdm, request.matcher, r, blocking=request.blocking
+                bdm,
+                request.matcher,
+                r,
+                blocking=request.blocking,
+                batch_kernel=request.batch_kernel,
             )
             self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
@@ -156,7 +162,11 @@ class ExecutingBackendBase(ExecutionBackend):
         else:
             bdm, job1 = None, None
             job = strategy.build_job(
-                None, request.matcher, r, blocking=request.blocking
+                None,
+                request.matcher,
+                r,
+                blocking=request.blocking,
+                batch_kernel=request.batch_kernel,
             )
             self._set_stage(runtime, STAGE_MATCHING)
             job2 = runtime.run(
@@ -218,7 +228,9 @@ class ExecutingBackendBase(ExecutionBackend):
             Partition(list(p), index=i)
             for i, p in enumerate(list(spec.old_partitions) + list(delta_annotated))
         ]
-        job = strategy.build_delta_job(merged, request.matcher, r)
+        job = strategy.build_delta_job(
+            merged, request.matcher, r, batch_kernel=request.batch_kernel
+        )
         self._set_stage(runtime, STAGE_MATCHING)
         job2 = runtime.run(
             job, job2_input, r,

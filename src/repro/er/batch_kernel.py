@@ -1,0 +1,375 @@
+"""Batched pair scoring over packed arrays — the vectorized match kernel.
+
+PR 3 made the per-pair hot path fast (interned strings, Myers' bit-
+parallel kernel, a bounded LRU memo); this module removes the per-pair
+Python overhead around it.  A reduce group's candidate pairs are
+described *symbolically* by a :class:`PairSpec` — a triangle, a cross
+product, or a list of contiguous spans — instead of materialized
+``(i, j)`` tuples, and :func:`score_pair_batch` scores the whole batch
+in one call:
+
+1. the group's strings are packed once into code/length arrays (each
+   *distinct* string gets one integer code, so duplicate-heavy groups
+   collapse),
+2. a vectorized exact-equality check settles same-string pairs at 1.0,
+3. a vectorized length filter settles hopeless pairs at 0.0 (the same
+   ``diff > ⌊(1 − t)·longest⌋`` test the scalar matcher applies),
+4. the surviving pairs are grouped by distinct unordered string pair
+   and each distinct pair runs Myers' bit-parallel loop exactly once,
+   over pattern masks prepacked per distinct string
+   (:func:`repro.er.similarity.myers_masks`) — not per pair.
+
+When numpy is importable, steps 2–4 use int64/float64 array arithmetic;
+otherwise a pure-stdlib loop with the identical dedup/memo structure
+runs.  Both paths are byte-identical to the scalar kernel: every score
+they produce is either ``1.0``/``0.0`` from the same short-circuits the
+scalar matcher applies or the output of the same bounded Myers/banded
+kernels it calls, so matches, per-task outputs, and counters do not
+change when batching is switched on.  numpy stays an *optional*
+dependency (the ``fast`` extra); set ``REPRO_ER_FORCE_STDLIB=1`` to
+force the fallback with numpy installed.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from bisect import bisect_right
+from math import isqrt
+from typing import Iterator, Sequence
+
+from .similarity import (
+    levenshtein_similarity_bounded,
+    myers_distance_masks,
+    myers_masks,
+)
+
+try:  # pragma: no cover - exercised via both CI legs
+    if os.environ.get("REPRO_ER_FORCE_STDLIB"):
+        raise ImportError("numpy disabled by REPRO_ER_FORCE_STDLIB")
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: Below this many pairs the numpy path's array-construction overhead
+#: outweighs the vectorization win on small groups; the stdlib loop
+#: runs instead.  Both paths are byte-identical, so this is purely a
+#: performance knob.
+NUMPY_MIN_PAIRS = 16
+
+
+def active_numpy():
+    """The numpy module the kernel will use, or ``None`` (stdlib fallback)."""
+    return _numpy
+
+
+class TrianglePairs:
+    """All pairs ``(i, j)`` with ``i < j`` over a self-join group of ``n``.
+
+    Pair order matches the streaming-buffer loops it replaces: ``j``
+    ascending (arrival order of the right entity), ``i`` ascending
+    within each ``j`` (buffer order).
+    """
+
+    __slots__ = ("n", "count")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.count = n * (n - 1) // 2
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        for j in range(1, self.n):
+            for i in range(j):
+                yield i, j
+
+    def pair_at(self, k: int) -> tuple[int, int]:
+        # k = j·(j−1)/2 + i with 0 ≤ i < j; isqrt inverts the triangle
+        # number exactly (8k+1 lies in [(2j−1)², (2j+1)²) for the row).
+        j = (1 + isqrt(8 * k + 1)) // 2
+        return k - j * (j - 1) // 2, j
+
+    def index_arrays(self, np):
+        j = np.repeat(
+            np.arange(1, self.n, dtype=np.int64), np.arange(1, self.n)
+        )
+        i = np.arange(self.count, dtype=np.int64) - j * (j - 1) // 2
+        return i, j
+
+
+class CrossPairs:
+    """All pairs ``(i, j)`` of a buffered run vs a streamed run.
+
+    ``i`` ranges over the buffered prefix ``[0, split)`` and ``j`` over
+    the streamed suffix ``[split, total)`` — the shape of BlockSplit's
+    split×split cross tasks and of dual-source (R×S) groups, where the
+    stable shuffle delivers one run contiguously before the other.
+    Order: ``j`` ascending, ``i`` ascending within each ``j``.
+    """
+
+    __slots__ = ("split", "total", "count")
+
+    def __init__(self, split: int, total: int):
+        self.split = split
+        self.total = total
+        self.count = split * (total - split)
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        for j in range(self.split, self.total):
+            for i in range(self.split):
+                yield i, j
+
+    def pair_at(self, k: int) -> tuple[int, int]:
+        j, i = divmod(k, self.split)
+        return i, self.split + j
+
+    def index_arrays(self, np):
+        streamed = self.total - self.split
+        i = np.tile(np.arange(self.split, dtype=np.int64), streamed)
+        j = np.repeat(
+            np.arange(self.split, self.total, dtype=np.int64), self.split
+        )
+        return i, j
+
+
+class SpanPairs:
+    """Pairs where each streamed entity sees one contiguous buffer run.
+
+    ``spans`` is a list of ``(j, start, stop)``: entity ``j`` compares
+    against buffer positions ``[start, stop)``.  This is PairRange's
+    natural shape — ``row_span``/``r_span`` already yield index
+    intervals, which are recorded here instead of being materialized
+    into pairs — and also covers delta groups (each new entity vs the
+    whole buffered prefix).  Order: spans in given order (``j``
+    ascending at every call site), ``i`` ascending within a span.
+    """
+
+    __slots__ = ("spans", "count", "_offsets")
+
+    def __init__(self, spans: Sequence[tuple[int, int, int]]):
+        self.spans = spans
+        offsets = [0]
+        total = 0
+        for _j, start, stop in spans:
+            total += stop - start
+            offsets.append(total)
+        self._offsets = offsets
+        self.count = total
+
+    def iter_pairs(self) -> Iterator[tuple[int, int]]:
+        for j, start, stop in self.spans:
+            for i in range(start, stop):
+                yield i, j
+
+    def pair_at(self, k: int) -> tuple[int, int]:
+        s = bisect_right(self._offsets, k) - 1
+        j, start, _stop = self.spans[s]
+        return start + (k - self._offsets[s]), j
+
+    def index_arrays(self, np):
+        if not self.spans:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        i = np.concatenate(
+            [np.arange(start, stop, dtype=np.int64) for _j, start, stop in self.spans]
+        )
+        j = np.repeat(
+            np.fromiter((j for j, _s, _t in self.spans), dtype=np.int64, count=len(self.spans)),
+            np.fromiter((stop - start for _j, start, stop in self.spans), dtype=np.int64, count=len(self.spans)),
+        )
+        return i, j
+
+
+class _DistinctScorer:
+    """Scores each *distinct* unordered string pair of a batch once.
+
+    Replicates the cache/kernel stage of the scalar matcher exactly:
+    the same ``(min, max)`` cache key, the same pop/reinsert LRU
+    discipline and eviction bound, and the same bounded-similarity
+    arithmetic — with Myers pattern masks prepacked per distinct string
+    so a pattern shared by many pairs is packed once.
+    """
+
+    __slots__ = ("_threshold", "_cache", "_memoize", "_masks", "hits", "misses")
+
+    def __init__(self, threshold: float, cache: dict | None, memoize: int):
+        self._threshold = threshold
+        self._cache = cache
+        self._memoize = memoize
+        self._masks: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def score(self, a: str, b: str) -> float:
+        """Score the first group occurrence of the pair ``{a, b}``."""
+        key = (a, b) if a <= b else (b, a)
+        cache = self._cache
+        score = cache.pop(key, None) if cache is not None else None
+        if score is None:
+            self.misses += 1
+            score = self._compute(a, b)
+        else:
+            self.hits += 1
+        if self._memoize and cache is not None:
+            if len(cache) >= self._memoize:
+                try:
+                    cache.pop(next(iter(cache)), None)
+                except (StopIteration, RuntimeError):
+                    pass
+            cache[key] = score
+        return score
+
+    def note_repeats(self, n: int) -> None:
+        """Account for ``n`` further group occurrences of a scored pair.
+
+        With the memo enabled the scalar path would find each repeat in
+        the cache (a hit); with it disabled every repeat recomputes (a
+        miss).  Either way the batch computes the score only once.
+        """
+        if n <= 0:
+            return
+        if self._memoize:
+            self.hits += n
+        else:
+            self.misses += n
+
+    def _compute(self, a: str, b: str) -> float:
+        # levenshtein_similarity_bounded for a != b, with the Myers
+        # dispatch case running over prepacked per-string masks.
+        la = len(a)
+        lb = len(b)
+        if la >= lb:
+            text, pattern, shorter = a, b, lb
+        else:
+            text, pattern, shorter = b, a, la
+        if 1 <= shorter <= 64:
+            longest = la if la >= lb else lb
+            max_distance = int((1.0 - self._threshold) * longest)
+            masks = self._masks.get(pattern)
+            if masks is None:
+                masks = self._masks[pattern] = myers_masks(pattern)
+            distance = myers_distance_masks(masks, text, max_distance)
+            if distance > max_distance:
+                return 0.0
+            return 1.0 - distance / longest
+        # Empty-vs-nonempty and >64-char patterns: the scalar routine
+        # already handles these cases via its own dispatch.
+        return levenshtein_similarity_bounded(a, b, self._threshold)
+
+
+def score_pair_batch(
+    texts: Sequence[str],
+    pairs,
+    threshold: float,
+    *,
+    cache: dict | None = None,
+    memoize: int = 0,
+):
+    """Score every pair of a batch; returns ``(scores, hits, misses)``.
+
+    ``texts`` holds the group's strings (position-aligned with the
+    indices ``pairs`` yields), ``pairs`` is a :class:`TrianglePairs`/
+    :class:`CrossPairs`/:class:`SpanPairs` spec, and ``cache``/
+    ``memoize`` are the matcher's persistent score memo and its bound.
+    ``scores`` is index-aligned with the spec's pair order (a float64
+    ndarray on the numpy path, a list on the stdlib path); ``hits``/
+    ``misses`` are the cache-counter increments the scalar path would
+    have recorded for the same pairs.
+    """
+    np = _numpy
+    if np is not None and pairs.count >= NUMPY_MIN_PAIRS:
+        return _score_numpy(np, texts, pairs, threshold, cache, memoize)
+    return _score_stdlib(texts, pairs, threshold, cache, memoize)
+
+
+def matching_positions(scores, threshold: float) -> list[int]:
+    """Positions (pair order) whose score clears ``threshold``."""
+    if _numpy is not None and isinstance(scores, _numpy.ndarray):
+        return _numpy.nonzero(scores >= threshold)[0].tolist()
+    return [k for k, score in enumerate(scores) if score >= threshold]
+
+
+def _encode(texts: Sequence[str]) -> tuple[list[int], list[str]]:
+    """Pack strings into integer codes; one code per distinct string."""
+    code_of: dict[str, int] = {}
+    codes: list[int] = []
+    distinct: list[str] = []
+    for text in texts:
+        code = code_of.get(text)
+        if code is None:
+            code = len(distinct)
+            code_of[text] = code
+            distinct.append(text)
+        codes.append(code)
+    return codes, distinct
+
+
+def _score_numpy(np, texts, pairs, threshold, cache, memoize):
+    codes, distinct = _encode(texts)
+    left, right = pairs.index_arrays(np)
+    codes_arr = np.fromiter(codes, dtype=np.int64, count=len(codes))
+    lengths = np.fromiter(
+        (len(s) for s in distinct), dtype=np.int64, count=len(distinct)
+    )
+    ca = codes_arr[left]
+    cb = codes_arr[right]
+    la = lengths[ca]
+    lb = lengths[cb]
+    longest = np.maximum(la, lb)
+    scores = np.zeros(pairs.count, dtype=np.float64)
+    equal = ca == cb
+    scores[equal] = 1.0
+    # float64 multiply + int64 truncation ≡ the scalar int((1−t)·longest).
+    budget = ((1.0 - threshold) * longest).astype(np.int64)
+    survive = ~equal & (np.abs(la - lb) <= budget)
+    if not survive.any():
+        return scores, 0, 0
+    sa = ca[survive]
+    sb = cb[survive]
+    lo = np.minimum(sa, sb)
+    hi = np.maximum(sa, sb)
+    pair_keys = lo * np.int64(len(distinct)) + hi
+    unique_keys, inverse, counts = np.unique(
+        pair_keys, return_inverse=True, return_counts=True
+    )
+    scorer = _DistinctScorer(threshold, cache, memoize)
+    unique_scores = np.empty(len(unique_keys), dtype=np.float64)
+    ndistinct = len(distinct)
+    for u, key in enumerate(unique_keys.tolist()):
+        qa, qb = divmod(key, ndistinct)
+        unique_scores[u] = scorer.score(distinct[qa], distinct[qb])
+        scorer.note_repeats(int(counts[u]) - 1)
+    scores[survive] = unique_scores[inverse]
+    return scores, scorer.hits, scorer.misses
+
+
+def _score_stdlib(texts, pairs, threshold, cache, memoize):
+    codes, distinct = _encode(texts)
+    lengths = array("q", (len(s) for s in distinct))
+    scorer = _DistinctScorer(threshold, cache, memoize)
+    scores = [0.0] * pairs.count
+    memo: dict[tuple[int, int], float] = {}
+    one_minus = 1.0 - threshold
+    for k, (i, j) in enumerate(pairs.iter_pairs()):
+        a = codes[i]
+        b = codes[j]
+        if a == b:
+            scores[k] = 1.0
+            continue
+        la = lengths[a]
+        lb = lengths[b]
+        if la >= lb:
+            longest = la
+            diff = la - lb
+        else:
+            longest = lb
+            diff = lb - la
+        if diff > int(one_minus * longest):
+            continue  # length filter: stays 0.0
+        key = (a, b) if a < b else (b, a)
+        score = memo.get(key)
+        if score is None:
+            memo[key] = score = scorer.score(distinct[key[0]], distinct[key[1]])
+        else:
+            scorer.note_repeats(1)
+        scores[k] = score
+    return scores, scorer.hits, scorer.misses

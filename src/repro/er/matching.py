@@ -14,6 +14,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, NamedTuple
 
+from .batch_kernel import matching_positions, score_pair_batch
 from .entity import Entity
 from .similarity import levenshtein_similarity_bounded
 
@@ -124,6 +125,27 @@ class Matcher:
     def match_prepared(self, p1: Any, p2: Any) -> MatchPair | None:
         """Compare two :meth:`prepare` outputs; same contract as :meth:`match`."""
         return self.match(p1, p2)
+
+    def match_batch(self, prepared: list, pairs) -> list[MatchPair]:
+        """Compare a whole batch of prepared entities; return the matches.
+
+        ``pairs`` is a pair spec from :mod:`repro.er.batch_kernel`
+        (:class:`~repro.er.batch_kernel.TrianglePairs` and friends)
+        yielding ``(i, j)`` index pairs into ``prepared``.  The base
+        implementation is the *identity* batching: it calls
+        :meth:`match_prepared` once per pair, in spec order — so custom
+        matchers keep their exact per-pair behaviour, comparison order,
+        and counters when a batched reduce loop hands them a group.
+        Matchers with a vectorizable kernel override this to score the
+        batch in one pass (:class:`ThresholdMatcher` does).
+        """
+        out = []
+        match_prepared = self.match_prepared
+        for i, j in pairs.iter_pairs():
+            pair = match_prepared(prepared[i], prepared[j])
+            if pair is not None:
+                out.append(pair)
+        return out
 
 
 class _PreparedEntity(NamedTuple):
@@ -267,6 +289,51 @@ class ThresholdMatcher(Matcher):
                 q1, q2 = q2, q1
             return MatchPair(q1, q2, score)
         return None
+
+    def match_batch(self, prepared: list, pairs) -> list[MatchPair]:
+        """Score a whole reduce group's pairs through the batch kernel.
+
+        Active only on the prepared fast path (interned
+        ``_PreparedEntity`` inputs); any other input — a custom
+        similarity function, subclass overrides, ``prepared=False`` —
+        falls back to the base per-pair batching, preserving exact
+        semantics.  The kernel scores are byte-identical to
+        :meth:`match_prepared`'s (same short-circuits, same bounded
+        kernels), matches are emitted in spec pair order with the same
+        canonical id ordering, and ``comparisons``/``matches_found``
+        advance by the same totals.  ``cache_hits``/``cache_misses``
+        also advance by the scalar path's totals, with one caveat: the
+        batch consults the memo once per *distinct* value pair, so
+        under eviction pressure the LRU's insertion order — and hence
+        which entries survive into later groups — can differ from the
+        scalar path's.  Scores never depend on the cache, so results
+        are unaffected.
+        """
+        if pairs.count == 0:
+            return []
+        if not prepared or type(prepared[0]) is not _PreparedEntity:
+            return super().match_batch(prepared, pairs)
+        scores, hits, misses = score_pair_batch(
+            [p.text for p in prepared],
+            pairs,
+            self.threshold,
+            cache=self._cache,
+            memoize=self._memoize,
+        )
+        self.comparisons += pairs.count
+        self.cache_hits += hits
+        self.cache_misses += misses
+        out = []
+        pair_at = pairs.pair_at
+        for k in matching_positions(scores, self.threshold):
+            i, j = pair_at(k)
+            q1 = prepared[i].qid
+            q2 = prepared[j].qid
+            if q2 < q1:
+                q1, q2 = q2, q1
+            out.append(MatchPair(q1, q2, float(scores[k])))
+        self.matches_found += len(out)
+        return out
 
     def __getstate__(self) -> dict[str, Any]:
         # The memo cache is a pure accelerator: never ship it to worker

@@ -127,6 +127,78 @@ def _myers_distance(pattern: str, text: str, max_distance: int | None) -> int:
     return score
 
 
+MyersMasks = tuple[dict[str, int], int, int, int]
+
+
+def myers_masks(pattern: str) -> MyersMasks:
+    """Pre-packed bitmasks for running Myers' kernel against ``pattern``.
+
+    Returns ``(peq, mask, last, m)`` — the per-character equality masks,
+    the ``m``-bit column mask, the top-bit probe, and ``len(pattern)``.
+    Building these is O(|pattern|) dict work and dominates the kernel on
+    short strings, so batched scoring packs them once per *distinct*
+    string and reuses them across every pair sharing that pattern
+    (:mod:`repro.er.batch_kernel`).  ``pattern`` must be non-empty and
+    at most 64 characters, same as :func:`_myers_distance`.
+    """
+    m = len(pattern)
+    peq: dict[str, int] = {}
+    bit = 1
+    for ch in pattern:
+        peq[ch] = peq.get(ch, 0) | bit
+        bit <<= 1
+    return peq, (1 << m) - 1, 1 << (m - 1), m
+
+
+def myers_distance_masks(masks: MyersMasks, text: str, max_distance: int | None) -> int:
+    """:func:`_myers_distance` over masks prepacked by :func:`myers_masks`.
+
+    Identical loop, identical results — the only difference is that the
+    per-call ``peq`` construction has been hoisted out so a batch of
+    pairs sharing one pattern pays it once.
+    """
+    peq, mask, last, m = masks
+    vp = mask
+    vn = 0
+    score = m
+    get = peq.get
+    if max_distance is None:
+        for ch in text:
+            eq = get(ch, 0)
+            xv = eq | vn
+            xh = (((eq & vp) + vp) ^ vp) | eq
+            hp = vn | ~(xh | vp)
+            hn = vp & xh
+            if hp & last:
+                score += 1
+            elif hn & last:
+                score -= 1
+            hp = ((hp << 1) | 1) & mask
+            hn = (hn << 1) & mask
+            vp = (hn | ~(xv | hp)) & mask
+            vn = hp & xv
+        return score
+    remaining = len(text)
+    for ch in text:
+        eq = get(ch, 0)
+        xv = eq | vn
+        xh = (((eq & vp) + vp) ^ vp) | eq
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        if hp & last:
+            score += 1
+        elif hn & last:
+            score -= 1
+        remaining -= 1
+        if score - remaining > max_distance:
+            return max_distance + 1
+        hp = ((hp << 1) | 1) & mask
+        hn = (hn << 1) & mask
+        vp = (hn | ~(xv | hp)) & mask
+        vn = hp & xv
+    return score
+
+
 def _banded_distance(a: str, b: str, bound: int) -> int:
     """Edit distance restricted to a diagonal band of half-width ``bound``.
 

@@ -2,14 +2,16 @@
 
 This package decouples *input representation* from *execution backend*
 (see ``docs/architecture.md``): a :class:`RecordSource` presents any
-input — an in-memory list, CSV shards on disk, or arbitrary generators
-— as an ordered sequence of shards, and reports per-shard block counts
+input — an in-memory list, CSV shards on disk, memory-mapped columnar
+datasets (``repro-er pack``), or arbitrary generators —
+as an ordered sequence of shards, and reports per-shard block counts
 in one streaming pass.  ``ERPipeline.run()`` accepts a source wherever
 it accepts an entity list; executing backends materialize shards one at
 a time, while the planned backend consumes only the streamed statistics
 and never materializes records at all.
 """
 
+from .columnar import ColumnarShardSource, write_columnar
 from .sources import (
     CsvShardSource,
     GeneratorSource,
@@ -20,10 +22,12 @@ from .sources import (
 from .stats import ShardBlockStats
 
 __all__ = [
+    "ColumnarShardSource",
     "CsvShardSource",
     "GeneratorSource",
     "InMemorySource",
     "RecordSource",
     "ShardBlockStats",
     "shard_bounds",
+    "write_columnar",
 ]

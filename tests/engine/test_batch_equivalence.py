@@ -1,0 +1,223 @@
+"""Batched matching == scalar loops, proven over the whole matrix.
+
+The batch kernel (``PipelineRequest.batch_kernel``, default on) must be
+*unobservable*: for every strategy, executing backend, record-source
+type (including memory-mapped columnar shards), with and without a
+shuffle memory budget, for one-source, two-source and incremental
+(delta) runs, and on both the numpy and the pure-stdlib kernel path,
+the matches (ids *and* scores), all per-task outputs, and every counter
+must equal what the scalar per-pair reduce loops produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.er.batch_kernel as bk
+from repro.core.strategy import STRATEGIES
+from repro.datasets.generators import generate_products
+from repro.datasets.loaders import save_entities_csv
+from repro.engine import ERPipeline
+from repro.engine.incremental import CorpusState
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+from repro.io import (
+    ColumnarShardSource,
+    CsvShardSource,
+    GeneratorSource,
+    InMemorySource,
+    shard_bounds,
+    write_columnar,
+)
+from repro.mapreduce.types import make_partitions
+
+from ..test_hotpath_equivalence import _fingerprint
+
+ALL_STRATEGIES = sorted(STRATEGIES)
+DUAL_STRATEGIES = [
+    name for name in ALL_STRATEGIES if STRATEGIES[name]().requires_bdm
+]
+NUM_ENTITIES = 150
+NUM_SHARDS = 3
+NUM_REDUCE = 5
+THRESHOLD = 0.8
+BACKENDS = {
+    "serial": {},
+    "parallel": {"max_workers": 2, "executor": "thread"},
+    "distributed": {"num_workers": 2},
+}
+
+
+def _pipeline(strategy, *, batch, backend="serial", memory_budget=None):
+    options = BACKENDS.get(backend, {})
+    return ERPipeline(
+        strategy,
+        PrefixBlocking("title"),
+        ThresholdMatcher("title", THRESHOLD),
+        num_map_tasks=NUM_SHARDS,
+        num_reduce_tasks=NUM_REDUCE,
+        memory_budget=memory_budget,
+        batch_kernel=batch,
+    ).with_backend(backend, **options)
+
+
+def _run(strategy, *, batch, backend="serial", memory_budget=None,
+         source=None, entities=None, dual=False):
+    pipeline = _pipeline(
+        strategy, batch=batch, backend=backend, memory_budget=memory_budget
+    )
+    if dual:
+        half = len(entities) // 2
+        return pipeline.run(entities[:half], entities[half:])
+    return pipeline.run(source if source is not None else entities)
+
+
+@pytest.fixture(scope="module")
+def entities():
+    return generate_products(NUM_ENTITIES, seed=97)
+
+
+@pytest.fixture(scope="module")
+def csv_path(entities, tmp_path_factory):
+    path = tmp_path_factory.mktemp("batchmatrix") / "entities.csv"
+    save_entities_csv(entities, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def columnar_dir(entities, tmp_path_factory):
+    out = tmp_path_factory.mktemp("batchmatrix") / "cols"
+    return write_columnar(InMemorySource(entities, num_shards=NUM_SHARDS), out)
+
+
+class TestBackendBudgetMatrix:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("backend", ["serial", "parallel"])
+    @pytest.mark.parametrize("memory_budget", [None, 64])
+    def test_local_backends(self, entities, strategy, backend, memory_budget):
+        batched = _run(strategy, batch=True, backend=backend,
+                       memory_budget=memory_budget, entities=entities)
+        scalar = _run(strategy, batch=False, backend=backend,
+                      memory_budget=memory_budget, entities=entities)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+        assert batched.matches.pair_ids  # non-degenerate workload
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_distributed_backend(self, entities, strategy):
+        """The flag rides inside the pickled job to worker processes."""
+        batched = _run(strategy, batch=True, backend="distributed",
+                       entities=entities)
+        scalar = _run(strategy, batch=False, backend="distributed",
+                      entities=entities)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_planned_backend_ignores_flag(self, entities, strategy):
+        on = _run(strategy, batch=True, backend="planned", entities=entities)
+        off = _run(strategy, batch=False, backend="planned", entities=entities)
+        assert on.plan == off.plan
+        assert on.reduce_comparisons() == off.reduce_comparisons()
+
+
+class TestRecordSourceMatrix:
+    def _sources(self, entities, csv_path, columnar_dir):
+        bounds = shard_bounds(len(entities), NUM_SHARDS)
+        return {
+            "in-memory": lambda: InMemorySource(entities, num_shards=NUM_SHARDS),
+            "csv-shards": lambda: CsvShardSource(csv_path, num_shards=NUM_SHARDS),
+            "columnar": lambda: ColumnarShardSource(columnar_dir),
+            "generator": lambda: GeneratorSource(
+                [(lambda lo=lo, hi=hi: iter(entities[lo:hi])) for lo, hi in bounds]
+            ),
+        }
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize(
+        "source_kind", ["in-memory", "csv-shards", "columnar", "generator"]
+    )
+    def test_all_sources(self, entities, csv_path, columnar_dir, strategy,
+                         source_kind):
+        make = self._sources(entities, csv_path, columnar_dir)[source_kind]
+        batched = _run(strategy, batch=True, source=make(), entities=entities)
+        scalar = _run(strategy, batch=False, source=make(), entities=entities)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+    def test_columnar_equals_csv_run(self, entities, csv_path, columnar_dir):
+        """Same shard count ⇒ a columnar run is byte-identical to CSV."""
+        via_columnar = _run("blocksplit", batch=True,
+                            source=ColumnarShardSource(columnar_dir),
+                            entities=entities)
+        via_csv = _run("blocksplit", batch=True,
+                       source=CsvShardSource(csv_path, num_shards=NUM_SHARDS),
+                       entities=entities)
+        assert _fingerprint(via_columnar) == _fingerprint(via_csv)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_columnar_with_budget(self, entities, columnar_dir, strategy):
+        batched = _run(strategy, batch=True, memory_budget=48,
+                       source=ColumnarShardSource(columnar_dir),
+                       entities=entities)
+        scalar = _run(strategy, batch=False, memory_budget=48,
+                      source=ColumnarShardSource(columnar_dir),
+                      entities=entities)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+
+class TestTwoSourceAndDelta:
+    @pytest.mark.parametrize("strategy", DUAL_STRATEGIES)
+    @pytest.mark.parametrize("memory_budget", [None, 64])
+    def test_two_source(self, entities, strategy, memory_budget):
+        batched = _run(strategy, batch=True, memory_budget=memory_budget,
+                       entities=entities, dual=True)
+        scalar = _run(strategy, batch=False, memory_budget=memory_budget,
+                      entities=entities, dual=True)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+        assert batched.matches.pair_ids
+
+    def _delta_result(self, entities, strategy, *, batch, backend="serial"):
+        old, new = entities[:100], entities[100:]
+        pipeline = _pipeline(strategy, batch=batch, backend=backend)
+        old_partitions = make_partitions(old, NUM_SHARDS)
+        state = CorpusState.empty().advanced(
+            pipeline.run(old_partitions), old_partitions, pipeline.blocking
+        )
+        return pipeline.run_delta(make_partitions(new, NUM_SHARDS), state)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_delta(self, entities, strategy):
+        batched = self._delta_result(entities, strategy, batch=True)
+        scalar = self._delta_result(entities, strategy, batch=False)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+    def test_delta_distributed(self, entities):
+        batched = self._delta_result(
+            entities, "blocksplit", batch=True, backend="distributed"
+        )
+        scalar = self._delta_result(
+            entities, "blocksplit", batch=False, backend="distributed"
+        )
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+
+class TestStdlibFallback:
+    """The numpy-less kernel path (serial/parallel only: worker
+    processes re-import the module and would resolve numpy again)."""
+
+    @pytest.fixture(autouse=True)
+    def _force_stdlib(self, monkeypatch):
+        monkeypatch.setattr(bk, "_numpy", None)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("backend", ["serial", "parallel"])
+    def test_stdlib_matches_scalar(self, entities, strategy, backend):
+        batched = _run(strategy, batch=True, backend=backend,
+                       entities=entities)
+        scalar = _run(strategy, batch=False, backend=backend,
+                      entities=entities)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+    @pytest.mark.parametrize("strategy", DUAL_STRATEGIES)
+    def test_stdlib_two_source(self, entities, strategy):
+        batched = _run(strategy, batch=True, entities=entities, dual=True)
+        scalar = _run(strategy, batch=False, entities=entities, dual=True)
+        assert _fingerprint(batched) == _fingerprint(scalar)

@@ -249,3 +249,111 @@ class TestRecommend:
         main(["recommend", "--input", str(data), "--sorted-input"])
         out = capsys.readouterr().out
         assert "recommended strategy: pairrange" in out
+
+
+class TestPack:
+    def _dataset(self, tmp_path, num="300"):
+        data = tmp_path / "in.csv"
+        main(["generate", "--kind", "products", "--num", num,
+              "--seed", "7", "--output", str(data)])
+        return data
+
+    def test_pack_roundtrip(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        cols = tmp_path / "cols"
+        assert main(["pack", "--input", str(data), "--out", str(cols),
+                     "--shards", "3"]) == 0
+        assert "packed 300 entities into 3 columnar shard(s)" in (
+            capsys.readouterr().out
+        )
+        from repro.io import ColumnarShardSource, CsvShardSource
+
+        via_cols = list(ColumnarShardSource(cols).iter_records())
+        via_csv = list(CsvShardSource(data, num_shards=3).iter_records())
+        assert via_cols == via_csv
+
+    def test_pack_refuses_overwrite(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        cols = tmp_path / "cols"
+        assert main(["pack", "--input", str(data), "--out", str(cols)]) == 0
+        capsys.readouterr()
+        assert main(["pack", "--input", str(data), "--out", str(cols)]) == 2
+        assert "already holds a columnar dataset" in capsys.readouterr().err
+
+    def test_pack_missing_input(self, tmp_path, capsys):
+        code = main(["pack", "--input", str(tmp_path / "nope.csv"),
+                     "--out", str(tmp_path / "cols")])
+        assert code == 2
+        assert "repro-er pack: error:" in capsys.readouterr().err
+
+    def test_pack_rejects_nonpositive_shards(self, tmp_path):
+        data = self._dataset(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["pack", "--input", str(data), "--out",
+                  str(tmp_path / "cols"), "--shards", "0"])
+
+
+class TestColumnarInput:
+    def _packed(self, tmp_path, num="400"):
+        data = tmp_path / "in.csv"
+        main(["generate", "--kind", "products", "--num", num,
+              "--seed", "9", "--output", str(data)])
+        cols = tmp_path / "cols"
+        main(["pack", "--input", str(data), "--out", str(cols),
+              "--shards", "3"])
+        return data, cols
+
+    def test_dedup_columnar_identical_to_csv_shards(self, tmp_path, capsys):
+        """Same shard count ⇒ byte-identical match files."""
+        data, cols = self._packed(tmp_path)
+        out_cols = tmp_path / "m-cols.csv"
+        out_csv = tmp_path / "m-csv.csv"
+        assert main(["dedup", "--input", str(cols), "--input-format",
+                     "columnar", "--output", str(out_cols)]) == 0
+        assert main(["dedup", "--input", str(data), "--input-format",
+                     "csv-shards", "--shards", "3",
+                     "--output", str(out_csv)]) == 0
+        captured = capsys.readouterr()
+        assert "columnar shards" in captured.out
+        assert out_cols.read_text() == out_csv.read_text()
+
+    def test_dedup_columnar_rejects_shards_flag(self, tmp_path, capsys):
+        _, cols = self._packed(tmp_path)
+        with pytest.raises(SystemExit, match="--shards requires"):
+            main(["dedup", "--input", str(cols), "--input-format",
+                  "columnar", "--shards", "4",
+                  "--output", str(tmp_path / "m.csv")])
+
+    def test_dedup_columnar_rejects_non_dataset(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a columnar dataset"):
+            main(["dedup", "--input", str(tmp_path), "--input-format",
+                  "columnar", "--output", str(tmp_path / "m.csv")])
+
+    def test_link_columnar(self, tmp_path, capsys):
+        data, cols = self._packed(tmp_path, num="200")
+        out_cols = tmp_path / "l-cols.csv"
+        out_csv = tmp_path / "l-csv.csv"
+        assert main(["link", "--input-r", str(cols), "--input-s", str(cols),
+                     "--input-format", "columnar",
+                     "--output", str(out_cols)]) == 0
+        assert main(["link", "--input-r", str(data), "--input-s", str(data),
+                     "--output", str(out_csv)]) == 0
+        capsys.readouterr()
+        assert out_cols.read_text() == out_csv.read_text()
+
+
+class TestBatchKernelFlag:
+    def test_no_batch_kernel_identical_output(self, tmp_path, capsys):
+        data = tmp_path / "in.csv"
+        main(["generate", "--kind", "products", "--num", "400",
+              "--seed", "11", "--output", str(data)])
+        batched = tmp_path / "m-batched.csv"
+        scalar = tmp_path / "m-scalar.csv"
+        for strategy in ("basic", "blocksplit", "pairrange"):
+            assert main(["dedup", "--input", str(data), "--strategy",
+                         strategy, "--output", str(batched)]) == 0
+            assert main(["dedup", "--input", str(data), "--strategy",
+                         strategy, "--output", str(scalar),
+                         "--no-batch-kernel"]) == 0
+            assert batched.read_text() == scalar.read_text()
+        capsys.readouterr()
