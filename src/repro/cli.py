@@ -336,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--shards", type=_positive_int, default=None,
                            help="shard count for --input-format csv-shards "
                                 "(default: --map-tasks)")
+
+    # Listed here for --help; parsing is delegated wholesale to
+    # repro.devtools.lint (see main()), which owns its own flags.
+    subparsers.add_parser(
+        "lint",
+        help="run the invariant lint suite (see docs/lint.md)",
+        add_help=False,
+    )
     return parser
 
 
@@ -617,7 +625,11 @@ def cmd_dedup(args: argparse.Namespace) -> int:
             from .engine.incremental import CorpusState
             from .engine.persistence import save_state
 
-            assert partitions is not None
+            if partitions is None:
+                raise RuntimeError(
+                    "--save-state needs materialized partitions; "
+                    "streamed sources cannot seed a corpus state here"
+                )
             state = CorpusState.empty().advanced(result, partitions, blocking)
             save_state(state, args.save_state)
             print(
@@ -911,6 +923,13 @@ COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # The lint CLI owns its full flag surface (--json, --baseline,
+        # --select, ...); hand everything after "lint" straight to it.
+        from .devtools.lint import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return COMMANDS[args.command](args)
 

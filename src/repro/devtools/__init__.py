@@ -1,0 +1,65 @@
+"""Project-specific static analysis (``repro-er lint``).
+
+The repo's core guarantee — every backend and the delta path produce
+byte-identical results — is enforced dynamically by the equivalence
+suites.  :mod:`repro.devtools` turns the *invariants behind* that
+guarantee into machine-checked rules that run in milliseconds, on every
+commit, before a single test starts:
+
+* **determinism** — no unordered-set iteration, unsorted directory
+  walks, clock/RNG-derived values or ``id()``-keyed containers inside
+  result-affecting modules;
+* **pickle-safety** — nothing reachable from the worker task whitelist
+  or the serve protocol carries locks, sockets, lambdas or closures
+  across the wire without declaring ``__getstate__``/``__reduce__``;
+* **lock discipline** — attributes annotated ``# guarded-by: <lock>``
+  are only touched under ``with <lock>``, and no blocking call happens
+  while a lock is held;
+* **wire-protocol safety** — no unpickling before the token-auth
+  preamble, and the worker task map stays a closed whitelist;
+* **resource hygiene** — files, sockets and memory maps are closed on
+  every path;
+* **style invariants** — no runtime ``assert`` on control-flow paths
+  (they vanish under ``python -O``), no silent ``except Exception``.
+
+Everything is pure standard library (``ast`` + ``symtable`` +
+``tokenize``).  Run ``python -m repro.devtools.lint`` or
+``repro-er lint``; see ``docs/lint.md`` for the rule catalog, the
+``# repro-lint: disable=RULE`` pragma syntax and the baseline workflow.
+"""
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .context import ModuleContext, ProjectContext
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register_rule
+
+#: Lazily re-exported from :mod:`repro.devtools.lint` — importing the
+#: runner eagerly here would pre-register ``repro.devtools.lint`` in
+#: ``sys.modules`` and trip runpy's double-import warning under
+#: ``python -m repro.devtools.lint``.
+_LINT_EXPORTS = ("LintReport", "lint_paths", "lint_source", "main")
+
+
+def __getattr__(name: str):
+    if name in _LINT_EXPORTS:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "register_rule",
+    "write_baseline",
+]

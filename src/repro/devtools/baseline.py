@@ -1,0 +1,91 @@
+"""Grandfathered findings: the checked-in lint baseline.
+
+A baseline entry pins one *accepted* finding so the linter gates only
+on **new** findings.  Entries are keyed by ``(rule, path, stripped
+source line text)`` rather than line numbers, so unrelated edits above
+a grandfathered site do not invalidate the baseline; identical lines in
+one file are matched multiset-style (two identical grandfathered lines
+absorb two findings, not an unlimited number).
+
+File format — one tab-separated entry per line, ``#`` comments and
+blank lines ignored::
+
+    rule-name<TAB>path/to/file.py<TAB>the offending source line, stripped
+
+Regenerate with ``repro-er lint --write-baseline`` after a deliberate
+decision to grandfather the current findings (code review applies: the
+diff of the baseline file *is* the list of newly accepted violations).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+
+class Baseline:
+    """The accepted-findings multiset."""
+
+    def __init__(self, entries: "Iterable[tuple[str, str, str]]" = ()):
+        self._entries: Counter = Counter(entries)
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+    @staticmethod
+    def _key(finding: Finding, line_text: str) -> tuple[str, str, str]:
+        return (finding.rule, finding.path, line_text.strip())
+
+    def match(self, finding: Finding, line_text: str) -> bool:
+        """Consume one baseline entry for ``finding`` if present."""
+        key = self._key(finding, line_text)
+        if self._entries.get(key, 0) > 0:
+            self._entries[key] -= 1
+            return True
+        return False
+
+
+def load_baseline(path: "Path | str") -> Baseline:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    entries: list[tuple[str, str, str]] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(
+                f"{path}: malformed baseline entry {raw!r} "
+                "(expected rule<TAB>path<TAB>source line)"
+            )
+        entries.append((parts[0], parts[1], parts[2].strip()))
+    return Baseline(entries)
+
+
+def write_baseline(
+    path: "Path | str", findings: "Iterable[tuple[Finding, str]]"
+) -> int:
+    """Write ``(finding, source line)`` pairs as the new baseline.
+
+    Returns the number of entries written.  Entries are sorted so the
+    file diffs cleanly.
+    """
+    entries = sorted(
+        (finding.rule, finding.path, line_text.strip())
+        for finding, line_text in findings
+    )
+    lines = [
+        "# repro-er lint baseline — grandfathered findings.",
+        "# One entry per accepted finding: rule<TAB>path<TAB>source line.",
+        "# Regenerate with: repro-er lint --write-baseline",
+        "",
+        *("\t".join(entry) for entry in entries),
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,37 @@
+"""The unit of lint output: one finding, at one line of one file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is stored as given by the runner (repo-relative when the
+    lint target is inside the working tree, so baselines and ``--json``
+    output are machine-independent).  ``line`` is 1-based, ``col``
+    0-based, both pointing at the offending AST node.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        """The stable ``--json`` schema of one finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,286 @@
+"""The lint runner and CLI (``python -m repro.devtools.lint``).
+
+Collects ``.py`` files, parses each once into a
+:class:`~repro.devtools.context.ModuleContext`, runs every registered
+rule (module rules per file, project rules once over the whole set),
+then applies ``# repro-lint:`` pragmas and the checked-in baseline.
+Exit status is the contract CI gates on: ``0`` when every finding is
+suppressed or baselined, ``1`` when new findings exist, ``2`` for
+usage errors (unreadable paths, unknown rules, syntax errors).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .context import ModuleContext, ProjectContext
+from .findings import Finding
+from .registry import PROJECT, Rule, all_rules, get_rule
+
+#: The default baseline filename, looked up in the current directory.
+BASELINE_NAME = "lint-baseline.txt"
+#: The stable ``--json`` schema version (bump on breaking change).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    #: Findings neither suppressed by pragma nor matched by baseline.
+    new: list[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# repro-lint: disable`` pragmas.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Files that were scanned.
+    files: list[str] = field(default_factory=list)
+    #: ``(path, message)`` for files that failed to parse.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.errors
+
+    def to_json(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "ok": self.ok,
+            "files": len(self.files),
+            "counts": {
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [finding.to_json() for finding in self.new],
+            "baselined": [finding.to_json() for finding in self.baselined],
+            "errors": [
+                {"path": path, "message": message}
+                for path, message in self.errors
+            ],
+        }
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    # De-duplicate while keeping the sorted-per-argument order.
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _line_text(module: ModuleContext, line: int) -> str:
+    if 1 <= line <= len(module.lines):
+        return module.lines[line - 1]
+    return ""
+
+
+def lint_paths(
+    paths: "Sequence[Path | str]",
+    *,
+    rules: "Sequence[Rule] | None" = None,
+    baseline: "Baseline | None" = None,
+    root: "Path | None" = None,
+) -> LintReport:
+    """Run the lint over files/directories and return the report.
+
+    ``root`` makes finding paths relative (defaults to the current
+    directory when every target lives under it).
+    """
+    targets = [Path(path) for path in paths]
+    if root is None:
+        cwd = Path.cwd()
+        if all(path.resolve().is_relative_to(cwd) for path in targets):
+            root = cwd
+    files = _collect_files(targets)
+    report = LintReport()
+    modules: list[ModuleContext] = []
+    by_path: dict[str, ModuleContext] = {}
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = ModuleContext(path, source, root=root)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append((str(path), str(exc)))
+            continue
+        modules.append(module)
+        by_path[module.display_path] = module
+        report.files.append(module.display_path)
+
+    active = list(rules) if rules is not None else list(all_rules())
+    project = ProjectContext(modules)
+    raw: list[Finding] = []
+    for rule in active:
+        if rule.scope == PROJECT:
+            raw.extend(rule.run(project))
+        else:
+            for module in modules:
+                raw.extend(rule.run(module))
+
+    baseline = baseline if baseline is not None else Baseline()
+    for finding in sorted(raw):
+        module = by_path.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            report.suppressed.append(finding)
+        elif module is not None and baseline.match(
+            finding, _line_text(module, finding.line)
+        ):
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    return report
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "example.py",
+    rules: "Sequence[str] | None" = None,
+) -> list[Finding]:
+    """Lint one in-memory source string (docs and tests use this).
+
+    ``rules`` selects rule names; default is every registered rule.
+    Module- and project-scoped rules both run (the project is just this
+    one module).  Pragmas apply; there is no baseline.
+    """
+    module = ModuleContext(Path(filename), source)
+    selected = (
+        [get_rule(name) for name in rules] if rules is not None else all_rules()
+    )
+    project = ProjectContext([module])
+    raw: list[Finding] = []
+    for rule in selected:
+        raw.extend(rule.run(project if rule.scope == PROJECT else module))
+    return sorted(
+        finding
+        for finding in raw
+        if not module.is_suppressed(finding.rule, finding.line)
+    )
+
+
+def _default_target() -> Path:
+    """``src/repro`` when run from a checkout, else the installed package."""
+    checkout = Path("src/repro")
+    if checkout.is_dir():
+        return checkout
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-er lint",
+        description="Project-specific static analysis: determinism, "
+        "pickle-safety, lock-discipline, wire-protocol and resource "
+        "invariants (see docs/lint.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report on stdout",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help=f"baseline file (default: ./{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings: write them to the baseline "
+        "file and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:24s} [{rule.family}] {rule.description}")
+        return 0
+    paths = args.paths or [_default_target()]
+    baseline_path = args.baseline
+    if baseline_path is None and Path(BASELINE_NAME).exists():
+        baseline_path = Path(BASELINE_NAME)
+    try:
+        rules = (
+            [get_rule(name.strip()) for name in args.select.split(",")]
+            if args.select
+            else None
+        )
+        baseline = (
+            load_baseline(baseline_path)
+            if baseline_path is not None and not args.write_baseline
+            else None
+        )
+        report = lint_paths(paths, rules=rules, baseline=baseline)
+    except (FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline_path or Path(BASELINE_NAME)
+        pairs = []
+        # Re-read the flagged lines for the baseline keys (finding
+        # paths are relative to the working directory, see lint_paths).
+        for finding in report.new + report.baselined:
+            source_path = Path(finding.path)
+            try:
+                line = source_path.read_text(encoding="utf-8").splitlines()[
+                    finding.line - 1
+                ]
+            except (OSError, IndexError):
+                line = ""
+            pairs.append((finding, line))
+        count = write_baseline(target, pairs)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {target}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.new:
+            print(finding.render())
+        for path, message in report.errors:
+            print(f"{path}: parse error: {message}", file=sys.stderr)
+        summary = (
+            f"{len(report.files)} file(s): {len(report.new)} new finding(s), "
+            f"{len(report.baselined)} baselined, "
+            f"{len(report.suppressed)} suppressed"
+        )
+        print(summary, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""The rule registry: every check is a named, documented, replaceable unit.
+
+A rule is a function decorated with :func:`register_rule`.  Module
+rules receive one :class:`~repro.devtools.context.ModuleContext` and
+yield raw findings; project rules receive the whole
+:class:`~repro.devtools.context.ProjectContext` (cross-file analyses
+like pickle-safety reachability).  The runner owns pragma suppression
+and baselines — rules just report what they see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .findings import Finding
+
+#: Scope markers for :class:`Rule.scope`.
+MODULE = "module"
+PROJECT = "project"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check."""
+
+    name: str
+    family: str
+    scope: str
+    description: str
+    check: Callable[..., "Iterator[Finding] | Iterable[Finding]"]
+
+    def run(self, target) -> list[Finding]:
+        return list(self.check(target))
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(
+    name: str, *, family: str, scope: str = MODULE, description: str
+) -> Callable[[Callable], Callable]:
+    """Class decorator-style registration for rule functions.
+
+    ``name`` is what pragmas and baselines refer to; keep it stable.
+    """
+    if scope not in (MODULE, PROJECT):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def decorate(check: Callable) -> Callable:
+        if name in _RULES:
+            raise ValueError(f"duplicate lint rule name {name!r}")
+        _RULES[name] = Rule(
+            name=name,
+            family=family,
+            scope=scope,
+            description=description,
+            check=check,
+        )
+        return check
+
+    return decorate
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by (family, name) for stable output."""
+    _load_builtin_rules()
+    return tuple(
+        sorted(_RULES.values(), key=lambda rule: (rule.family, rule.name))
+    )
+
+
+def get_rule(name: str) -> Rule:
+    _load_builtin_rules()
+    try:
+        return _RULES[name]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown lint rule {name!r} (known: {known})") from None
+
+
+_loaded = False
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules exactly once (registration is a
+    side effect of import)."""
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from . import (  # noqa: F401  (imported for registration side effect)
+        rules_determinism,
+        rules_locks,
+        rules_pickle,
+        rules_resources,
+        rules_style,
+        rules_wire,
+    )

@@ -1,0 +1,242 @@
+"""Determinism rules: nothing order- or clock-dependent may influence results.
+
+Every backend must produce byte-identical matches, counters and event
+streams.  The classic ways to break that silently are iterating an
+unordered set into an output, walking a directory in file-system order,
+mixing wall-clock or RNG values into result records, and keying
+containers by ``id()`` (a memory address — different every run).  These
+rules guard the *result-affecting* packages: ``core``, ``er``,
+``mapreduce``, ``engine`` and ``io``.  Scheduling-only code (``serve``,
+``worker``, ``cli``, ``analysis``) may use clocks freely and is out of
+scope; ``time.monotonic`` is always allowed (timeouts do not shape
+results — results merged in task-index order are timing-independent).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import register_rule
+
+#: Package-relative path prefixes whose modules shape results.
+RESULT_AFFECTING = ("core/", "er/", "mapreduce/", "engine/", "io/")
+
+#: Dotted call targets whose values differ from run to run.
+NONDETERMINISTIC_CALLS = {
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.shuffle", "random.sample", "random.uniform",
+    "random.getrandbits",
+    "uuid.uuid1", "uuid.uuid4",
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.date.today",
+    "os.urandom", "os.getpid",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow",
+}
+
+#: Directory-walk calls whose order is file-system dependent.
+UNSORTED_WALKS = {"os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob"}
+#: Method names with the same hazard on Path objects.
+UNSORTED_WALK_METHODS = {"iterdir", "glob", "rglob"}
+
+
+def _in_scope(module: ModuleContext) -> bool:
+    relpath = module.package_relpath()
+    if relpath is None:
+        return True  # loose files (fixtures) are always checked
+    return relpath.startswith(RESULT_AFFECTING)
+
+
+def _inside_sorted(module: ModuleContext, node: ast.AST) -> bool:
+    """Whether ``node`` is an immediate argument of ``sorted(...)`` (or
+    feeds an explicitly ordering consumer: ``min``/``max``/``sum``/
+    ``len``/``set``/``frozenset``/membership tests)."""
+    parent = module.parent(node)
+    if isinstance(parent, ast.Starred):
+        parent = module.parent(parent)
+    if isinstance(parent, ast.Call):
+        callee = parent.func
+        if isinstance(callee, ast.Name) and callee.id in (
+            "sorted", "min", "max", "sum", "len", "set", "frozenset", "any",
+            "all",
+        ):
+            return True
+    if isinstance(parent, ast.Compare):
+        # Membership tests (``x in names``) do not observe order.
+        return any(isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops)
+    return False
+
+
+def _is_set_expression(node: ast.AST, set_names: set[str]) -> bool:
+    """Whether ``node`` evaluates to a set, as far as local syntax shows."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # ``a & b`` etc. is a set when either side is known to be one.
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    return False
+
+
+def _local_set_names(function: ast.AST) -> set[str]:
+    """Names bound to set-valued expressions inside one function body."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign) and _is_set_expression(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            annotation = ast.unparse(node.annotation)
+            if annotation.startswith(("set", "frozenset", "Set", "FrozenSet")):
+                names.add(node.target.id)
+    return names
+
+
+def _iteration_sites(function: ast.AST) -> "Iterator[ast.AST]":
+    """Every expression iterated by a for/comprehension in ``function``,
+    excluding nested function bodies (they get their own visit)."""
+    stack = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # A *set* comprehension's own iteration lands in a set
+            # anyway; list/dict/generator outputs preserve order.
+            for generator in node.generators:
+                yield generator.iter
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule(
+    "set-iteration",
+    family="determinism",
+    description="iterating a set into an ordered result (wrap in sorted())",
+)
+def check_set_iteration(module: ModuleContext) -> "Iterator[Finding]":
+    if not _in_scope(module):
+        return
+    functions = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    functions.append(module.tree)  # module-level loops count too
+    for function in functions:
+        set_names = _local_set_names(function)
+        for iterated in _iteration_sites(function):
+            if not _is_set_expression(iterated, set_names):
+                continue
+            if _inside_sorted(module, iterated):
+                continue
+            yield Finding(
+                path=module.display_path,
+                line=iterated.lineno,
+                col=iterated.col_offset,
+                rule="set-iteration",
+                message=(
+                    f"iteration over the set {ast.unparse(iterated)!r} has "
+                    "no deterministic order; wrap it in sorted(...)"
+                ),
+            )
+
+
+@register_rule(
+    "unsorted-dir-walk",
+    family="determinism",
+    description="directory listing order is file-system dependent "
+    "(wrap in sorted())",
+)
+def check_unsorted_walk(module: ModuleContext) -> "Iterator[Finding]":
+    if not _in_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = module.qualified_name(node.func)
+        method = (
+            node.func.attr if isinstance(node.func, ast.Attribute) else None
+        )
+        if qualified in UNSORTED_WALKS or method in UNSORTED_WALK_METHODS:
+            if _inside_sorted(module, node):
+                continue
+            name = qualified or f"<obj>.{method}"
+            yield Finding(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="unsorted-dir-walk",
+                message=(
+                    f"{name}() yields entries in file-system order; wrap "
+                    "the call in sorted(...) before results depend on it"
+                ),
+            )
+
+
+@register_rule(
+    "nondeterministic-call",
+    family="determinism",
+    description="clock/RNG-derived value inside a result-affecting module",
+)
+def check_nondeterministic_call(module: ModuleContext) -> "Iterator[Finding]":
+    if not _in_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = module.qualified_name(node.func)
+        if qualified in NONDETERMINISTIC_CALLS:
+            yield Finding(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="nondeterministic-call",
+                message=(
+                    f"{qualified}() differs between runs; result-affecting "
+                    "modules must derive values only from their inputs "
+                    "(use a seeded random.Random or pass the value in)"
+                ),
+            )
+
+
+@register_rule(
+    "id-keyed-container",
+    family="determinism",
+    description="id()-keyed containers vary with memory layout",
+)
+def check_id_keyed(module: ModuleContext) -> "Iterator[Finding]":
+    if not _in_scope(module):
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            yield Finding(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="id-keyed-container",
+                message=(
+                    "id() is a memory address — different every run; key "
+                    "containers by a stable identifier instead"
+                ),
+            )

@@ -1,0 +1,136 @@
+"""Resource-hygiene rule: files, sockets and memory maps get closed.
+
+``unclosed-resource`` flags a call that acquires an OS resource —
+``open``/``io.open``/``gzip.open``/``socket.socket``/
+``socket.create_connection``/``mmap.mmap``/``tempfile.*`` — unless the
+code visibly hands ownership somewhere:
+
+* the call is a ``with`` context expression (directly or wrapped, e.g.
+  ``with closing(socket.socket()) as s:``);
+* the result is returned (the caller owns it);
+* the result is stored on ``self`` (the object's ``close`` owns it);
+* the result is bound to a local name that is ``.close()``d somewhere
+  in the same function (a ``try``/``finally`` close counts — the rule
+  does not prove the ``finally``, it checks the close exists).
+
+``json.load(open(path))`` — the classic leak-on-CPython-only idiom —
+is flagged: the call result goes into another call and nobody closes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import register_rule
+
+#: Qualified call targets that acquire an OS resource.
+RESOURCE_CTORS = {
+    "open", "io.open", "gzip.open", "bz2.open", "lzma.open",
+    "socket.socket", "socket.create_connection",
+    "mmap.mmap",
+    "tempfile.TemporaryFile", "tempfile.NamedTemporaryFile",
+}
+
+
+def _enclosing_function(module: ModuleContext, node: ast.AST) -> ast.AST:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return module.tree
+
+
+def _name_is_owned(scope: ast.AST, name: str) -> bool:
+    """Whether ``name`` is visibly owned somewhere in ``scope``: it is
+    ``.close()``d, used as a ``with`` context, wrapped by a ``with``
+    helper (``closing(f)``), returned, or stored on an object."""
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "close"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+        if (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == name
+        ):
+            return True
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+            if node.value.id == name and any(
+                isinstance(target, ast.Attribute) for target in node.targets
+            ):
+                return True  # ``self.sock = sock``
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and expr.id == name:
+                    return True
+                if (
+                    isinstance(expr, ast.Call)
+                    and any(
+                        isinstance(arg, ast.Name) and arg.id == name
+                        for arg in expr.args
+                    )
+                ):
+                    return True  # ``with closing(f):``
+    return False
+
+
+def _is_owned(module: ModuleContext, call: ast.Call) -> bool:
+    """Whether the resource produced by ``call`` has a visible owner."""
+    for ancestor in module.ancestors(call):
+        if isinstance(ancestor, ast.withitem):
+            return True
+        if isinstance(ancestor, ast.Return):
+            # Only a *direct* return hands the caller the resource;
+            # ``return json.load(open(p))`` returns the parse, leaks
+            # the file.
+            return ancestor.value is call
+        if isinstance(ancestor, ast.Assign):
+            scope = _enclosing_function(module, ancestor)
+            for target in ancestor.targets:
+                if isinstance(target, ast.Attribute):
+                    return True  # stored on an object; its close owns it
+                if isinstance(target, ast.Name) and _name_is_owned(
+                    scope, target.id
+                ):
+                    return True
+            return False
+        if isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return False
+    return False
+
+
+@register_rule(
+    "unclosed-resource",
+    family="resource-hygiene",
+    description="open()/socket/mmap without 'with', close() or owner",
+)
+def check_unclosed_resource(module: ModuleContext) -> "Iterator[Finding]":
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qualified = module.qualified_name(node.func)
+        if qualified not in RESOURCE_CTORS:
+            continue
+        if _is_owned(module, node):
+            continue
+        yield Finding(
+            path=module.display_path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="unclosed-resource",
+            message=(
+                f"{qualified}() acquires an OS resource with no visible "
+                "owner: use 'with', close() it in a finally, store it on "
+                "an object that closes it, or return it"
+            ),
+        )

@@ -1,0 +1,96 @@
+"""Style-invariant rules: no runtime asserts, no silent exception swallows.
+
+``no-runtime-assert`` — ``assert`` vanishes under ``python -O``, so an
+assert guarding a runtime invariant is a check that production can
+silently skip.  Library code raises ``RuntimeError``/``ValueError``
+with a message instead; ``assert`` belongs in tests (which this linter
+does not target by default).
+
+``silent-except`` — ``except Exception:`` (or a bare ``except:``)
+whose handler never re-raises hides real faults: a typo in the handler
+path, a ``KeyboardInterrupt`` subclass leak, an auth failure read as a
+clean disconnect.  Narrow the exception type, re-raise, or — when the
+broad catch is deliberate (a reaper loop that must survive anything) —
+suppress with ``# repro-lint: disable=silent-except`` *and a comment
+saying why*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import register_rule
+
+#: Exception names considered "catches everything".
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+@register_rule(
+    "no-runtime-assert",
+    family="style",
+    description="assert statements vanish under python -O; raise instead",
+)
+def check_no_runtime_assert(module: ModuleContext) -> "Iterator[Finding]":
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assert):
+            yield Finding(
+                path=module.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="no-runtime-assert",
+                message=(
+                    "assert is compiled out under python -O; raise "
+                    "RuntimeError/ValueError with a message instead"
+                ),
+            )
+
+
+def _broad_exception_names(handler: ast.ExceptHandler) -> list[str]:
+    """The broad names this handler catches ([] when it is narrow)."""
+    if handler.type is None:
+        return ["<bare except>"]
+    exceptions = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    broad = []
+    for exception in exceptions:
+        if isinstance(exception, ast.Name) and exception.id in BROAD_EXCEPTIONS:
+            broad.append(exception.id)
+    return broad
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body can complete without re-raising."""
+    return not any(
+        isinstance(node, ast.Raise) for node in ast.walk(handler)
+    )
+
+
+@register_rule(
+    "silent-except",
+    family="style",
+    description="'except Exception:' that never re-raises hides faults",
+)
+def check_silent_except(module: ModuleContext) -> "Iterator[Finding]":
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_exception_names(node)
+        if not broad or not _swallows(node):
+            continue
+        yield Finding(
+            path=module.display_path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule="silent-except",
+            message=(
+                f"{'/'.join(broad)} is caught and never re-raised; "
+                "narrow the exception type, or justify the broad catch "
+                "with a comment and a disable pragma"
+            ),
+        )

@@ -141,7 +141,8 @@ class PipelineRequest:
         """Record count per input split (streamed when only a source is set)."""
         if self.partitions:
             return tuple(len(p) for p in self.partitions)
-        assert self.source is not None  # guaranteed by __post_init__
+        if self.source is None:  # unreachable: __post_init__ requires one
+            raise RuntimeError("request has neither partitions nor a source")
         return self.source.shard_sizes()
 
 

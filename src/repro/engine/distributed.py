@@ -111,6 +111,7 @@ class WorkerLauncher:
         self.heartbeat_interval = heartbeat_interval
         #: Random per-pool token; workers echo it back as a raw byte
         #: preamble before anything is unpickled from their connection.
+        # repro-lint: disable=nondeterministic-call -- auth secret; never in results
         self.token: bytes = secrets.token_hex(16).encode("ascii")
         self._env: dict[str, str] | None = None
 
@@ -419,7 +420,9 @@ class DistributedRuntime(LocalRuntime):
                 timeout=self.startup_timeout
             )
             return self._register_worker(accepted_index, process, conn)
-        except Exception:
+        except (OSError, TransportError, DistributedExecutionError):
+            # Failed respawn: reap the half-started process and run on
+            # with one fewer worker.
             if process is not None and process.poll() is None:
                 process.kill()
             return None
@@ -430,7 +433,10 @@ class DistributedRuntime(LocalRuntime):
         while True:
             try:
                 message = worker.conn.recv()
-            except Exception:
+            # Deliberately broad: *any* receive failure — transport,
+            # truncated pickle, decode — means this worker is dead to
+            # the scheduler, which owns retry/respawn policy.
+            except Exception:  # repro-lint: disable=silent-except -- becomes a 'died' message
                 self._completions.put((worker.index, ("died",)))
                 return
             self._completions.put((worker.index, message))

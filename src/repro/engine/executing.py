@@ -207,7 +207,8 @@ class ExecutingBackendBase(ExecutionBackend):
         uniform counters keep incremental results plannable.
         """
         spec = request.delta
-        assert spec is not None
+        if spec is None:
+            raise RuntimeError("_execute_delta called without request.delta")
         strategy = request.strategy
         r = request.num_reduce_tasks
         budget = request.memory_budget

@@ -253,11 +253,11 @@ class PipelineExecution:
         self._request = request
         self._matcher = matcher
         self._cond = threading.Condition()
-        self._streamed: list["MatchPair"] = []
-        self._mirror = ExecutionStateMirror()
-        self._state = RUNNING
-        self._result: "PipelineResult | None" = None
-        self._error: BaseException | None = None
+        self._streamed: list["MatchPair"] = []  # guarded-by: _cond
+        self._mirror = ExecutionStateMirror()  # guarded-by: _cond
+        self._state = RUNNING  # guarded-by: _cond
+        self._result: "PipelineResult | None" = None  # guarded-by: _cond
+        self._error: BaseException | None = None  # guarded-by: _cond
         # Snapshot the (cumulative, shared) matcher counters at submit,
         # so matcher_stats() is per-run without resetting the matcher.
         self._matcher_before = self._matcher_counters()
@@ -284,7 +284,9 @@ class PipelineExecution:
             result = self._backend.execute(self._request, self.events)
         except PipelineCancelled as exc:
             error, state = exc, CANCELLED
-        except BaseException as exc:  # reported via result(), not lost
+        # Not swallowed: stored and re-raised from result() on the
+        # caller's thread (a driver thread has nowhere else to report).
+        except BaseException as exc:  # repro-lint: disable=silent-except -- re-raised by result()
             error, state = exc, FAILED
         after = self._matcher_counters()
         with self._cond:
@@ -375,7 +377,10 @@ class PipelineExecution:
         with self._cond:
             if self._error is not None:
                 raise self._error
-            assert self._result is not None
+            if self._result is None:
+                raise RuntimeError(
+                    "execution finished with neither result nor error"
+                )
             return self._result
 
     def iter_matches(self) -> Iterator["MatchPair"]:

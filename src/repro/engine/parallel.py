@@ -178,7 +178,9 @@ class ParallelRuntime(LocalRuntime):
 def _picklable(job: MapReduceJob) -> bool:
     try:
         pickle.dumps(job)
-    except Exception:
+    # A probe: user matchers/blocking functions can raise anything from
+    # __reduce__, and every failure means the same thing — use threads.
+    except Exception:  # repro-lint: disable=silent-except -- probe by design
         return False
     return True
 

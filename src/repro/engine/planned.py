@@ -110,7 +110,8 @@ class PlannedBackend(ExecutionBackend):
         analytic BDM merged with the persisted one, the strategy's
         delta plan, and the simulated timeline of the remaining work."""
         spec = request.delta
-        assert spec is not None
+        if spec is None:
+            raise RuntimeError("_plan_delta called without request.delta")
         r = request.num_reduce_tasks
         delta_plain = analytic_bdm(request.partitions, request.blocking)
         merged = merge_delta_bdm(spec.old_bdm, delta_plain, len(request.partitions))

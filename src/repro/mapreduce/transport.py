@@ -228,8 +228,12 @@ def connect(host: str, port: int, timeout: float = 30.0) -> Connection:
         sock = socket.create_connection((host, port), timeout=timeout)
     except OSError as exc:
         raise TransportError(f"cannot reach driver at {host}:{port}: {exc}") from exc
-    sock.settimeout(None)
-    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        sock.close()
+        raise
     return Connection(sock)
 
 
@@ -246,7 +250,9 @@ def shippable_exception(exc: BaseException) -> BaseException:
 
     try:
         candidate = pickle.loads(pickle.dumps(exc))
-    except Exception:
+    # A round-trip probe: user __reduce__/__setstate__ hooks can raise
+    # anything, and every failure means the same thing — not shippable.
+    except Exception:  # repro-lint: disable=silent-except -- probe by design
         candidate = None
     if type(candidate) is type(exc):
         return exc

@@ -73,11 +73,11 @@ class RemoteExecution:
         self._client = client
         self.job_id = job_id
         self._cond = threading.Condition()
-        self._mirror = ExecutionStateMirror()
-        self._streamed: list["MatchPair"] = []
-        self._state = RUNNING
-        self._result: "PipelineResult | None" = None
-        self._error: BaseException | None = None
+        self._mirror = ExecutionStateMirror()  # guarded-by: _cond
+        self._streamed: list["MatchPair"] = []  # guarded-by: _cond
+        self._state = RUNNING  # guarded-by: _cond
+        self._result: "PipelineResult | None" = None  # guarded-by: _cond
+        self._error: BaseException | None = None  # guarded-by: _cond
 
     # -- fed by the client's receiver thread ---------------------------------
 
@@ -149,7 +149,10 @@ class RemoteExecution:
         with self._cond:
             if self._error is not None:
                 raise self._error
-            assert self._result is not None
+            if self._result is None:
+                raise RuntimeError(
+                    "remote execution finished with neither result nor error"
+                )
             return self._result
 
     def iter_matches(self) -> Iterator["MatchPair"]:
@@ -238,8 +241,8 @@ class ServeClient:
         self._on_event = on_event
         self._conn = connect(host, port, timeout=timeout)
         self._lock = threading.Lock()
-        self._jobs: dict[int, RemoteExecution] = {}
-        self._pending: dict[int, _PendingSubmit] = {}
+        self._jobs: dict[int, RemoteExecution] = {}  # guarded-by: _lock
+        self._pending: dict[int, _PendingSubmit] = {}  # guarded-by: _lock
         self._tickets = iter(range(1, 1 << 62))
         self._closed = False
         self.server_draining = False

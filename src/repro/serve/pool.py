@@ -291,7 +291,10 @@ class SharedWorkerPool:
         while True:
             try:
                 message = worker.conn.recv()
-            except Exception:
+            # Deliberately broad: *any* receive failure — transport,
+            # truncated pickle, decode — means this worker is dead to
+            # the scheduler, which owns retry/respawn policy.
+            except Exception:  # repro-lint: disable=silent-except -- becomes a 'died' message
                 self._post(("worker", worker.index, ("died",)))
                 return
             self._post(("worker", worker.index, message))
@@ -481,7 +484,9 @@ class SharedWorkerPool:
                 timeout=self.startup_timeout
             )
             self._register_worker(accepted_index, process, conn)
-        except Exception:
+        except (OSError, TransportError, DistributedExecutionError):
+            # Failed respawn: reap the half-started process; the pool
+            # keeps running with one fewer worker.
             if process is not None and process.poll() is None:
                 process.kill()
 

@@ -84,7 +84,7 @@ class _Session:
     def __init__(self, session_id: int, conn: Connection):
         self.session_id = session_id
         self.conn = conn
-        self.jobs: dict[int, _ServedJob] = {}
+        self.jobs: dict[int, _ServedJob] = {}  # guarded-by: lock
         self.lock = threading.Lock()
         self.gone = False
 
@@ -181,17 +181,17 @@ class ERServer:
         #: One lock per state name: ingests against the same state are
         #: strictly serialized (load -> run -> advance -> save is one
         #: critical section); different states ingest concurrently.
-        self._state_locks: dict[str, threading.Lock] = {}
+        self._state_locks: dict[str, threading.Lock] = {}  # guarded-by: _lock
         self.drain_timeout = drain_timeout
         self.client_timeout = client_timeout
         self._listener: Listener | None = None
         self._accept_thread: threading.Thread | None = None
-        self._sessions: dict[int, _Session] = {}
-        self._jobs: dict[int, _ServedJob] = {}
+        self._sessions: dict[int, _Session] = {}  # guarded-by: _lock
+        self._jobs: dict[int, _ServedJob] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._session_ids = iter(range(1, 1 << 62))
         self._job_ids = iter(range(1, 1 << 62))
-        self._draining = False
+        self._draining = False  # guarded-by: _lock
         self._closed = False
         self._log_lock = threading.Lock()
         #: Connections refused for a bad token (observability/tests).
@@ -292,7 +292,8 @@ class ERServer:
     # -- accepting -----------------------------------------------------------
 
     def _accept_loop(self) -> None:
-        assert self._listener is not None
+        if self._listener is None:
+            raise RuntimeError("accept loop started before listen()")
         while not self._closed:
             try:
                 conn = self._listener.accept()
@@ -333,12 +334,13 @@ class ERServer:
                 conn.close()
                 return
             self._sessions[session.session_id] = session
+            draining = self._draining
         session.send((
             "welcome",
             {
                 "session_id": session.session_id,
                 "num_workers": self._pool.num_workers,
-                "draining": self._draining,
+                "draining": draining,
             },
         ))
         try:
@@ -432,7 +434,9 @@ class ERServer:
                 request,
                 on_event=forward,
             )
-        except BaseException as exc:
+        # Shipped, not swallowed: whatever submission raises becomes a
+        # "failed" message the client re-raises.
+        except BaseException as exc:  # repro-lint: disable=silent-except -- shipped to client
             with self._lock:
                 self._jobs.pop(job_id, None)
             with session.lock:
@@ -551,7 +555,10 @@ class ERServer:
         from ..mapreduce.transport import shippable_exception
         from .pool import PooledBackend
 
-        assert self.state_root is not None and job.state_name is not None
+        if self.state_root is None or job.state_name is None:
+            raise RuntimeError(
+                "delta job dispatched without a state root/state name"
+            )
         state_dir = self.state_root / job.state_name
 
         def forward(event: ExecutionEvent) -> None:
@@ -582,7 +589,10 @@ class ERServer:
                     request,
                     on_event=forward,
                 )
-                job.execution.wait()
+                # Intentionally blocking while the state lock is held:
+                # delta jobs against one state name are serialized, and
+                # the pool keeps making progress on its own threads.
+                job.execution.wait()  # repro-lint: disable=blocking-under-lock -- serializes per-state jobs
                 terminal = job.execution.state
                 if terminal == "succeeded":
                     result = job.execution.result()
@@ -599,11 +609,13 @@ class ERServer:
                 else:
                     try:
                         job.execution.result()
-                    except BaseException as exc:
+                    # Shipped, not swallowed: the client re-raises it.
+                    except BaseException as exc:  # repro-lint: disable=silent-except -- shipped to client
                         job.session.send(
                             ("failed", job.job_id, shippable_exception(exc))
                         )
-        except BaseException as exc:
+        # Shipped, not swallowed: state-load/save failures included.
+        except BaseException as exc:  # repro-lint: disable=silent-except -- shipped to client
             terminal = "failed"
             job.session.send(("failed", job.job_id, shippable_exception(exc)))
         finally:
@@ -625,7 +637,8 @@ class ERServer:
         else:
             try:
                 execution.result()
-            except BaseException as exc:
+            # Shipped, not swallowed: the client re-raises it.
+            except BaseException as exc:  # repro-lint: disable=silent-except -- shipped to client
                 from ..mapreduce.transport import shippable_exception
 
                 job.session.send(("failed", job.job_id, shippable_exception(exc)))

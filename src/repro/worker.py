@@ -174,7 +174,9 @@ def serve(conn: Connection, fault: FaultInjector) -> int:
         fault.maybe_trip(tasks_received)
         try:
             result: Any = TASK_UNITS[unit](*args)
-        except BaseException as exc:  # report, don't die: stay schedulable
+        # Report, don't die: the failure ships to the driver (which
+        # re-raises it) and this worker stays schedulable.
+        except BaseException as exc:  # repro-lint: disable=silent-except -- shipped to driver
             reply = ("error", task_id, shippable_exception(exc))
         else:
             reply = ("result", task_id, result)

@@ -1,0 +1,14 @@
+"""BAD: a timeout-less queue get while holding a lock."""
+
+import queue
+import threading
+
+
+class Inbox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+
+    def next_message(self):
+        with self._lock:
+            return self._queue.get()

@@ -1,0 +1,5 @@
+"""BAD: a container keyed by memory addresses."""
+
+
+def index_records(records):
+    return {id(record): record for record in records}

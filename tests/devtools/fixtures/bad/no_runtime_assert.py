@@ -1,0 +1,6 @@
+"""BAD: a runtime invariant guarded by assert (gone under python -O)."""
+
+
+def next_task(ready):
+    assert ready, "scheduler invariant: ready queue must not be empty"
+    return ready[0]

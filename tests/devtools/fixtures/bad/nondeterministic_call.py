@@ -1,0 +1,7 @@
+"""BAD: a wall-clock value baked into a result record."""
+
+import time
+
+
+def stamp_match(pair):
+    return (pair, time.time())

@@ -1,0 +1,9 @@
+"""BAD: iterating a set straight into an ordered output."""
+
+
+def emit_pairs(pairs):
+    seen = {pair for pair in pairs}
+    out = []
+    for pair in seen:
+        out.append(pair)
+    return out

@@ -1,0 +1,11 @@
+"""BAD: a broad catch that swallows every fault without a trace."""
+
+
+def parse_sizes(lines):
+    out = []
+    for line in lines:
+        try:
+            out.append(int(line))
+        except Exception:
+            pass
+    return out

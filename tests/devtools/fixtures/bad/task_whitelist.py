@@ -1,0 +1,20 @@
+"""BAD: the worker task registry grew a non-whitelisted entry."""
+
+
+def execute_map_task(job, config, partition):
+    return job
+
+
+def execute_reduce_task(job, config, index, bucket):
+    return bucket
+
+
+def run_anything(payload):
+    return payload()
+
+
+TASK_UNITS = {
+    "map": execute_map_task,
+    "reduce": execute_reduce_task,
+    "anything": run_anything,
+}

@@ -1,0 +1,7 @@
+"""BAD: the classic refcount-dependent file leak."""
+
+import json
+
+
+def load_config(path):
+    return json.load(open(path))

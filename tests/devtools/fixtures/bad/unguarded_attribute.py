@@ -1,0 +1,22 @@
+"""BAD: the PR 7 ``_handle_cancel`` race, reintroduced.
+
+``session.jobs`` is declared guarded, but the cancel handler reads it
+without taking ``session.lock`` — the exact shape of the race the
+serve layer once shipped: a job registering concurrently with a cancel
+could be observed half-inserted.
+"""
+
+import threading
+
+
+class Session:
+    def __init__(self):
+        self.jobs = {}  # guarded-by: lock
+        self.lock = threading.Lock()
+
+
+class Server:
+    def handle_cancel(self, session, job_id):
+        job = session.jobs.get(job_id)
+        if job is not None and job.execution is not None:
+            job.execution.cancel()

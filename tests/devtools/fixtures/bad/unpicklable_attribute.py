@@ -1,0 +1,13 @@
+"""BAD: a wire-reachable request class smuggles a lock.
+
+The class is named ``PipelineRequest``, so the pickle-safety walk
+seeds on it by name even in this loose fixture file.
+"""
+
+import threading
+
+
+class PipelineRequest:
+    def __init__(self, partitions):
+        self.partitions = partitions
+        self._lock = threading.Lock()

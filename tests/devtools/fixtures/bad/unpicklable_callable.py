@@ -1,0 +1,15 @@
+"""BAD: a wire-reachable class captures a closure and a lambda."""
+
+
+def similarity(a, b):
+    return 1.0 if a == b else 0.0
+
+
+# repro-lint: wire-root
+class ShippedMatcher:
+    def __init__(self, threshold):
+        def matches(a, b):
+            return similarity(a, b) >= threshold
+
+        self.matches = matches
+        self.key = lambda record: record.lower()

@@ -1,0 +1,12 @@
+"""BAD: a pickled message is read before the token digest check."""
+
+import secrets
+
+
+def accept_worker(conn, token):
+    hello = conn.recv()
+    preamble = conn.recv_raw(32)
+    if not secrets.compare_digest(preamble, token):
+        conn.close()
+        raise ValueError("bad token")
+    return hello

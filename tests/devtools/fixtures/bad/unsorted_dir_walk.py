@@ -1,0 +1,7 @@
+"""BAD: shard discovery in file-system order."""
+
+import os
+
+
+def discover_shards(root):
+    return [name for name in os.listdir(root) if name.endswith(".csv")]

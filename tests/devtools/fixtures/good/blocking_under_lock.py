@@ -1,0 +1,23 @@
+"""GOOD: blocking happens outside locks (or on the condition itself,
+which releases its lock while sleeping)."""
+
+import queue
+import threading
+
+
+class Inbox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queue = queue.Queue()
+        self._done = False
+
+    def next_message(self):
+        message = self._queue.get()
+        with self._lock:
+            return message
+
+    def wait_done(self):
+        with self._cond:
+            while not self._done:
+                self._cond.wait()

@@ -1,0 +1,5 @@
+"""GOOD: containers keyed by a stable record identifier."""
+
+
+def index_records(records):
+    return {record.key: record for record in records}

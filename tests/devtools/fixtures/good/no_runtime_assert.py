@@ -1,0 +1,7 @@
+"""GOOD: runtime invariants raise; they survive python -O."""
+
+
+def next_task(ready):
+    if not ready:
+        raise RuntimeError("scheduler invariant: ready queue must not be empty")
+    return ready[0]

@@ -1,0 +1,5 @@
+"""GOOD: the caller supplies any timestamp; results derive from inputs."""
+
+
+def stamp_match(pair, stamp):
+    return (pair, stamp)

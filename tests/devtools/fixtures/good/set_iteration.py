@@ -1,0 +1,9 @@
+"""GOOD: the set is sorted before its order can reach a result."""
+
+
+def emit_pairs(pairs):
+    seen = {pair for pair in pairs}
+    out = []
+    for pair in sorted(seen):
+        out.append(pair)
+    return out

@@ -1,0 +1,11 @@
+"""GOOD: the handler catches exactly the fault it expects."""
+
+
+def parse_sizes(lines):
+    out = []
+    for line in lines:
+        try:
+            out.append(int(line))
+        except ValueError:
+            continue
+    return out

@@ -1,0 +1,15 @@
+"""GOOD: the task registry maps wire names to the two whitelisted units."""
+
+
+def execute_map_task(job, config, partition):
+    return job
+
+
+def execute_reduce_task(job, config, index, bucket):
+    return bucket
+
+
+TASK_UNITS = {
+    "map": execute_map_task,
+    "reduce": execute_reduce_task,
+}

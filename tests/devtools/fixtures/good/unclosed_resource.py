@@ -1,0 +1,22 @@
+"""GOOD: every acquired resource has a visible owner."""
+
+import json
+import socket
+
+
+def load_config(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def read_header(path):
+    handle = open(path, "rb")
+    try:
+        return handle.read(16)
+    finally:
+        handle.close()
+
+
+def open_listener():
+    sock = socket.socket()
+    return sock

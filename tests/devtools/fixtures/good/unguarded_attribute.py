@@ -1,0 +1,20 @@
+"""GOOD: guarded state is only touched under its declared lock."""
+
+import threading
+
+
+class Session:
+    def __init__(self):
+        self.jobs = {}  # guarded-by: lock
+        self.lock = threading.Lock()
+
+
+class Server:
+    def handle_cancel(self, session, job_id):
+        with session.lock:
+            job = session.jobs.get(job_id)
+        if job is not None and job.execution is not None:
+            job.execution.cancel()
+
+    def drop(self, session, job_id):  # holds-lock: lock
+        session.jobs.pop(job_id, None)

@@ -1,0 +1,18 @@
+"""GOOD: the runtime-only lock is excluded from the pickled state."""
+
+import threading
+
+
+class PipelineRequest:
+    def __init__(self, partitions):
+        self.partitions = partitions
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -1,0 +1,17 @@
+"""GOOD: wire-reachable callables are module-level (pickle-by-name)."""
+
+
+def similarity(a, b):
+    return 1.0 if a == b else 0.0
+
+
+def lowercase_key(record):
+    return record.lower()
+
+
+# repro-lint: wire-root
+class ShippedMatcher:
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.similarity = similarity
+        self.key = lowercase_key

@@ -1,0 +1,11 @@
+"""GOOD: raw token preamble verified before anything is unpickled."""
+
+import secrets
+
+
+def accept_worker(conn, token):
+    preamble = conn.recv_raw(32)
+    if not secrets.compare_digest(preamble, token):
+        conn.close()
+        raise ValueError("bad token")
+    return conn.recv()

@@ -1,0 +1,7 @@
+"""GOOD: directory listings are sorted before use."""
+
+import os
+
+
+def discover_shards(root):
+    return [name for name in sorted(os.listdir(root)) if name.endswith(".csv")]

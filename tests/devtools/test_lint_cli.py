@@ -1,0 +1,106 @@
+"""The lint CLI: exit codes, --json schema stability, baseline workflow."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.devtools.lint import BASELINE_NAME, JSON_SCHEMA_VERSION, main
+
+CLEAN = "def f(x):\n    return x\n"
+DIRTY = "def f(ready):\n    assert ready\n"
+
+
+def test_exit_zero_on_clean_file(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    assert main([str(target)]) == 0
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    assert main([str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "no-runtime-assert" in out and "dirty.py:2" in out
+
+
+def test_exit_two_on_unknown_rule(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    assert main([str(target), "--select", "no-such-rule"]) == 2
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "absent.txt")]) == 2
+
+
+def test_exit_one_on_syntax_error(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    assert main([str(target)]) == 1
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_select_restricts_rules(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    assert main([str(target), "--select", "silent-except"]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for expected in (
+        "set-iteration", "unpicklable-attribute", "unguarded-attribute",
+        "unpickle-before-auth", "unclosed-resource", "no-runtime-assert",
+    ):
+        assert expected in out
+
+
+def test_json_schema_is_stable(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    assert main([str(target), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "version", "ok", "files", "counts", "findings", "baselined", "errors",
+    }
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["ok"] is False
+    assert payload["files"] == 1
+    assert set(payload["counts"]) == {"new", "baselined", "suppressed"}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+    assert finding["rule"] == "no-runtime-assert"
+    assert finding["line"] == 2
+
+
+def test_write_baseline_roundtrip(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    target = Path("dirty.py")
+    target.write_text(DIRTY)
+    assert main([str(target)]) == 1
+    assert main([str(target), "--write-baseline"]) == 0
+    assert Path(BASELINE_NAME).is_file()
+    # Grandfathered now; a fresh run gates only on new findings.
+    assert main([str(target)]) == 0
+    # A *new* violation still fails.
+    target.write_text(DIRTY + "\nassert True\n")
+    assert main([str(target)]) == 1
+
+
+def test_repro_er_lint_delegates(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    assert cli_main(["lint", str(target)]) == 1
+    assert "no-runtime-assert" in capsys.readouterr().out
+    assert cli_main(["lint", "--list-rules"]) == 0
+
+
+def test_lint_listed_in_cli_help(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        cli_main(["--help"])
+    assert "lint" in capsys.readouterr().out

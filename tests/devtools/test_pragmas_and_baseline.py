@@ -1,0 +1,130 @@
+"""Pragma suppression and baseline semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import Baseline, lint_paths, lint_source, load_baseline
+from repro.devtools.baseline import write_baseline
+
+ASSERT_LINE = "assert ready, 'not empty'\n"
+
+
+def test_trailing_pragma_suppresses_same_line():
+    findings = lint_source(
+        "assert True  # repro-lint: disable=no-runtime-assert\n"
+    )
+    assert findings == []
+
+
+def test_standalone_pragma_covers_next_line():
+    findings = lint_source(
+        "# repro-lint: disable=no-runtime-assert\n" + ASSERT_LINE
+    )
+    assert findings == []
+
+
+def test_pragma_allows_justification_prose():
+    findings = lint_source(
+        "assert True  # repro-lint: disable=no-runtime-assert -- why not\n"
+    )
+    assert findings == []
+
+
+def test_pragma_only_suppresses_named_rules():
+    findings = lint_source(
+        "assert True  # repro-lint: disable=silent-except\n"
+    )
+    assert [finding.rule for finding in findings] == ["no-runtime-assert"]
+
+
+def test_disable_file_pragma():
+    findings = lint_source(
+        "# repro-lint: disable-file=no-runtime-assert\n"
+        + ASSERT_LINE
+        + ASSERT_LINE
+    )
+    assert findings == []
+
+
+def test_pragma_does_not_leak_to_later_lines():
+    findings = lint_source(
+        "# repro-lint: disable=no-runtime-assert\n"
+        + ASSERT_LINE
+        + ASSERT_LINE  # line 3: not covered
+    )
+    assert [finding.line for finding in findings] == [3]
+
+
+def _lint_with_baseline(path: Path, baseline_path: Path):
+    return lint_paths([path], baseline=load_baseline(baseline_path))
+
+
+def test_baseline_absorbs_and_survives_line_drift(tmp_path):
+    source = tmp_path / "module.py"
+    source.write_text("def f(ready):\n    " + ASSERT_LINE)
+    baseline_path = tmp_path / "baseline.txt"
+
+    report = lint_paths([source])
+    assert len(report.new) == 1
+    write_baseline(
+        baseline_path,
+        [(report.new[0], ASSERT_LINE)],
+    )
+
+    # Absorbed…
+    report = _lint_with_baseline(source, baseline_path)
+    assert report.new == [] and len(report.baselined) == 1
+
+    # …and still absorbed after unrelated lines shift the finding down.
+    source.write_text("# a new comment\n\ndef f(ready):\n    " + ASSERT_LINE)
+    report = _lint_with_baseline(source, baseline_path)
+    assert report.new == [] and len(report.baselined) == 1
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    source = tmp_path / "module.py"
+    source.write_text(
+        "def f(ready):\n    " + ASSERT_LINE + "    " + ASSERT_LINE
+    )
+    report = lint_paths([source])
+    assert len(report.new) == 2
+
+    baseline_path = tmp_path / "baseline.txt"
+    write_baseline(baseline_path, [(report.new[0], ASSERT_LINE)])
+
+    # One identical entry absorbs exactly one of the two findings.
+    report = _lint_with_baseline(source, baseline_path)
+    assert len(report.new) == 1 and len(report.baselined) == 1
+
+
+def test_baseline_does_not_match_other_rules():
+    baseline = Baseline([("silent-except", "module.py", "assert True")])
+    finding_like = lint_source("assert True\n")[0]
+    assert not baseline.match(finding_like, "assert True")
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(load_baseline(tmp_path / "nope.txt")) == 0
+
+
+def test_malformed_baseline_raises(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("only-one-field\n")
+    with pytest.raises(ValueError, match="malformed baseline entry"):
+        load_baseline(bad)
+
+
+def test_wire_root_marker_extends_reachability():
+    source = (
+        "import threading\n"
+        "\n"
+        "class Hidden:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    )
+    # Unmarked: the class is not wire-reachable, nothing fires.
+    assert lint_source(source, rules=["unpicklable-attribute"]) == []
+    marked = source.replace("class Hidden:", "class Hidden:  # repro-lint: wire-root")
+    findings = lint_source(marked, rules=["unpicklable-attribute"])
+    assert [finding.rule for finding in findings] == ["unpicklable-attribute"]

@@ -1,0 +1,71 @@
+"""Every shipped rule has a bad fixture it fires on and a clean twin.
+
+The fixture pair is the rule's executable specification: ``bad/<rule>.py``
+must produce at least one finding *of that rule*, and ``good/<rule>.py``
+— the same scenario written correctly — must lint completely clean
+(against **all** rules, so the "fixed" version is genuinely fixed).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import all_rules, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_NAMES = [rule.name for rule in all_rules()]
+
+
+def _fixture(kind: str, rule: str) -> Path:
+    return FIXTURES / kind / f"{rule.replace('-', '_')}.py"
+
+
+def test_every_rule_has_fixture_pair():
+    for rule in RULE_NAMES:
+        assert _fixture("bad", rule).is_file(), f"missing bad fixture: {rule}"
+        assert _fixture("good", rule).is_file(), f"missing good fixture: {rule}"
+
+
+def test_no_stray_fixtures():
+    expected = {f"{rule.replace('-', '_')}.py" for rule in RULE_NAMES}
+    for kind in ("bad", "good"):
+        present = {path.name for path in (FIXTURES / kind).glob("*.py")}
+        assert present == expected
+
+
+@pytest.mark.parametrize("rule", RULE_NAMES)
+def test_bad_fixture_fires(rule):
+    report = lint_paths([_fixture("bad", rule)])
+    assert not report.errors
+    fired = {finding.rule for finding in report.new}
+    assert rule in fired, (
+        f"bad fixture for {rule} produced {sorted(fired) or 'nothing'}"
+    )
+
+
+@pytest.mark.parametrize("rule", RULE_NAMES)
+def test_good_fixture_is_clean(rule):
+    report = lint_paths([_fixture("good", rule)])
+    assert not report.errors
+    assert report.new == [], [finding.render() for finding in report.new]
+
+
+def test_handle_cancel_race_details():
+    """The reintroduced PR 7 race is pinpointed: an unguarded read of
+    ``session.jobs`` naming the lock that should have been held."""
+    report = lint_paths([_fixture("bad", "unguarded-attribute")])
+    (finding,) = [f for f in report.new if f.rule == "unguarded-attribute"]
+    assert "session.jobs" in finding.message
+    assert "with session.lock" in finding.message
+
+
+def test_closure_finding_names_captured_variable():
+    report = lint_paths([_fixture("bad", "unpicklable-callable")])
+    closure = [
+        finding
+        for finding in report.new
+        if finding.rule == "unpicklable-callable"
+        and "closing over" in finding.message
+    ]
+    assert closure, "symtable should name the captured variable"
+    assert "threshold" in closure[0].message

@@ -1,0 +1,74 @@
+"""The linter's own acceptance gates, run against the real tree.
+
+* ``src/repro`` lints clean against the checked-in baseline — the same
+  invocation CI runs;
+* reintroducing the PR 7 ``_handle_cancel`` race into the *actual*
+  ``serve/server.py`` source is re-detected by the lock-discipline
+  checker (the regression the suite exists to prevent).
+"""
+
+from pathlib import Path
+
+from repro.devtools import lint_paths, lint_source, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+SERVER = REPO / "src" / "repro" / "serve" / "server.py"
+
+
+def test_src_lints_clean_against_checked_in_baseline():
+    report = lint_paths(
+        [REPO / "src" / "repro"],
+        baseline=load_baseline(REPO / "lint-baseline.txt"),
+        root=REPO,
+    )
+    assert not report.errors, report.errors
+    assert report.new == [], "\n".join(f.render() for f in report.new)
+    assert len(report.files) > 80  # the whole package was scanned
+
+
+def test_server_source_has_no_unguarded_access():
+    findings = lint_source(
+        SERVER.read_text(encoding="utf-8"),
+        filename="server.py",
+        rules=["unguarded-attribute"],
+    )
+    assert findings == [], [finding.render() for finding in findings]
+
+
+def test_reintroduced_handle_cancel_race_is_detected():
+    source = SERVER.read_text(encoding="utf-8")
+    guarded = (
+        "        with session.lock:\n"
+        "            job = session.jobs.get(job_id)\n"
+    )
+    assert guarded in source, "expected the PR 7 fix in _handle_cancel"
+    racy = source.replace(
+        guarded, "        job = session.jobs.get(job_id)\n", 1
+    )
+    assert racy != source
+    findings = lint_source(
+        racy, filename="server.py", rules=["unguarded-attribute"]
+    )
+    assert any(
+        "session.jobs" in finding.message
+        and "with session.lock" in finding.message
+        for finding in findings
+    ), [finding.render() for finding in findings]
+
+
+def test_worker_task_registry_is_whitelisted():
+    worker = REPO / "src" / "repro" / "worker.py"
+    findings = lint_source(
+        worker.read_text(encoding="utf-8"),
+        filename="worker.py",
+        rules=["task-whitelist"],
+    )
+    assert findings == []
+    # Widening the registry is caught.
+    widened = worker.read_text(encoding="utf-8").replace(
+        '"reduce": execute_reduce_task,',
+        '"reduce": execute_reduce_task,\n    "shell": print,',
+        1,
+    )
+    findings = lint_source(widened, filename="worker.py", rules=["task-whitelist"])
+    assert [finding.rule for finding in findings] == ["task-whitelist"]

@@ -1,0 +1,96 @@
+"""Regression tests for the deliberately-broad fault handlers.
+
+The lint suite's ``silent-except`` rule forced an audit of every broad
+catch; the survivors are probes and reaper paths whose *breadth is the
+contract*.  These tests drive real, hostile faults through them — an
+exception whose pickle hooks themselves explode, an unpicklable job —
+and pin the documented recovery behavior.
+"""
+
+import pickle
+
+import pytest
+
+from repro.engine.parallel import _picklable
+from repro.er.matching import ThresholdMatcher
+from repro.mapreduce.runtime import MapReduceJob
+from repro.mapreduce.transport import RemoteTaskError, shippable_exception
+
+
+class ExplodingReduce(Exception):
+    """An exception whose own serialization hook raises."""
+
+    def __reduce__(self):
+        raise RuntimeError("refusing to be pickled")
+
+
+class Unroundtrippable(Exception):
+    """Pickles, but reconstructs as a different type."""
+
+    def __init__(self, fh):
+        super().__init__("carrying an open file")
+        self.fh = fh
+
+    def __reduce__(self):
+        return (ValueError, ("degraded",))
+
+
+def test_shippable_exception_passes_clean_exceptions_through():
+    original = ValueError("plain")
+    assert shippable_exception(original) is original
+
+
+def test_shippable_exception_survives_exploding_reduce():
+    shipped = shippable_exception(ExplodingReduce("boom"))
+    assert isinstance(shipped, RemoteTaskError)
+    assert "ExplodingReduce" in str(shipped)
+    # The replacement itself must round-trip — that is its whole point.
+    clone = pickle.loads(pickle.dumps(shipped))
+    assert isinstance(clone, RemoteTaskError)
+
+
+def test_shippable_exception_rejects_type_changing_roundtrip():
+    shipped = shippable_exception(Unroundtrippable(None))
+    assert isinstance(shipped, RemoteTaskError)
+
+
+class _ClosureJob(MapReduceJob):
+    """A job carrying a closure: picklable never, probe must say no."""
+
+    def __init__(self):
+        threshold = 0.5
+        self.predicate = lambda a, b: a == b and threshold  # noqa: E731
+
+    def map_fn(self, key, value):  # pragma: no cover - never runs
+        return []
+
+    def reduce_fn(self, key, values):  # pragma: no cover - never runs
+        return []
+
+
+def test_picklable_probe_accepts_real_jobs():
+    assert _picklable is not None
+    job = _ClosureJob()
+    assert _picklable(job) is False
+
+
+def test_picklable_probe_survives_exploding_getstate():
+    class HostileJob(MapReduceJob):
+        def __getstate__(self):
+            raise ZeroDivisionError("hostile __getstate__")
+
+        def map_fn(self, key, value):  # pragma: no cover
+            return []
+
+        def reduce_fn(self, key, values):  # pragma: no cover
+            return []
+
+    # Any failure — even a nonsense exception type — means "use threads",
+    # never a crash.
+    assert _picklable(HostileJob()) is False
+
+
+def test_threshold_matcher_roundtrips():
+    matcher = ThresholdMatcher(threshold=0.8)
+    clone = pickle.loads(pickle.dumps(matcher))
+    assert clone.threshold == pytest.approx(0.8)
