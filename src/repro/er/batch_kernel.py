@@ -19,15 +19,31 @@ in one call:
    over pattern masks prepacked per distinct string
    (:func:`repro.er.similarity.myers_masks`) — not per pair.
 
-When numpy is importable, steps 2–4 use int64/float64 array arithmetic;
-otherwise a pure-stdlib loop with the identical dedup/memo structure
-runs.  Both paths are byte-identical to the scalar kernel: every score
-they produce is either ``1.0``/``0.0`` from the same short-circuits the
-scalar matcher applies or the output of the same bounded Myers/banded
-kernels it calls, so matches, per-task outputs, and counters do not
-change when batching is switched on.  numpy stays an *optional*
-dependency (the ``fast`` extra); set ``REPRO_ER_FORCE_STDLIB=1`` to
-force the fallback with numpy installed.
+When numpy is importable, steps 2–4 use int64/float64 array arithmetic,
+and step 4 runs the Myers recurrence itself *batched*: every distinct
+surviving pair that needs the bit-parallel kernel becomes one ``uint64``
+lane of :func:`repro.er.similarity.myers_distance_batch`, which advances
+all lanes one text position per vectorized step (with the Ukkonen early
+exit applied vector-wide through a per-lane alive mask).  Otherwise a
+pure-stdlib loop with the identical dedup/memo structure runs.
+
+Both paths are byte-identical to the scalar kernel — including the
+matcher's LRU memo.  Scores are easy: every score is either ``1.0``/
+``0.0`` from the same short-circuits the scalar matcher applies or the
+output of the same bounded Myers/banded kernels it calls.  Cache
+counters and cache *contents* are the subtle part: the batch computes
+each distinct pair once, but the scalar matcher probes its LRU once per
+pair occurrence, so under eviction pressure (more distinct surviving
+pairs than ``memoize``) a naive per-distinct accounting drifts — both
+in hit/miss totals and in which entries survive into later groups.
+:class:`_DistinctScorer` therefore *replays* the scalar pop/evict/
+reinsert discipline per pair occurrence, in pair order, against the
+shared cache (taking a closed-form shortcut only when no eviction can
+occur, where the replay's outcome is provable in advance).  Matches,
+per-task outputs, all counters, and the residual cache state are
+identical whichever path ran.  numpy stays an *optional* dependency
+(the ``fast`` extra); set ``REPRO_ER_FORCE_STDLIB=1`` to force the
+fallback with numpy installed.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ from typing import Iterator, Sequence
 
 from .similarity import (
     levenshtein_similarity_bounded,
+    myers_distance_batch,
     myers_distance_masks,
     myers_masks,
 )
@@ -56,6 +73,12 @@ except ImportError:  # pragma: no cover
 #: runs instead.  Both paths are byte-identical, so this is purely a
 #: performance knob.
 NUMPY_MIN_PAIRS = 16
+
+#: Below this many Myers-eligible lanes the batched recurrence's setup
+#: (mask table, padded text matrix) outweighs its per-step win and the
+#: per-distinct-pair scalar loop runs instead.  Byte-identical either
+#: way; purely a performance knob.
+MYERS_MIN_LANES = 4
 
 
 def active_numpy():
@@ -180,35 +203,63 @@ class SpanPairs:
 
 
 class _DistinctScorer:
-    """Scores each *distinct* unordered string pair of a batch once.
+    """Computes each *distinct* unordered string pair of a batch once,
+    while replaying the scalar matcher's LRU discipline per occurrence.
 
-    Replicates the cache/kernel stage of the scalar matcher exactly:
-    the same ``(min, max)`` cache key, the same pop/reinsert LRU
-    discipline and eviction bound, and the same bounded-similarity
-    arithmetic — with Myers pattern masks prepacked per distinct string
-    so a pattern shared by many pairs is packed once.
+    Two responsibilities, deliberately separated:
+
+    * **Scoring** (:meth:`prime` / :meth:`touch` misses) computes every
+      distinct pair's similarity exactly once — batched through
+      :func:`~repro.er.similarity.myers_distance_batch` when numpy is
+      active and enough lanes qualify, else via the same bounded
+      kernels the scalar matcher calls, with Myers pattern masks
+      prepacked per distinct string.  Scores land in ``_scores`` and
+      never depend on the shared cache's state.
+    * **Cache bookkeeping** (:meth:`touch` / :meth:`replay_keys`)
+      reproduces, per pair occurrence and in pair order, exactly the
+      pop → count hit/miss → evict → reinsert sequence the scalar
+      matcher runs against its LRU.  That keeps ``hits``/``misses``
+      *and* the cache's residual contents and recency order
+      byte-identical under eviction pressure, so later groups — scalar
+      or batched — observe the same cache either way.
     """
 
-    __slots__ = ("_threshold", "_cache", "_memoize", "_masks", "hits", "misses")
+    __slots__ = (
+        "_threshold", "_cache", "_memoize", "_masks", "_scores",
+        "hits", "misses",
+    )
 
     def __init__(self, threshold: float, cache: dict | None, memoize: int):
         self._threshold = threshold
         self._cache = cache
         self._memoize = memoize
         self._masks: dict[str, object] = {}
+        #: Batch-local score memo keyed by the canonical ``(min, max)``
+        #: string pair — the compute-once guarantee.
+        self._scores: dict[tuple[str, str], float] = {}
         self.hits = 0
         self.misses = 0
 
-    def score(self, a: str, b: str) -> float:
-        """Score the first group occurrence of the pair ``{a, b}``."""
+    def touch(self, a: str, b: str) -> float:
+        """One pair occurrence, exactly as the scalar matcher runs it.
+
+        Same ``(min, max)`` cache key, same pop/reinsert LRU discipline
+        and eviction bound, same hit/miss accounting — except that a
+        miss whose pair was already computed this batch reuses the
+        memoised score instead of recomputing (scores are pure values,
+        so the result is identical).
+        """
         key = (a, b) if a <= b else (b, a)
         cache = self._cache
         score = cache.pop(key, None) if cache is not None else None
         if score is None:
             self.misses += 1
-            score = self._compute(a, b)
+            score = self._scores.get(key)
+            if score is None:
+                score = self._scores[key] = self._compute(key[0], key[1])
         else:
             self.hits += 1
+            self._scores[key] = score
         if self._memoize and cache is not None:
             if len(cache) >= self._memoize:
                 try:
@@ -218,19 +269,83 @@ class _DistinctScorer:
             cache[key] = score
         return score
 
-    def note_repeats(self, n: int) -> None:
-        """Account for ``n`` further group occurrences of a scored pair.
+    def prime(self, np, keys: list[tuple[str, str]]) -> None:
+        """Precompute ``_scores`` for canonical distinct pair ``keys``.
 
-        With the memo enabled the scalar path would find each repeat in
-        the cache (a hit); with it disabled every repeat recomputes (a
-        miss).  Either way the batch computes the score only once.
+        Pairs already in the shared cache reuse the cached value (a
+        non-mutating peek — the bookkeeping happens in replay); the
+        rest are computed, batching every Myers-eligible pair (shorter
+        side 1–64 chars) into one vectorized recurrence when ``np`` is
+        active and at least :data:`MYERS_MIN_LANES` lanes qualify.
         """
-        if n <= 0:
+        cache = self._cache
+        scores = self._scores
+        lanes: list[tuple[tuple[str, str], str, str, int]] = []
+        for key in keys:
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    scores[key] = cached
+                    continue
+            a, b = key
+            la = len(a)
+            lb = len(b)
+            if la >= lb:
+                text, pattern, shorter, longest = a, b, lb, la
+            else:
+                text, pattern, shorter, longest = b, a, la, lb
+            if 1 <= shorter <= 64:
+                lanes.append((key, pattern, text, longest))
+            else:
+                scores[key] = levenshtein_similarity_bounded(
+                    a, b, self._threshold
+                )
+        if not lanes:
             return
-        if self._memoize:
-            self.hits += n
-        else:
-            self.misses += n
+        if np is None or len(lanes) < MYERS_MIN_LANES:
+            for key, _pattern, _text, _longest in lanes:
+                scores[key] = self._compute(key[0], key[1])
+            return
+        one_minus = 1.0 - self._threshold
+        budgets = [int(one_minus * longest) for _k, _p, _t, longest in lanes]
+        distances = myers_distance_batch(
+            np,
+            [pattern for _k, pattern, _t, _l in lanes],
+            [text for _k, _p, text, _l in lanes],
+            budgets,
+        )
+        longests = np.fromiter(
+            (longest for _k, _p, _t, longest in lanes),
+            dtype=np.int64, count=len(lanes),
+        )
+        budgets_arr = np.fromiter(budgets, dtype=np.int64, count=len(lanes))
+        # Same float64 arithmetic as the scalar ``1.0 - d / longest``.
+        sims = np.where(
+            distances > budgets_arr, 0.0, 1.0 - distances / longests
+        )
+        for (key, _p, _t, _l), sim in zip(lanes, sims.tolist()):
+            scores[key] = sim
+
+    def replay_keys(self, keys) -> None:
+        """Replay the scalar LRU discipline over primed ``keys`` in
+        pair order (every score must already be in ``_scores``)."""
+        cache = self._cache
+        memoize = self._memoize
+        scores = self._scores
+        for key in keys:
+            score = cache.pop(key, None)
+            if score is None:
+                self.misses += 1
+                score = scores[key]
+            else:
+                self.hits += 1
+            if memoize:
+                if len(cache) >= memoize:
+                    try:
+                        cache.pop(next(iter(cache)), None)
+                    except (StopIteration, RuntimeError):
+                        pass
+                cache[key] = score
 
     def _compute(self, a: str, b: str) -> float:
         # levenshtein_similarity_bounded for a != b, with the Myers
@@ -272,8 +387,11 @@ def score_pair_batch(
     ``memoize`` are the matcher's persistent score memo and its bound.
     ``scores`` is index-aligned with the spec's pair order (a float64
     ndarray on the numpy path, a list on the stdlib path); ``hits``/
-    ``misses`` are the cache-counter increments the scalar path would
-    have recorded for the same pairs.
+    ``misses`` are exactly the cache-counter increments the scalar path
+    would have recorded for the same pairs, and ``cache`` is left with
+    exactly the contents *and* recency order the scalar path would have
+    left — the LRU discipline is replayed per occurrence in pair order,
+    so eviction pressure cannot make later batches drift.
     """
     np = _numpy
     if np is not None and pairs.count >= NUMPY_MIN_PAIRS:
@@ -327,18 +445,48 @@ def _score_numpy(np, texts, pairs, threshold, cache, memoize):
     sb = cb[survive]
     lo = np.minimum(sa, sb)
     hi = np.maximum(sa, sb)
-    pair_keys = lo * np.int64(len(distinct)) + hi
-    unique_keys, inverse, counts = np.unique(
-        pair_keys, return_inverse=True, return_counts=True
-    )
-    scorer = _DistinctScorer(threshold, cache, memoize)
-    unique_scores = np.empty(len(unique_keys), dtype=np.float64)
     ndistinct = len(distinct)
-    for u, key in enumerate(unique_keys.tolist()):
+    # pair_keys is in spec pair order (boolean masking preserves order),
+    # which is exactly the order the scalar matcher would have probed
+    # its cache in — the order the LRU replay below must follow.
+    pair_keys = lo * np.int64(ndistinct) + hi
+    unique_keys, inverse = np.unique(pair_keys, return_inverse=True)
+    scorer = _DistinctScorer(threshold, cache, memoize)
+    canonical: list[tuple[str, str]] = []
+    for key in unique_keys.tolist():
         qa, qb = divmod(key, ndistinct)
-        unique_scores[u] = scorer.score(distinct[qa], distinct[qb])
-        scorer.note_repeats(int(counts[u]) - 1)
+        a = distinct[qa]
+        b = distinct[qb]
+        canonical.append((a, b) if a <= b else (b, a))
+    scorer.prime(np, canonical)
+    unique_scores = np.fromiter(
+        (scorer._scores[key] for key in canonical),
+        dtype=np.float64, count=len(canonical),
+    )
     scores[survive] = unique_scores[inverse]
+    occurrences = int(pair_keys.shape[0])
+    if cache is None or (not cache and not memoize):
+        # No LRU state to maintain: the scalar path would miss on every
+        # occurrence (nothing is ever inserted), so the counters are
+        # closed-form and no replay is needed.
+        return scores, 0, occurrences
+    uncached = sum(1 for key in canonical if key not in cache)
+    if len(cache) + uncached <= memoize:
+        # No eviction can trigger during this batch (the cache can
+        # only grow by the uncached distinct pairs), so the scalar
+        # replay's outcome is provable in closed form: the first
+        # occurrence of an uncached pair misses, everything else hits,
+        # and each touched key ends up reinserted at its *last*
+        # occurrence — i.e. after all untouched entries, ordered by
+        # last occurrence in pair order.
+        _, rev_index = np.unique(pair_keys[::-1], return_index=True)
+        last_order = np.argsort(-rev_index)
+        for u in last_order.tolist():
+            key = canonical[u]
+            value = cache.pop(key, scorer._scores[key])
+            cache[key] = value
+        return scores, occurrences - uncached, uncached
+    scorer.replay_keys(canonical[u] for u in inverse.tolist())
     return scores, scorer.hits, scorer.misses
 
 
@@ -347,8 +495,8 @@ def _score_stdlib(texts, pairs, threshold, cache, memoize):
     lengths = array("q", (len(s) for s in distinct))
     scorer = _DistinctScorer(threshold, cache, memoize)
     scores = [0.0] * pairs.count
-    memo: dict[tuple[int, int], float] = {}
     one_minus = 1.0 - threshold
+    touch = scorer.touch
     for k, (i, j) in enumerate(pairs.iter_pairs()):
         a = codes[i]
         b = codes[j]
@@ -365,11 +513,7 @@ def _score_stdlib(texts, pairs, threshold, cache, memoize):
             diff = lb - la
         if diff > int(one_minus * longest):
             continue  # length filter: stays 0.0
-        key = (a, b) if a < b else (b, a)
-        score = memo.get(key)
-        if score is None:
-            memo[key] = score = scorer.score(distinct[key[0]], distinct[key[1]])
-        else:
-            scorer.note_repeats(1)
-        scores[k] = score
+        # touch() replays the scalar LRU discipline per occurrence and
+        # computes each distinct pair at most once (scorer._scores).
+        scores[k] = touch(distinct[a], distinct[b])
     return scores, scorer.hits, scorer.misses

@@ -302,12 +302,12 @@ class ThresholdMatcher(Matcher):
         kernels), matches are emitted in spec pair order with the same
         canonical id ordering, and ``comparisons``/``matches_found``
         advance by the same totals.  ``cache_hits``/``cache_misses``
-        also advance by the scalar path's totals, with one caveat: the
-        batch consults the memo once per *distinct* value pair, so
-        under eviction pressure the LRU's insertion order — and hence
-        which entries survive into later groups — can differ from the
-        scalar path's.  Scores never depend on the cache, so results
-        are unaffected.
+        also advance by exactly the scalar path's increments: the batch
+        computes each distinct value pair once, then replays the scalar
+        pop/evict/reinsert LRU discipline per occurrence in spec pair
+        order, so the residual cache — contents *and* recency order —
+        is byte-identical too, and later groups see the same hit/miss
+        stream as a scalar run.
         """
         if pairs.count == 0:
             return []

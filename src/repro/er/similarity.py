@@ -199,6 +199,160 @@ def myers_distance_masks(masks: MyersMasks, text: str, max_distance: int | None)
     return score
 
 
+#: Sentinel code point for padded text-matrix cells in the batched
+#: kernel.  Real code points stop at 0x10FFFF, so this value can never
+#: collide with a pattern character and its equality mask is always 0.
+_BATCH_PAD = 0x1FFFFF
+
+#: Bits reserved for the code point in the combined ``lane | char``
+#: lookup keys of the batched kernel (0x10FFFF < 2**21).
+_BATCH_CHAR_BITS = 21
+
+
+def myers_mask_table(pattern: str) -> tuple[list[int], list[int]]:
+    """:func:`myers_masks`'s ``peq`` as parallel sorted arrays.
+
+    Returns ``(code_points, masks)`` with ``code_points`` strictly
+    ascending — the layout :func:`myers_distance_batch` needs to resolve
+    per-character equality masks with one vectorized binary search
+    instead of a per-character dict probe.  Same contract as
+    :func:`myers_masks`: ``pattern`` non-empty, at most 64 characters.
+    """
+    peq: dict[int, int] = {}
+    bit = 1
+    for ch in pattern:
+        code = ord(ch)
+        peq[code] = peq.get(code, 0) | bit
+        bit <<= 1
+    codes = sorted(peq)
+    return codes, [peq[code] for code in codes]
+
+
+def myers_distance_batch(np, patterns, texts, max_distances):
+    """Myers' recurrence over many (pattern, text) lanes at once.
+
+    ``patterns[k]``/``texts[k]``/``max_distances[k]`` describe lane
+    ``k``; every pattern must be non-empty and at most 64 characters
+    (the :func:`_myers_distance` contract), and every bound must be
+    ``>= 0``.  Returns an ``int64`` array where lane ``k`` holds exactly
+    what ``_myers_distance(patterns[k], texts[k], max_distances[k])``
+    returns — the exact distance, or ``max_distances[k] + 1`` once the
+    bound is provably exceeded.
+
+    The whole batch advances one text position per step: each lane's
+    DP column lives in one ``uint64`` element of the VP/VN arrays, so a
+    step is a fixed number of vectorized word operations regardless of
+    lane count.  Wrapping ``uint64`` addition is safe here for the same
+    reason Myers' C formulation is: the recurrence only ever reads bits
+    below each lane's own column mask, and a carry out of bit 63 can
+    never influence those.  Mixed pattern lengths share one batch —
+    the column mask, top-bit probe and initial score are per-lane
+    arrays.  Per-lane bookkeeping handles the ragged shapes:
+
+    * *equality masks* come from one combined table keyed by
+      ``(lane << 21) | code_point`` (patterns deduplicated via
+      :func:`myers_mask_table`), resolved for the whole padded text
+      matrix with a single ``searchsorted``; padding cells use a
+      sentinel above 0x10FFFF so their mask is 0,
+    * a lane stops consuming once its text is exhausted (its score is
+      frozen by the update mask) and dies early when the Ukkonen bound
+      ``score - remaining > max_distance`` trips, vector-wide via the
+      per-lane alive mask; the loop ends at the last live lane.
+
+    ``max_distances[k] >= len(texts[k])`` disables lane ``k``'s early
+    exit entirely (the distance can never exceed the longer side), so
+    passing the text length is the "unbounded" configuration.
+    """
+    lanes = len(patterns)
+    if lanes == 0:
+        return np.empty(0, dtype=np.int64)
+    # Lanes usually repeat a much smaller set of distinct strings (the
+    # same block members pair up against each other), so every O(chars)
+    # cost — mask tables, code-point decoding — is paid per *distinct*
+    # pattern/text and broadcast to lanes by integer indexing.
+    pattern_of: dict[str, int] = {}
+    lane_pat = [
+        pattern_of.setdefault(p, len(pattern_of)) for p in patterns
+    ]
+    text_of: dict[str, int] = {}
+    lane_text = [text_of.setdefault(t, len(text_of)) for t in texts]
+    lane_pat_arr = np.fromiter(lane_pat, dtype=np.int64, count=lanes)
+    lane_text_arr = np.fromiter(lane_text, dtype=np.int64, count=lanes)
+    pat_lengths = np.fromiter(
+        (len(p) for p in pattern_of), dtype=np.int64, count=len(pattern_of)
+    )
+    text_lengths = np.fromiter(
+        (len(t) for t in text_of), dtype=np.int64, count=len(text_of)
+    )
+    m = pat_lengths[lane_pat_arr]
+    lengths = text_lengths[lane_text_arr]
+    budgets = np.fromiter(max_distances, dtype=np.int64, count=lanes)
+
+    # Combined equality-mask table keyed ``(pattern_id << 21) | code``,
+    # sorted by construction (pattern ids ascending in insertion order,
+    # code points ascending within a pattern).
+    key_parts: list[int] = []
+    mask_parts: list[int] = []
+    for pid, pattern in enumerate(pattern_of):
+        codes, masks = myers_mask_table(pattern)
+        base = pid << _BATCH_CHAR_BITS
+        key_parts.extend(base | code for code in codes)
+        mask_parts.extend(masks)
+    table_keys = np.fromiter(key_parts, dtype=np.int64, count=len(key_parts))
+    table_masks = np.fromiter(mask_parts, dtype=np.uint64, count=len(mask_parts))
+
+    # Padded code-point matrix over the *distinct* texts, then one
+    # gather + searchsorted pass resolves the whole lanes × lmax
+    # equality-mask matrix.
+    lmax = int(lengths.max())
+    if lmax == 0:
+        return m.copy()  # every text empty: distance == pattern length
+    tmat = np.full((len(text_of), lmax), _BATCH_PAD, dtype=np.int64)
+    all_codes = np.frombuffer(
+        "".join(text_of).encode("utf-32-le"), dtype="<u4"
+    ).astype(np.int64)
+    offset = 0
+    for tid, n in enumerate(text_lengths.tolist()):
+        tmat[tid, :n] = all_codes[offset:offset + n]
+        offset += n
+    keys = (lane_pat_arr << _BATCH_CHAR_BITS)[:, None] | tmat[lane_text_arr]
+    idx = np.minimum(np.searchsorted(table_keys, keys), len(table_keys) - 1)
+    eq = np.where(table_keys[idx] == keys, table_masks[idx], np.uint64(0))
+
+    # The recurrence: per-lane VP/VN words, one update per text position.
+    mask = np.uint64(0xFFFFFFFFFFFFFFFF) >> (np.uint64(64) - m.astype(np.uint64))
+    last_shift = (m - 1).astype(np.uint64)
+    one = np.uint64(1)
+    vp = mask.copy()
+    vn = np.zeros(lanes, dtype=np.uint64)
+    score = m.copy()
+    alive = np.ones(lanes, dtype=bool)
+    for t in range(lmax):
+        consuming = alive & (lengths > t)
+        if not consuming.any():
+            break
+        eqc = eq[:, t]
+        xv = eqc | vn
+        xh = (((eqc & vp) + vp) ^ vp) | eqc
+        hp = vn | ~(xh | vp)
+        hn = vp & xh
+        delta = ((hp >> last_shift) & one).astype(np.int64) - (
+            (hn >> last_shift) & one
+        ).astype(np.int64)
+        score = np.where(consuming, score + delta, score)
+        # Ukkonen early exit, vector-wide: the final distance can drop
+        # by at most one per remaining character.
+        dead = consuming & (score - (lengths - (t + 1)) > budgets)
+        if dead.any():
+            score[dead] = budgets[dead] + 1
+            alive &= ~dead
+        hp = ((hp << one) | one) & mask
+        hn = (hn << one) & mask
+        vp = (hn | ~(xv | hp)) & mask
+        vn = hp & xv
+    return score
+
+
 def _banded_distance(a: str, b: str, bound: int) -> int:
     """Edit distance restricted to a diagonal band of half-width ``bound``.
 

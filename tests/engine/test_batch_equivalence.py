@@ -11,6 +11,10 @@ must equal what the scalar per-pair reduce loops produce.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 import repro.er.batch_kernel as bk
@@ -197,6 +201,85 @@ class TestTwoSourceAndDelta:
             entities, "blocksplit", batch=False, backend="distributed"
         )
         assert _fingerprint(batched) == _fingerprint(scalar)
+
+
+class TestEvictionPressure:
+    """ISSUE 10 regression, pipeline level: with a memo cache smaller
+    than a group's distinct surviving pairs, the batch path must replay
+    the scalar LRU discipline — identical hit/miss counters and
+    identical residual cache across groups, hence identical
+    fingerprints."""
+
+    def _run_small_memo(self, entities, *, batch, memoize):
+        pipeline = ERPipeline(
+            "blocksplit",
+            PrefixBlocking("title"),
+            ThresholdMatcher("title", THRESHOLD, memoize=memoize),
+            num_map_tasks=NUM_SHARDS,
+            num_reduce_tasks=NUM_REDUCE,
+            batch_kernel=batch,
+        )
+        return pipeline.run(entities)
+
+    @pytest.mark.parametrize("memoize", [1, 2, 7])
+    def test_small_memo_matches_scalar(self, entities, memoize):
+        batched = self._run_small_memo(entities, batch=True, memoize=memoize)
+        scalar = self._run_small_memo(entities, batch=False, memoize=memoize)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+        assert batched.matches.pair_ids
+
+    @pytest.mark.parametrize("memoize", [2, 7])
+    def test_small_memo_stdlib_path(self, entities, memoize, monkeypatch):
+        monkeypatch.setattr(bk, "_numpy", None)
+        batched = self._run_small_memo(entities, batch=True, memoize=memoize)
+        scalar = self._run_small_memo(entities, batch=False, memoize=memoize)
+        assert _fingerprint(batched) == _fingerprint(scalar)
+
+
+class TestForcedStdlibEnv:
+    """REPRO_ER_FORCE_STDLIB=1 at import time must yield the same
+    matches as the in-process numpy run — checked through a real
+    subprocess, the way a numpy-less deployment would see it."""
+
+    SCRIPT = """
+from repro.datasets.generators import generate_products
+from repro.engine import ERPipeline
+from repro.er.blocking import PrefixBlocking
+from repro.er.matching import ThresholdMatcher
+
+entities = generate_products(150, seed=97)
+pipeline = ERPipeline(
+    "blocksplit",
+    PrefixBlocking("title"),
+    ThresholdMatcher("title", 0.8),
+    num_map_tasks=3,
+    num_reduce_tasks=5,
+    batch_kernel=True,
+)
+result = pipeline.run(entities)
+for pair in sorted(result.matches.pair_ids):
+    print(pair)
+print("comparisons", result.total_comparisons())
+print("matches", len(result.matches.pair_ids))
+"""
+
+    def _run(self, force_stdlib):
+        env = dict(os.environ)
+        env.pop("REPRO_ER_FORCE_STDLIB", None)
+        env["PYTHONHASHSEED"] = "0"
+        if force_stdlib:
+            env["REPRO_ER_FORCE_STDLIB"] = "1"
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return proc.stdout
+
+    def test_forced_stdlib_equals_default(self):
+        assert self._run(True) == self._run(False)
 
 
 class TestStdlibFallback:

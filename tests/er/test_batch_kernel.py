@@ -52,12 +52,14 @@ THRESHOLDS = [0.0, 0.3, 0.8, 1.0]
 def kernel_mode(request, monkeypatch):
     """Run the test body on both kernel paths.
 
-    ``numpy`` also drops the minimum-batch heuristic so small batches
-    exercise the vectorized path; ``stdlib`` blanks the module's numpy
+    ``numpy`` also drops the minimum-batch and minimum-lane heuristics
+    so small batches exercise the vectorized path all the way into the
+    batched Myers recurrence; ``stdlib`` blanks the module's numpy
     handle, the same state a numpy-less interpreter starts in.
     """
     if request.param == "numpy":
         monkeypatch.setattr(bk, "NUMPY_MIN_PAIRS", 0)
+        monkeypatch.setattr(bk, "MYERS_MIN_LANES", 0)
     else:
         monkeypatch.setattr(bk, "_numpy", None)
     return request.param
@@ -250,6 +252,66 @@ class TestMatchBatchEquivalence:
             assert batched.matches_found == scalar.matches_found
             assert batched.cache_hits == scalar.cache_hits
             assert batched.cache_misses == scalar.cache_misses
+
+    @pytest.mark.parametrize("memoize", [1, 2, 3])
+    def test_eviction_pressure_counters_and_cache(self, kernel_mode, memoize):
+        """ISSUE 10 regression: a group with more distinct surviving
+        pairs than ``memoize`` must advance hit/miss counters *and*
+        leave the LRU cache — contents and recency order — exactly as
+        the scalar loop does, or later groups diverge."""
+        entities = [
+            Entity(f"e{k}", {"title": title})
+            for k, title in enumerate(
+                ["kettle", "kettles", "kettle", "settle", "cattle",
+                 "kettle", "kettlex"]
+            )
+        ]
+        spec = TrianglePairs(len(entities))
+        scalar = ThresholdMatcher("title", 0.8, memoize=memoize)
+        batched = ThresholdMatcher("title", 0.8, memoize=memoize)
+        ps = [scalar.prepare(e) for e in entities]
+        pb = [batched.prepare(e) for e in entities]
+        expected = _scalar_oracle(scalar, ps, spec)
+        got = batched.match_batch(pb, spec)
+        assert [(p.id1, p.id2, p.similarity) for p in got] == [
+            (p.id1, p.id2, p.similarity) for p in expected
+        ]
+        assert (batched.cache_hits, batched.cache_misses) == (
+            scalar.cache_hits,
+            scalar.cache_misses,
+        )
+        assert list(batched._cache.items()) == list(scalar._cache.items())
+
+    @pytest.mark.parametrize("memoize", [1, 2, 3, 4096])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_eviction_pressure_across_groups(self, kernel_mode, memoize, seed):
+        """Residual cache state must keep scalar and batch counters in
+        lockstep across a *sequence* of groups sharing one matcher."""
+        rng = random.Random(9500 + seed)
+        scalar = ThresholdMatcher("title", 0.8, memoize=memoize)
+        batched = ThresholdMatcher("title", 0.8, memoize=memoize)
+        for _ in range(5):
+            entities = self._entities(rng, rng.randrange(3, 9))
+            spec = TrianglePairs(len(entities))
+            ps = [scalar.prepare(e) for e in entities]
+            pb = [batched.prepare(e) for e in entities]
+            expected = _scalar_oracle(scalar, ps, spec)
+            got = batched.match_batch(pb, spec)
+            assert [(p.id1, p.id2, p.similarity) for p in got] == [
+                (p.id1, p.id2, p.similarity) for p in expected
+            ]
+            assert (
+                batched.comparisons,
+                batched.matches_found,
+                batched.cache_hits,
+                batched.cache_misses,
+            ) == (
+                scalar.comparisons,
+                scalar.matches_found,
+                scalar.cache_hits,
+                scalar.cache_misses,
+            )
+            assert list(batched._cache.items()) == list(scalar._cache.items())
 
     def test_base_matcher_batches_via_match_prepared(self):
         """Custom matchers get the identity batching: per-pair calls in

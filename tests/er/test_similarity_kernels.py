@@ -14,6 +14,7 @@ import random
 
 import pytest
 
+from repro.er.batch_kernel import active_numpy
 from repro.er.similarity import (
     _banded_distance,
     _myers_distance,
@@ -22,6 +23,8 @@ from repro.er.similarity import (
     levenshtein_similarity,
     levenshtein_similarity_bounded,
     levenshtein_similarity_bounded_reference,
+    myers_distance_batch,
+    myers_mask_table,
     similarity_at_least,
 )
 
@@ -135,6 +138,108 @@ class TestKernelInternals:
             assert _banded_distance(a, b, bound) == true
             if true > 0 and true - 1 >= la - lb:
                 assert _banded_distance(a, b, true - 1) == true  # == bound+1
+
+
+needs_numpy = pytest.mark.skipif(
+    active_numpy() is None, reason="numpy not installed"
+)
+
+
+@needs_numpy
+class TestMyersDistanceBatch:
+    """Every lane of the vectorized recurrence equals the scalar Myers
+    kernel — and through it the reference DP — including the early-exit
+    semantics of per-lane ``max_distance`` budgets."""
+
+    def _np(self):
+        return active_numpy()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lanes_match_scalar_myers(self, seed):
+        rng = random.Random(11000 + seed)
+        patterns, texts, budgets = [], [], []
+        for _ in range(300):
+            m = rng.choice([1, 1, 2, 3, 5, 8, 13, 21, 40, 63, 64])
+            n = rng.choice([0, 1, 2, 3, 5, 8, 13, 21, 40, 64, 90])
+            patterns.append("".join(rng.choice(ALPHABET) for _ in range(m)))
+            texts.append("".join(rng.choice(ALPHABET) for _ in range(n)))
+            budgets.append(rng.choice([0, 1, 2, 5, 10, 10**6, max(m, n)]))
+        got = myers_distance_batch(self._np(), patterns, texts, budgets)
+        for k in range(len(patterns)):
+            want = _myers_distance(patterns[k], texts[k], budgets[k])
+            assert int(got[k]) == want, (patterns[k], texts[k], budgets[k])
+
+    def test_unbounded_lanes_match_reference_dp(self):
+        rng = random.Random(12000)
+        patterns = [
+            "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(1, 65)))
+            for _ in range(200)
+        ]
+        texts = [
+            "".join(rng.choice(ALPHABET) for _ in range(rng.randrange(0, 100)))
+            for _ in range(200)
+        ]
+        # A budget ≥ len(text) can never trigger the early exit, so the
+        # lane computes the exact distance — the reference contract.
+        budgets = [max(len(p), len(t)) for p, t in zip(patterns, texts)]
+        got = myers_distance_batch(self._np(), patterns, texts, budgets)
+        for k in range(len(patterns)):
+            want = levenshtein_distance_reference(patterns[k], texts[k])
+            assert int(got[k]) == want
+
+    def test_boundary_pattern_lengths(self):
+        """m = 64 exercises the full-width column mask (the shift-by-64
+        trap) and the top-bit probe at bit 63."""
+        patterns, texts, budgets = [], [], []
+        for m in (1, 2, 63, 64):
+            for n in (0, 1, 63, 64, 65, 100):
+                patterns.append(("ab" * 50)[:m])
+                texts.append(("ba" * 60)[:n])
+                budgets.append(10**6)
+        got = myers_distance_batch(self._np(), patterns, texts, budgets)
+        for k in range(len(patterns)):
+            want = levenshtein_distance_reference(patterns[k], texts[k])
+            assert int(got[k]) == want, (len(patterns[k]), len(texts[k]))
+
+    def test_empty_batch_and_empty_texts(self):
+        np = self._np()
+        assert myers_distance_batch(np, [], [], []).shape == (0,)
+        got = myers_distance_batch(np, ["abc", "é😀"], ["", ""], [5, 5])
+        assert got.tolist() == [3, 2]
+
+    def test_max_distance_zero(self):
+        got = myers_distance_batch(
+            self._np(),
+            ["abc", "abc", "abcd"],
+            ["abc", "abd", "abc"],
+            [0, 0, 0],
+        )
+        assert int(got[0]) == 0
+        assert int(got[1]) > 0
+        assert int(got[2]) > 0
+
+    def test_non_bmp_lanes(self):
+        """Astral-plane code points must round-trip the utf-32 packing
+        and the combined (pattern_id, code) equality table."""
+        got = myers_distance_batch(
+            self._np(),
+            ["😀😀a", "😀", "中文ß"],
+            ["😀a", "😀😀", "中文"],
+            [10, 10, 10],
+        )
+        assert got.tolist() == [
+            levenshtein_distance_reference("😀😀a", "😀a"),
+            levenshtein_distance_reference("😀", "😀😀"),
+            levenshtein_distance_reference("中文ß", "中文"),
+        ]
+
+    def test_mask_table_matches_scalar_packing(self):
+        codes, masks = myers_mask_table("abca")
+        assert codes == sorted(codes)
+        table = dict(zip(codes, masks))
+        assert table[ord("a")] == 0b1001
+        assert table[ord("b")] == 0b0010
+        assert table[ord("c")] == 0b0100
 
 
 class TestSimilarityAtLeast:
